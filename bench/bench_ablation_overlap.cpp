@@ -1,0 +1,63 @@
+/// Ablation: communication/computation overlap (the paper's future-work
+/// direction in its Conclusions: "Further performance improvement may be
+/// possible by overlapping communication in the propagation phase of any
+/// of our algorithms with local computation", e.g. with one-sided MPI /
+/// RDMA). Using the exact per-rank phase costs from the simulator, this
+/// bench bounds the achievable saving: kernel time with propagation
+/// fully hidden behind local kernels vs the measured bulk-synchronous
+/// time.
+///
+/// The interesting structure: overlap pays most where propagation and
+/// computation are balanced (dense-shifting at moderate phi) and least
+/// where one side dominates (sparse-shifting at low phi is
+/// propagation-bound; high-phi dense problems are compute-bound).
+
+#include "bench_common.hpp"
+
+using namespace dsk;
+using namespace dsk::bench;
+
+int main() {
+  print_header("Ablation: upper bound on comm/comp overlap "
+               "(paper's future work)");
+
+  const Index n = 8192 * env_scale();
+  const Index r = 32;
+  const int p = 16;
+
+  std::printf("n = %lld, r = %lld, p = %d; modeled ms for one FusedMM\n",
+              static_cast<long long>(n), static_cast<long long>(r), p);
+  std::printf("%-30s %6s %5s %10s %10s %9s\n", "algorithm", "nnz/row", "c",
+              "bulk-sync", "overlap", "saving");
+
+  for (const Index d : {2, 8, 32}) {
+    const auto w = make_er_workload(n, d, r,
+                                    /*seed=*/9000 + static_cast<unsigned>(d));
+    for (const auto& variant : paper_variants()) {
+      // Use the model-best admissible c for a fair comparison.
+      const auto best =
+          best_replication_factor(variant.kind, variant.elision,
+                                  w.cost_inputs(p, 1), /*c_max=*/8);
+      if (variant.kind == AlgorithmKind::SparseShift15D &&
+          w.r % (p / best.c) != 0) {
+        continue;
+      }
+      auto algo = make_algorithm(variant.kind, p, best.c);
+      const auto result = algo->run_fusedmm(
+          FusedOrientation::A, variant.elision, w.s, w.a, w.b);
+      const auto m = machine();
+      const double bulk = result.stats.modeled_kernel_seconds(m);
+      const double overlapped = result.stats.modeled_overlap_seconds(m);
+      std::printf("%-30s %6lld %5d %9.4f %10.4f %8.1f%%\n", variant.name,
+                  static_cast<long long>(d), best.c, 1e3 * bulk,
+                  1e3 * overlapped, 100.0 * (bulk - overlapped) / bulk);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Reading: 'saving' is the upper bound from hiding all "
+              "propagation behind local kernels; replication (fiber\n"
+              "collectives) cannot overlap because its output is needed "
+              "before any local work starts.\n");
+  return 0;
+}

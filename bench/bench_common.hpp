@@ -1,0 +1,194 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared pieces of the paper-reproduction benchmark harness: workload
+/// builders (Erdos-Renyi weak-scaling instances, R-MAT stand-ins for the
+/// Table V matrices), the simulation-scale parameters, run helpers that
+/// evaluate a FusedMM configuration and return the paper's "time for 5
+/// FusedMM calls" under the Cori-like machine model, and table printing.
+///
+/// Scale: the paper runs up to 256 KNL nodes and n = 2^24; this harness
+/// simulates the same algorithms with exact communication accounting at
+/// n scaled down ~2^6 (keeping phi and nnz-per-row, which select the
+/// winning algorithm) so every figure regenerates in seconds on a
+/// laptop. Set DSK_BENCH_SCALE=2 (or 4) to double/quadruple n.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/algorithm.hpp"
+#include "dist/grid.hpp"
+#include "model/optimal_c.hpp"
+#include "model/predictor.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk::bench {
+
+inline int env_scale() {
+  const char* s = std::getenv("DSK_BENCH_SCALE");
+  const int v = s != nullptr ? std::atoi(s) : 1;
+  return v >= 1 ? v : 1;
+}
+
+/// The paper reports "Time for 5 FusedMM Calls"; communication scales
+/// exactly linearly in repetitions (tested), so we run one call and
+/// scale the modeled time.
+constexpr int kPaperCalls = 5;
+
+inline MachineModel machine() { return MachineModel::cori_knl(); }
+
+struct Workload {
+  CooMatrix s;
+  DenseMatrix a;
+  DenseMatrix b;
+  Index r = 0;
+
+  CostInputs cost_inputs(int p, int c) const {
+    return {static_cast<double>(s.rows()), static_cast<double>(s.cols()),
+            static_cast<double>(r), static_cast<double>(s.nnz()), p, c};
+  }
+};
+
+/// Square Erdos-Renyi workload with exact nnz-per-row (the paper's weak
+/// scaling generator) and random dense matrices.
+inline Workload make_er_workload(Index n, Index nnz_per_row, Index r,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w{erdos_renyi_fixed_row(n, n, nnz_per_row, rng), DenseMatrix(n, r),
+             DenseMatrix(n, r), r};
+  w.a.fill_random(rng);
+  w.b.fill_random(rng);
+  return w;
+}
+
+/// R-MAT workload standing in for a Table V matrix (power-law degrees).
+inline Workload make_rmat_workload(Index n, Index nnz_per_row, Index r,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w{rmat(n, n, n * nnz_per_row, rng), DenseMatrix(n, r),
+             DenseMatrix(n, r), r};
+  w.a.fill_random(rng);
+  w.b.fill_random(rng);
+  return w;
+}
+
+struct RunOutcome {
+  double comm_seconds = 0;  ///< modeled, for kPaperCalls calls
+  double total_seconds = 0; ///< comm + computation
+  double replication_seconds = 0;
+  double propagation_seconds = 0;
+  double computation_seconds = 0;
+  /// Max-over-ranks communication words for ONE call (the metric of the
+  /// paper's bandwidth analysis; latency-free).
+  std::uint64_t comm_words = 0;
+  int c = 1;
+};
+
+/// Run one FusedMM call and report modeled times for kPaperCalls calls.
+inline RunOutcome run_fusedmm_once(AlgorithmKind kind, Elision elision,
+                                   int p, int c, const Workload& w,
+                                   FusedOrientation orientation =
+                                       FusedOrientation::A) {
+  auto algo = make_algorithm(kind, p, c);
+  const auto result =
+      algo->run_fusedmm(orientation, elision, w.s, w.a, w.b, 1);
+  const auto m = machine();
+  RunOutcome out;
+  out.replication_seconds =
+      kPaperCalls * result.stats.modeled_phase_seconds(Phase::Replication, m);
+  out.propagation_seconds =
+      kPaperCalls * result.stats.modeled_phase_seconds(Phase::Propagation, m);
+  out.computation_seconds =
+      kPaperCalls * result.stats.modeled_phase_seconds(Phase::Computation, m);
+  out.comm_seconds = out.replication_seconds + out.propagation_seconds;
+  out.total_seconds = out.comm_seconds + out.computation_seconds;
+  out.comm_words = result.stats.max_words(Phase::Replication) +
+                   result.stats.max_words(Phase::Propagation);
+  out.c = c;
+  return out;
+}
+
+/// Sweep the admissible replication factors (capped like the paper's
+/// memory limit) and return the best observed total time — the paper
+/// reports "the best runtime over replication factors 1 through 16".
+inline RunOutcome best_over_c(AlgorithmKind kind, Elision elision, int p,
+                              const Workload& w, int c_max = 16,
+                              FusedOrientation orientation =
+                                  FusedOrientation::A) {
+  RunOutcome best;
+  bool first = true;
+  for (const int c : admissible_replication_factors(kind, p, c_max)) {
+    // Exclude fully-degenerate grids (c = p for 1.5D, q = 1 for 2.5D):
+    // every shift becomes a free self-message and the dense matrix is
+    // replicated on every rank — memory-infeasible at the paper's scale
+    // and outside its benchmarked design space.
+    if (p > 1) {
+      const bool is25d = kind == AlgorithmKind::DenseRepl25D ||
+                         kind == AlgorithmKind::SparseRepl25D;
+      if (is25d && Grid25D(p, c).q() == 1) continue;
+      if (!is25d && c == p) continue;
+    }
+    if (kind == AlgorithmKind::SparseShift15D && w.r % (p / c) != 0) {
+      continue; // r must divide into p/c slices (paper: min c enforced)
+    }
+    if (kind == AlgorithmKind::SparseRepl25D) {
+      const Grid25D grid(p, c);
+      if (w.r % (static_cast<Index>(grid.q()) * c) != 0) continue;
+    }
+    if (kind == AlgorithmKind::DenseRepl25D) {
+      const Grid25D grid(p, c);
+      if (w.r % grid.q() != 0 ||
+          w.s.rows() % (static_cast<Index>(grid.q()) * c) != 0) {
+        continue;
+      }
+    }
+    const auto outcome = run_fusedmm_once(kind, elision, p, c, w,
+                                          orientation);
+    if (first || outcome.total_seconds < best.total_seconds) {
+      best = outcome;
+      first = false;
+    }
+  }
+  if (first) {
+    best.total_seconds = -1; // no admissible configuration
+  }
+  return best;
+}
+
+/// The eight algorithm variants of Figure 4 / Figure 8.
+struct Variant {
+  const char* name;
+  AlgorithmKind kind;
+  Elision elision;
+};
+
+inline std::vector<Variant> paper_variants() {
+  return {
+      {"1.5D DenseShift  None", AlgorithmKind::DenseShift15D,
+       Elision::None},
+      {"1.5D DenseShift  ReplReuse", AlgorithmKind::DenseShift15D,
+       Elision::ReplicationReuse},
+      {"1.5D DenseShift  LocalFusion", AlgorithmKind::DenseShift15D,
+       Elision::LocalKernelFusion},
+      {"1.5D SparseShift None", AlgorithmKind::SparseShift15D,
+       Elision::None},
+      {"1.5D SparseShift ReplReuse", AlgorithmKind::SparseShift15D,
+       Elision::ReplicationReuse},
+      {"2.5D SparseRepl  None", AlgorithmKind::SparseRepl25D,
+       Elision::None},
+      {"2.5D DenseRepl   ReplReuse", AlgorithmKind::DenseRepl25D,
+       Elision::ReplicationReuse},
+      {"2.5D DenseRepl   None", AlgorithmKind::DenseRepl25D,
+       Elision::None},
+  };
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace dsk::bench

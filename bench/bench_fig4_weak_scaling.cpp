@@ -1,0 +1,85 @@
+/// Figure 4 reproduction: weak scaling on Erdos-Renyi matrices, both
+/// setups, all eight algorithm variants, at the best observed
+/// replication factor per configuration.
+///
+/// Setup 1 (paper: n = 2^16 p, 32 nnz/row, r = 256): p nodes process a
+/// sparse matrix of side n0*p with fixed nnz/row and fixed r, so FLOPs
+/// per node stay constant while phi stays 1/8 and 1.5D communication
+/// grows as sqrt(p).
+/// Setup 2 (paper: n = 2^16 sqrt(p), nnz/row = 32 sqrt(p)): phi doubles
+/// with every 4x step, so the sparse-shifting algorithm degrades while
+/// dense shifting stays flat.
+///
+/// Simulation scale: n0 = 2^10, d0 = 4, r = 32 — phi matches the paper
+/// (d0/r = 1/8) and the scaling exponents are dimension-independent.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace dsk;
+using namespace dsk::bench;
+
+namespace {
+
+void run_setup(const char* title, const std::vector<int>& node_counts,
+               const std::function<Workload(int)>& make_workload) {
+  print_header(title);
+  std::printf("%-30s", "algorithm \\ p");
+  for (const int p : node_counts) {
+    std::printf(" %11d", p);
+  }
+  std::printf("\n");
+  for (const auto& variant : paper_variants()) {
+    std::printf("%-30s", variant.name);
+    for (const int p : node_counts) {
+      const auto w = make_workload(p);
+      const auto best = best_over_c(variant.kind, variant.elision, p, w);
+      if (best.total_seconds < 0) {
+        std::printf(" %11s", "n/a");
+      } else {
+        std::printf(" %9.3fms", 1e3 * best.total_seconds);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  const Index n0 = 1024 * env_scale();
+  const Index d0 = 4;
+  const Index r = 32; // phi = d0 / r = 1/8, as in the paper
+  const std::vector<int> node_counts{1, 4, 16, 64};
+
+  std::printf("Figure 4: weak scaling, modeled time for %d FusedMM calls\n"
+              "(simulation scale n0 = %lld, r = %lld, phi = 1/8; paper "
+              "scale n0 = 2^16, r = 256)\n",
+              kPaperCalls, static_cast<long long>(n0),
+              static_cast<long long>(r));
+
+  run_setup("Setup 1: n = n0 * p, nnz/row fixed (phi constant)",
+            node_counts, [&](int p) {
+              return make_er_workload(n0 * p, d0, r,
+                                      /*seed=*/100 + static_cast<unsigned>(p));
+            });
+
+  run_setup(
+      "Setup 2: n = n0 * sqrt(p), nnz/row = d0 * sqrt(p) (phi doubles)",
+      node_counts, [&](int p) {
+        const auto root = static_cast<Index>(std::lround(std::sqrt(p)));
+        return make_er_workload(n0 * root, d0 * root, r,
+                                /*seed=*/200 + static_cast<unsigned>(p));
+      });
+
+  std::printf(
+      "\nPaper checks:\n"
+      "  * Setup 1: sparse-shifting 1.5D is best overall (phi = 1/8 is "
+      "low); communication grows ~sqrt(p) for 1.5D, ~p^(1/3) for 2.5D.\n"
+      "  * Setup 2: ranking inverts — dense shift with local fusion wins "
+      "at scale, sparse shift degrades as phi doubles.\n"
+      "  * Eliding variants beat their no-elision counterparts nearly "
+      "everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Figure 5 reproduction: weak-scaling setup 1 time breakdown into
+/// replication / propagation / computation for the five communication
+/// configurations the paper plots, at doubling node counts. The paper's
+/// expectation: communication time grows ~sqrt(p) for 1.5D algorithms
+/// and ~p^(1/3) for 2.5D algorithms while computation stays flat.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace dsk;
+using namespace dsk::bench;
+
+int main() {
+  const Index n0 = 1024 * env_scale();
+  const Index d0 = 4;
+  const Index r = 32;
+  const std::vector<int> node_counts{2, 4, 8, 16, 32, 64};
+
+  std::printf("Figure 5: weak scaling setup 1 breakdown, modeled seconds "
+              "for %d FusedMM calls\n",
+              kPaperCalls);
+
+  const Variant variants[] = {
+      {"1.5D DenseShift ReplReuse", AlgorithmKind::DenseShift15D,
+       Elision::ReplicationReuse},
+      {"1.5D DenseShift LocalFusion", AlgorithmKind::DenseShift15D,
+       Elision::LocalKernelFusion},
+      {"1.5D SparseShift ReplReuse", AlgorithmKind::SparseShift15D,
+       Elision::ReplicationReuse},
+      {"2.5D DenseRepl ReplReuse", AlgorithmKind::DenseRepl25D,
+       Elision::ReplicationReuse},
+      {"2.5D SparseRepl None", AlgorithmKind::SparseRepl25D,
+       Elision::None},
+  };
+
+  for (const auto& variant : variants) {
+    print_header(variant.name);
+    std::printf("%6s %6s %10s %10s %10s %10s  (ms)\n", "p", "c*", "replicate",
+                "propagate", "compute", "comm");
+    double first_comm = -1;
+    int first_p = 0;
+    double last_comm = 0;
+    int last_p = 0;
+    for (const int p : node_counts) {
+      const auto w = make_er_workload(
+          n0 * p, d0, r, /*seed=*/300 + static_cast<unsigned>(p));
+      const auto best = best_over_c(variant.kind, variant.elision, p, w);
+      if (best.total_seconds < 0) {
+        std::printf("%6d %6s\n", p, "n/a");
+        continue;
+      }
+      std::printf("%6d %6d %10.4f %10.4f %10.4f %10.4f\n", p, best.c,
+                  1e3 * best.replication_seconds,
+                  1e3 * best.propagation_seconds,
+                  1e3 * best.computation_seconds, 1e3 * best.comm_seconds);
+      // Fit the growth exponent over p >= 8, past the small-grid regime
+      // where the admissible-c set is too coarse.
+      if (p >= 8 && first_comm < 0 && best.comm_seconds > 0) {
+        first_comm = best.comm_seconds;
+        first_p = p;
+      }
+      last_comm = best.comm_seconds;
+      last_p = p;
+    }
+    if (first_comm > 0 && last_p > first_p) {
+      const double observed = std::log(last_comm / first_comm) /
+                              std::log(static_cast<double>(last_p) /
+                                       first_p);
+      const bool is25d = variant.kind == AlgorithmKind::DenseRepl25D ||
+                         variant.kind == AlgorithmKind::SparseRepl25D;
+      std::printf("  comm-time growth exponent: p^%.2f (paper predicts "
+                  "p^%.2f)\n",
+                  observed, is25d ? 1.0 / 3.0 : 0.5);
+    }
+  }
+  return 0;
+}

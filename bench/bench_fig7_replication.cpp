@@ -1,0 +1,77 @@
+/// Figure 7 reproduction: predicted vs observed optimal replication
+/// factors for the 1.5D dense-shifting algorithm across weak-scaling
+/// setup 1, for the three eliding strategies. The paper's point: the
+/// fused algorithms save communication by CHANGING the optimal
+/// replication factor — reuse raises it (c* = sqrt(2p)), fusion lowers
+/// it (c* = sqrt(p/2)) — not merely by dropping a phase.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace dsk;
+using namespace dsk::bench;
+
+namespace {
+
+int observed_best_c(Elision elision, int p, const Workload& w, int c_max) {
+  int best_c = 1;
+  std::uint64_t best = 0;
+  bool first = true;
+  for (const int c :
+       admissible_replication_factors(AlgorithmKind::DenseShift15D, p,
+                                      c_max)) {
+    if (c == p && p > 1) continue; // degenerate grid (see bench_common)
+    const auto outcome = run_fusedmm_once(AlgorithmKind::DenseShift15D,
+                                          elision, p, c, w);
+    if (first || outcome.comm_words < best) {
+      best = outcome.comm_words;
+      best_c = c;
+      first = false;
+    }
+  }
+  return best_c;
+}
+
+} // namespace
+
+int main() {
+  const Index n0 = 1024 * env_scale();
+  const Index d0 = 4;
+  const Index r = 32;
+  const int c_max = 16; // the paper tested factors 1..16 (8 for weak)
+  const std::vector<int> node_counts{2, 4, 8, 16, 32, 64};
+
+  std::printf("Figure 7: optimal replication factor vs node count, 1.5D "
+              "dense shifting (weak scaling setup 1)\n");
+  std::printf("%6s | %9s %9s | %9s %9s | %9s %9s\n", "p", "none*", "none",
+              "reuse*", "reuse", "fusion*", "fusion");
+  std::printf("       (starred = closed-form prediction, unstarred = "
+              "observed argmin of measured comm time)\n");
+
+  bool ordering_holds = true;
+  for (const int p : node_counts) {
+    const auto w = make_er_workload(n0 * p, d0, r,
+                                    /*seed=*/400 + static_cast<unsigned>(p));
+    const double phi = phi_ratio(w.s, r);
+    const double pred_none = closed_form_optimal_c(
+        AlgorithmKind::DenseShift15D, Elision::None, p, phi);
+    const double pred_reuse = closed_form_optimal_c(
+        AlgorithmKind::DenseShift15D, Elision::ReplicationReuse, p, phi);
+    const double pred_fusion = closed_form_optimal_c(
+        AlgorithmKind::DenseShift15D, Elision::LocalKernelFusion, p, phi);
+    const int obs_none = observed_best_c(Elision::None, p, w, c_max);
+    const int obs_reuse =
+        observed_best_c(Elision::ReplicationReuse, p, w, c_max);
+    const int obs_fusion =
+        observed_best_c(Elision::LocalKernelFusion, p, w, c_max);
+    std::printf("%6d | %9.2f %9d | %9.2f %9d | %9.2f %9d\n", p, pred_none,
+                obs_none, pred_reuse, obs_reuse, pred_fusion, obs_fusion);
+    ordering_holds &= obs_reuse >= obs_none && obs_none >= obs_fusion;
+  }
+
+  std::printf("\nPaper check: c*(reuse) >= c*(none) >= c*(fusion) at every "
+              "node count — %s.\n",
+              ordering_holds ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,125 @@
+/// Local (shared-memory) kernel microbenchmarks — the Section III-A
+/// substrate: CSR SDDMM, SpMM in both orientations, and the fused
+/// FusedMM kernel that local kernel fusion relies on, serial and with
+/// the thread pool. The interesting ratio is fused vs (SDDMM + SpMM):
+/// fusion halves the passes over the sparse structure and skips the
+/// intermediate store, which is the shared-memory benefit Rahman et al.
+/// [11] report.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "local/fused.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "local/thread_pool.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+
+namespace {
+
+using namespace dsk;
+
+struct Instance {
+  CsrMatrix s;
+  DenseMatrix a;
+  DenseMatrix b;
+};
+
+Instance make_instance(Index n, Index nnz_per_row, Index r) {
+  Rng rng(1234);
+  Instance inst{coo_to_csr(erdos_renyi_fixed_row(n, n, nnz_per_row, rng)),
+                DenseMatrix(n, r), DenseMatrix(n, r)};
+  inst.a.fill_random(rng);
+  inst.b.fill_random(rng);
+  return inst;
+}
+
+void args_grid(benchmark::internal::Benchmark* b) {
+  b->Args({1 << 12, 8, 32})->Args({1 << 13, 16, 64})->Args({1 << 14, 8, 128});
+}
+
+void BM_Sddmm(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0), state.range(1),
+                                  state.range(2));
+  std::vector<Scalar> dots(static_cast<std::size_t>(inst.s.nnz()));
+  for (auto _ : state) {
+    std::fill(dots.begin(), dots.end(), Scalar{0});
+    masked_dot_products(inst.s, inst.a, inst.b, dots);
+    benchmark::DoNotOptimize(dots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_Sddmm)->Apply(args_grid);
+
+void BM_SpmmA(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0), state.range(1),
+                                  state.range(2));
+  DenseMatrix out(inst.s.rows(), inst.b.cols());
+  for (auto _ : state) {
+    out.fill(0);
+    spmm_a(inst.s, inst.b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_SpmmA)->Apply(args_grid);
+
+void BM_SpmmB(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0), state.range(1),
+                                  state.range(2));
+  DenseMatrix out(inst.s.cols(), inst.a.cols());
+  for (auto _ : state) {
+    out.fill(0);
+    spmm_b(inst.s, inst.a, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_SpmmB)->Apply(args_grid);
+
+void BM_FusedTwoStep(benchmark::State& state) {
+  // Unfused local FusedMM: SDDMM materializes R, then SpMMA consumes it.
+  const auto inst = make_instance(state.range(0), state.range(1),
+                                  state.range(2));
+  DenseMatrix out(inst.s.rows(), inst.b.cols());
+  for (auto _ : state) {
+    out.fill(0);
+    const CsrMatrix r = sddmm(inst.s, inst.a, inst.b);
+    spmm_a(r, inst.b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_FusedTwoStep)->Apply(args_grid);
+
+void BM_FusedKernel(benchmark::State& state) {
+  // The fused local kernel: no intermediate R, one pass.
+  const auto inst = make_instance(state.range(0), state.range(1),
+                                  state.range(2));
+  DenseMatrix out(inst.s.rows(), inst.b.cols());
+  for (auto _ : state) {
+    out.fill(0);
+    fusedmm_a(inst.s, inst.a, inst.b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_FusedKernel)->Apply(args_grid);
+
+void BM_SpmmAThreaded(benchmark::State& state) {
+  const auto inst = make_instance(1 << 14, 8, 128);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  DenseMatrix out(inst.s.rows(), inst.b.cols());
+  for (auto _ : state) {
+    out.fill(0);
+    spmm_a(inst.s, inst.b, out, &pool);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
+}
+BENCHMARK(BM_SpmmAThreaded)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+#pragma once
+/// \file als.hpp
+/// Collaborative filtering by alternating least squares with a batched
+/// conjugate-gradient solver (paper Section VI-E, after Zhao & Canny
+/// [1]). We factor sparse observations C~ (with indicator mask S) as
+/// A B^T by minimizing
+///   || C~ - SDDMM(A, B, S) ||_F^2 + lambda (||A||^2 + ||B||^2).
+///
+/// Each ALS half-step solves, for every row x of the active factor, the
+/// normal equations (M_x + lambda I) x = b_x. The CG matvec for ALL rows
+/// at once is exactly a FusedMM:
+///   batched M . X = FusedMMA(S, X, B) + lambda X     (A update)
+///   batched M . Y = FusedMMB(S, A, Y) + lambda Y     (B update)
+/// and the right-hand sides are SpMMA(C~, B) / SpMMB(C~, A), so the whole
+/// inner loop runs on the distributed kernels.
+///
+/// The CG scalar work (batched per-row dot products, axpys) is computed
+/// on the factor matrices and charged per AppCosts: layouts that split
+/// rows along r (1.5D sparse shifting, 2.5D) additionally pay the
+/// row-partial dot reductions and output redistribution the paper
+/// discusses for Figure 9.
+
+#include "apps/app_stats.hpp"
+#include "dist/algorithm.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+struct AlsConfig {
+  Index rank = 16;        ///< embedding width r
+  Scalar lambda = 0.1;    ///< Tikhonov regularization
+  int cg_iterations = 10; ///< CG steps per half-sweep (paper: 10 + 10)
+  int sweeps = 1;         ///< full A+B alternations
+  std::uint64_t seed = 0x5EED;
+
+  AlgorithmKind kind = AlgorithmKind::DenseShift15D;
+  int p = 4;
+  int c = 1;
+  /// Eliding strategy for the FusedMM matvecs; must be supported by kind.
+  Elision elision = Elision::ReplicationReuse;
+  MachineModel machine = MachineModel::cori_knl();
+};
+
+struct AlsResult {
+  DenseMatrix a;
+  DenseMatrix b;
+  /// Regularized squared loss after each sweep (index 0 = initial loss).
+  std::vector<Scalar> loss_history;
+  AppCosts costs;
+};
+
+/// Run ALS on the observations (an m x n sparse matrix of ratings).
+/// Throws if the dimensions do not divide the algorithm's grid.
+AlsResult run_als(const CooMatrix& observed, const AlsConfig& config);
+
+/// The regularized objective at (a, b) — exposed for tests.
+Scalar als_loss(const CooMatrix& observed, const DenseMatrix& a,
+                const DenseMatrix& b, Scalar lambda);
+
+} // namespace dsk

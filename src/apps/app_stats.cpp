@@ -1,0 +1,73 @@
+#include "apps/app_stats.hpp"
+
+#include "common/error.hpp"
+#include "dist/grid.hpp"
+
+namespace dsk {
+
+double rowdot_reduction_words(AlgorithmKind kind, int p, int c, double m) {
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D:
+    case AlgorithmKind::Baseline1D:
+      return 0.0; // full rows are local
+    case AlgorithmKind::SparseShift15D: {
+      const double group = static_cast<double>(p) / c;
+      if (group <= 1) return 0.0;
+      return 2.0 * (group - 1) / group * (m / c);
+    }
+    case AlgorithmKind::DenseRepl25D: {
+      const Grid25D grid(p, c);
+      const double group = grid.q();
+      if (group <= 1) return 0.0;
+      return 2.0 * (group - 1) / group * (m / (group * c));
+    }
+    case AlgorithmKind::SparseRepl25D: {
+      const Grid25D grid(p, c);
+      const double group = static_cast<double>(grid.q()) * c;
+      if (group <= 1) return 0.0;
+      return 2.0 * (group - 1) / group * (m / grid.q());
+    }
+  }
+  fail("rowdot_reduction_words: unknown kind");
+}
+
+double redistribution_words(AlgorithmKind kind, double m, double r, int p) {
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D:
+    case AlgorithmKind::SparseShift15D:
+    case AlgorithmKind::Baseline1D:
+      return 0.0; // output distribution == input distribution
+    case AlgorithmKind::DenseRepl25D:
+    case AlgorithmKind::SparseRepl25D:
+      return m * r / p; // one displaced block per rank (Section VI-E)
+  }
+  fail("redistribution_words: unknown kind");
+}
+
+void AppCosts::add_kernel(const WorldStats& stats,
+                          const MachineModel& machine) {
+  fused_replication_seconds +=
+      stats.modeled_phase_seconds(Phase::Replication, machine);
+  fused_propagation_seconds +=
+      stats.modeled_phase_seconds(Phase::Propagation, machine);
+  fused_computation_seconds +=
+      stats.modeled_phase_seconds(Phase::Computation, machine);
+  fused_replication_words += stats.max_words(Phase::Replication);
+  fused_propagation_words += stats.max_words(Phase::Propagation);
+}
+
+void AppCosts::add_app_comm(double words, const MachineModel& machine) {
+  if (words <= 0) return; // layouts needing no app comm pay nothing
+  app_comm_words += words;
+  app_comm_seconds += machine.beta_seconds_per_word * words +
+                      machine.alpha_seconds_per_message;
+}
+
+void AppCosts::add_app_flops(std::uint64_t flops, int p,
+                             const MachineModel& machine) {
+  app_flops += flops;
+  app_comp_seconds += machine.gamma_seconds_per_flop *
+                      static_cast<double>(flops) / p;
+}
+
+} // namespace dsk

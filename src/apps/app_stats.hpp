@@ -1,0 +1,66 @@
+#pragma once
+/// \file app_stats.hpp
+/// Cost accounting for applications that embed the distributed kernels
+/// (paper Section VI-E / Figure 9). Kernel-phase costs are measured
+/// exactly by the runtime; the work *outside* FusedMM — batched CG dot
+/// products, softmax row statistics, and layout restoration — is charged
+/// with layout-derived formulas documented per function. This mirrors the
+/// paper's observation that sparse-shifting / sparse-replicating layouts
+/// pay extra application-side communication because their dense rows are
+/// split along r and their outputs land shifted relative to inputs.
+
+#include "common/types.hpp"
+#include "runtime/stats.hpp"
+
+namespace dsk {
+
+/// Words per rank for one batched per-row dot-product reduction (the CG
+/// scalar products, or a softmax row-statistic combine). Layouts that
+/// co-locate full rows (1.5D dense shifting) pay nothing; layouts that
+/// split rows along r pay an all-reduce of their row partials across the
+/// split group:
+///   1.5D sparse shift: group = p/c slices, m/c rows per rank,
+///     2 (L-1)/L * m/c words;
+///   2.5D dense repl:   group = q slices, m/(qc) rows per rank;
+///   2.5D sparse repl:  group = q*c slices, m/q rows per rank.
+double rowdot_reduction_words(AlgorithmKind kind, int p, int c, double m);
+
+/// Words per rank to restore a FusedMM output to the input distribution.
+/// 1.5D algorithms produce outputs in place; 2.5D outputs land shifted
+/// (sparse replicating) or transposed (dense replicating) by one ring
+/// position (Section VI-E), costing one block of m*r/p words per rank.
+double redistribution_words(AlgorithmKind kind, double m, double r, int p);
+
+/// Accumulated application run costs: kernel phases measured by the
+/// runtime plus analytically charged application-side work.
+struct AppCosts {
+  // Measured inside the distributed kernels (summed max-over-ranks per
+  // call, BSP style).
+  double fused_replication_seconds = 0;
+  double fused_propagation_seconds = 0;
+  double fused_computation_seconds = 0;
+  std::uint64_t fused_replication_words = 0;
+  std::uint64_t fused_propagation_words = 0;
+
+  // Charged outside the kernels.
+  double app_comm_seconds = 0;
+  double app_comp_seconds = 0;
+  double app_comm_words = 0;
+  std::uint64_t app_flops = 0;
+
+  double total_seconds() const {
+    return fused_replication_seconds + fused_propagation_seconds +
+           fused_computation_seconds + app_comm_seconds + app_comp_seconds;
+  }
+
+  /// Fold one kernel invocation's stats in.
+  void add_kernel(const WorldStats& stats, const MachineModel& machine);
+
+  /// Charge application-side communication (words per rank) and
+  /// computation (FLOPs per rank).
+  void add_app_comm(double words, const MachineModel& machine);
+  void add_app_flops(std::uint64_t flops, int p,
+                     const MachineModel& machine);
+};
+
+} // namespace dsk

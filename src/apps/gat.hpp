@@ -1,0 +1,60 @@
+#pragma once
+/// \file gat.hpp
+/// Multi-head Graph Attention Network forward pass (paper Section VI-E,
+/// after Velickovic et al. [3]). One head computes
+///   e_ij   = LeakyReLU(a^T [W h_i || W h_j])        for (i,j) in E
+///   S'     = row_softmax(S * e)                      (attention weights)
+///   H'_h   = S' . (H W)                              (aggregation)
+/// and a multi-head layer concatenates the H'_h.
+///
+/// Because the attention vector a acts separately on the two halves of
+/// the concatenation, e_ij = u_i + v_j with u = (HW) a_left and
+/// v = (HW) a_right, so computing all logits is an SDDMM with the rank-2
+/// embeddings [u | 1] and [1 | v] padded to the layer width — the
+/// "slight modification of Eq. 1 with an identical communication
+/// pattern to SDDMM" the paper describes. The aggregation is a
+/// distributed SpMMA. Softmax row statistics and the local W transform
+/// are application-side work charged per AppCosts.
+///
+/// The paper excludes 1.5D local kernel fusion from the GAT benchmark
+/// ("incompatible with softmax regularization of learned edge weights"):
+/// softmax needs the full SDDMM output before any aggregation, so
+/// gat_forward rejects Elision::LocalKernelFusion when softmax is on.
+
+#include "apps/app_stats.hpp"
+#include "dist/algorithm.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+struct GatConfig {
+  int heads = 4;
+  Index out_features = 8;        ///< per-head output width r'
+  Scalar negative_slope = 0.2;   ///< LeakyReLU slope for attention logits
+  bool softmax = true;           ///< row-softmax the attention weights
+  std::uint64_t seed = 0xA77E;   ///< random W / a (paper: random weights)
+
+  AlgorithmKind kind = AlgorithmKind::DenseShift15D;
+  int p = 4;
+  int c = 1;
+  Elision elision = Elision::None; ///< for the SDDMM+SpMM sequence
+  MachineModel machine = MachineModel::cori_knl();
+};
+
+struct GatResult {
+  /// n x (heads * out_features) concatenated head outputs.
+  DenseMatrix output;
+  AppCosts costs;
+};
+
+/// Forward pass over a square adjacency matrix (n x n, any values; the
+/// pattern defines edges) with node features (n x in_features).
+GatResult gat_forward(const CooMatrix& adjacency,
+                      const DenseMatrix& features, const GatConfig& config);
+
+/// Serial reference (independent code path) for verification.
+DenseMatrix gat_forward_reference(const CooMatrix& adjacency,
+                                  const DenseMatrix& features,
+                                  const GatConfig& config);
+
+} // namespace dsk

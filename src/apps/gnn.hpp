@@ -1,0 +1,56 @@
+#pragma once
+/// \file gnn.hpp
+/// Conventional graph neural network forward pass (paper Section VI-E
+/// background; the CAGNET workload of Tripathy et al. [12] that
+/// motivates 1.5D/2.5D distributed SpMM). Each layer computes
+///   H_{l+1} = sigma(S . H_l . W_l)
+/// where S is the (normalized) adjacency matrix, H_l the node features,
+/// and W_l a trainable dense transform. The aggregation S . H_l runs on
+/// the distributed SpMMA kernel; the feature transform and the
+/// nonlinearity are rank-local work charged per AppCosts.
+///
+/// This is the non-attention counterpart of apps/gat.hpp: together they
+/// cover both GNN flavors the paper discusses (fixed convolution vs
+/// learned attention weights).
+
+#include "apps/app_stats.hpp"
+#include "dist/algorithm.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+struct GnnConfig {
+  /// Feature width per layer, including the input width; a network with
+  /// layer_widths = {32, 16, 8} has two layers (32->16 and 16->8).
+  std::vector<Index> layer_widths{32, 16, 8};
+  bool relu = true;              ///< apply ReLU between layers
+  bool normalize_adjacency = true; ///< random-walk normalize S rows
+  std::uint64_t seed = 0x6E4E;   ///< random weights (paper: random W)
+
+  AlgorithmKind kind = AlgorithmKind::DenseShift15D;
+  int p = 4;
+  int c = 1;
+  MachineModel machine = MachineModel::cori_knl();
+};
+
+struct GnnResult {
+  DenseMatrix output; ///< n x layer_widths.back()
+  AppCosts costs;
+};
+
+/// Forward pass over a square adjacency (pattern = edges; values ignored
+/// when normalize_adjacency, used as weights otherwise) and node
+/// features sized n x layer_widths.front().
+GnnResult gnn_forward(const CooMatrix& adjacency,
+                      const DenseMatrix& features, const GnnConfig& config);
+
+/// Serial reference (independent path) for verification.
+DenseMatrix gnn_forward_reference(const CooMatrix& adjacency,
+                                  const DenseMatrix& features,
+                                  const GnnConfig& config);
+
+/// Row-normalized copy of the adjacency (each row sums to 1; rows with
+/// no edges stay empty) — the random-walk normalization GNN layers use.
+CooMatrix row_normalized(const CooMatrix& adjacency);
+
+} // namespace dsk

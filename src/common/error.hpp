@@ -1,0 +1,48 @@
+#pragma once
+/// \file error.hpp
+/// Error reporting. Precondition violations throw dsk::Error with a
+/// message that names the offending values (Core Guidelines I.10/E.2:
+/// signal errors with exceptions, never error codes or silent clamping).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dsk {
+
+/// Exception type thrown for all dsk precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline void format_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, T&& value, Rest&&... rest) {
+  os << std::forward<T>(value);
+  format_into(os, std::forward<Rest>(rest)...);
+}
+
+} // namespace detail
+
+/// Build a message from streamable parts and throw dsk::Error.
+template <typename... Parts>
+[[noreturn]] void fail(Parts&&... parts) {
+  std::ostringstream os;
+  detail::format_into(os, std::forward<Parts>(parts)...);
+  throw Error(os.str());
+}
+
+/// Check a precondition; on failure throw with the formatted message.
+template <typename... Parts>
+void check(bool condition, Parts&&... parts) {
+  if (!condition) {
+    fail(std::forward<Parts>(parts)...);
+  }
+}
+
+} // namespace dsk

@@ -1,0 +1,49 @@
+#pragma once
+/// \file rng.hpp
+/// Seeded, reproducible random number generation (xoshiro256** seeded via
+/// splitmix64). All randomness in dsk flows through an explicit Rng object;
+/// there is no global generator state, so simulated ranks and generators
+/// are deterministic given their seeds.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dsk {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method;
+  /// bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform Index in [lo, hi); requires lo < hi.
+  Index next_index(Index lo, Index hi);
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi);
+
+  /// Standard normal variate (Box-Muller; one value per call).
+  double next_gaussian();
+
+  /// Fork an independent stream; child streams never collide with the
+  /// parent (distinct splitmix64 offsets).
+  Rng fork(std::uint64_t stream_id);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+} // namespace dsk

@@ -1,0 +1,26 @@
+#pragma once
+/// \file timer.hpp
+/// Minimal wall-clock timer used by benches for host-side measurements.
+/// (Modeled time comes from runtime/machine.hpp, not from this timer.)
+
+#include <chrono>
+
+namespace dsk {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace dsk

@@ -1,0 +1,69 @@
+#pragma once
+/// \file types.hpp
+/// Library-wide scalar/index types and the enums that name the paper's
+/// kernel modes, communication-eliding strategies, and cost phases.
+
+#include <cstdint>
+#include <string>
+
+namespace dsk {
+
+/// Matrix value type. The paper computes in double precision on KNL.
+using Scalar = double;
+
+/// Row/column/nonzero index type. Real-world inputs in the paper reach
+/// 1.5 billion nonzeros, beyond 32-bit addressing.
+using Index = std::int64_t;
+
+/// The three kernels unified by Algorithms 1 and 2 of the paper.
+/// The suffix on SpMM names the operand with the same shape as the output:
+///   SpMMA(S, B) = S . B     (A-shaped output)
+///   SpMMB(S, A) = S^T . A   (B-shaped output)
+enum class Mode {
+  SDDMM,
+  SpMMA,
+  SpMMB,
+};
+
+/// FusedMM orientation (Section II):
+///   FusedMMA(S,A,B) = SpMMA(SDDMM(A,B,S), B)
+///   FusedMMB(S,A,B) = SpMMB(SDDMM(A,B,S), A)
+enum class FusedOrientation {
+  A,
+  B,
+};
+
+/// Communication-eliding strategy for FusedMM (Section IV-B, Figure 1).
+enum class Elision {
+  None,             ///< back-to-back distributed SDDMM then SpMM
+  ReplicationReuse, ///< replicate a dense input once for both kernels
+  LocalKernelFusion ///< single propagation loop with a fused local kernel
+};
+
+/// The distributed algorithm families of Section V / Figure 2.
+enum class AlgorithmKind {
+  DenseShift15D,   ///< 1.5D dense-shifting, dense-replicating (Algorithm 1)
+  SparseShift15D,  ///< 1.5D sparse-shifting, dense-replicating
+  DenseRepl25D,    ///< 2.5D dense-replicating (Algorithm 2)
+  SparseRepl25D,   ///< 2.5D sparse-replicating
+  Baseline1D,      ///< PETSc-like 1D block-row baseline (Section VI-A)
+};
+
+/// Cost phases used in the paper's time breakdowns (Figures 5 and 9).
+enum class Phase {
+  Replication, ///< all-gather / reduce-scatter along the fiber axis
+  Propagation, ///< cyclic shifts within layers
+  Computation, ///< local SDDMM/SpMM/FusedMM kernels
+  Application, ///< work outside the FusedMM kernels (apps only)
+  Other,
+};
+
+constexpr int kNumPhases = 5;
+
+std::string to_string(Mode mode);
+std::string to_string(Elision elision);
+std::string to_string(AlgorithmKind kind);
+std::string to_string(Phase phase);
+std::string to_string(FusedOrientation o);
+
+} // namespace dsk

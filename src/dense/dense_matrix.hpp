@@ -1,0 +1,99 @@
+#pragma once
+/// \file dense_matrix.hpp
+/// Row-major dense matrix. This is the embedding-matrix container used for
+/// A (m x r) and B (n x r) throughout the library; rows are contiguous so
+/// that row-granular communication (block rows, all-gathers of row blocks)
+/// is a single memcpy per block.
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dsk {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  DenseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), Scalar{0}) {
+    check(rows >= 0 && cols >= 0, "DenseMatrix: negative dimensions (",
+          rows, " x ", cols, ")");
+  }
+
+  /// Matrix wrapping existing values (row-major, size rows*cols).
+  DenseMatrix(Index rows, Index cols, std::vector<Scalar> values)
+      : rows_(rows), cols_(cols), data_(std::move(values)) {
+    check(static_cast<std::size_t>(rows * cols) == data_.size(),
+          "DenseMatrix: value count ", data_.size(), " != ", rows, " x ",
+          cols);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+
+  Scalar& operator()(Index i, Index j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  Scalar operator()(Index i, Index j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Contiguous view of row i.
+  std::span<Scalar> row(Index i) {
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const Scalar> row(Index i) const {
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<Scalar> data() { return data_; }
+  std::span<const Scalar> data() const { return data_; }
+
+  /// Set every entry to value.
+  void fill(Scalar value);
+
+  /// Fill with uniform values in [lo, hi) from rng.
+  void fill_random(Rng& rng, Scalar lo = -1.0, Scalar hi = 1.0);
+
+  /// Fill with N(0, stddev) values from rng.
+  void fill_gaussian(Rng& rng, Scalar stddev = 1.0);
+
+  /// Rows [row_begin, row_end) as a copy.
+  DenseMatrix row_block(Index row_begin, Index row_end) const;
+
+  /// Columns [col_begin, col_end) as a copy.
+  DenseMatrix col_block(Index col_begin, Index col_end) const;
+
+  /// Copy src into this matrix starting at (row_begin, col_begin).
+  void place(const DenseMatrix& src, Index row_begin, Index col_begin);
+
+  /// this += other (same shape).
+  void add(const DenseMatrix& other);
+
+  /// this *= value.
+  void scale(Scalar value);
+
+  /// Frobenius norm.
+  Scalar frobenius_norm() const;
+
+  /// Largest absolute entry difference against other (same shape).
+  Scalar max_abs_diff(const DenseMatrix& other) const;
+
+  bool same_shape(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+} // namespace dsk

@@ -1,0 +1,97 @@
+#include "dense/dense_ops.hpp"
+
+namespace dsk {
+
+void gemm(const DenseMatrix& x, const DenseMatrix& y, DenseMatrix& c,
+          Scalar alpha, bool transpose_x, bool transpose_y) {
+  const Index m = transpose_x ? x.cols() : x.rows();
+  const Index k = transpose_x ? x.rows() : x.cols();
+  const Index k2 = transpose_y ? y.cols() : y.rows();
+  const Index n = transpose_y ? y.rows() : y.cols();
+  check(k == k2, "gemm: inner dimensions differ (", k, " vs ", k2, ")");
+  check(c.rows() == m && c.cols() == n, "gemm: output is ", c.rows(), "x",
+        c.cols(), ", expected ", m, "x", n);
+
+  auto x_at = [&](Index i, Index l) {
+    return transpose_x ? x(l, i) : x(i, l);
+  };
+  auto y_at = [&](Index l, Index j) {
+    return transpose_y ? y(j, l) : y(l, j);
+  };
+
+  // i-k-j loop order keeps the innermost loop streaming over rows of the
+  // output and (for the common non-transposed case) of y.
+  for (Index i = 0; i < m; ++i) {
+    auto c_row = c.row(i);
+    for (Index l = 0; l < k; ++l) {
+      const Scalar xv = alpha * x_at(i, l);
+      if (xv == Scalar{0}) continue;
+      for (Index j = 0; j < n; ++j) {
+        c_row[j] += xv * y_at(l, j);
+      }
+    }
+  }
+}
+
+DenseMatrix transpose(const DenseMatrix& x) {
+  DenseMatrix out(x.cols(), x.rows());
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      out(j, i) = x(i, j);
+    }
+  }
+  return out;
+}
+
+void axpy(Scalar alpha, const DenseMatrix& x, DenseMatrix& y) {
+  check(x.same_shape(y), "axpy: shape mismatch");
+  auto xd = x.data();
+  auto yd = y.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    yd[i] += alpha * xd[i];
+  }
+}
+
+std::vector<Scalar> batched_row_dot(const DenseMatrix& x,
+                                    const DenseMatrix& y) {
+  check(x.same_shape(y), "batched_row_dot: shape mismatch");
+  std::vector<Scalar> out(static_cast<std::size_t>(x.rows()));
+  for (Index i = 0; i < x.rows(); ++i) {
+    auto xr = x.row(i);
+    auto yr = y.row(i);
+    Scalar dot = 0;
+    for (std::size_t j = 0; j < xr.size(); ++j) {
+      dot += xr[j] * yr[j];
+    }
+    out[static_cast<std::size_t>(i)] = dot;
+  }
+  return out;
+}
+
+void scale_rows(DenseMatrix& x, std::span<const Scalar> coeff) {
+  check(static_cast<Index>(coeff.size()) == x.rows(),
+        "scale_rows: coefficient count ", coeff.size(), " != rows ",
+        x.rows());
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (auto& v : x.row(i)) {
+      v *= coeff[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void axpy_rows(std::span<const Scalar> coeff, const DenseMatrix& x,
+               DenseMatrix& y) {
+  check(x.same_shape(y), "axpy_rows: shape mismatch");
+  check(static_cast<Index>(coeff.size()) == x.rows(),
+        "axpy_rows: coefficient count mismatch");
+  for (Index i = 0; i < x.rows(); ++i) {
+    auto xr = x.row(i);
+    auto yr = y.row(i);
+    const Scalar a = coeff[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < xr.size(); ++j) {
+      yr[j] += a * xr[j];
+    }
+  }
+}
+
+} // namespace dsk

@@ -1,0 +1,37 @@
+#pragma once
+/// \file dense_ops.hpp
+/// The small set of dense BLAS-like operations the library needs: a simple
+/// blocked GEMM (used by the GAT weight transform and the dense reference
+/// implementations), transpose, axpy, and batched per-row dot products
+/// (the ALS CG solver's inner products).
+
+#include "dense/dense_matrix.hpp"
+
+namespace dsk {
+
+/// C += alpha * op(X) . op(Y). Shapes are validated.
+/// transpose_x/transpose_y select op = identity or transpose.
+void gemm(const DenseMatrix& x, const DenseMatrix& y, DenseMatrix& c,
+          Scalar alpha = 1.0, bool transpose_x = false,
+          bool transpose_y = false);
+
+/// Returns X^T.
+DenseMatrix transpose(const DenseMatrix& x);
+
+/// y += alpha * x over whole buffers (same shape).
+void axpy(Scalar alpha, const DenseMatrix& x, DenseMatrix& y);
+
+/// out[i] = <X_i, Y_i> for every row i (X, Y same shape).
+/// This is the batched dot product the ALS application performs between
+/// CG direction/residual matrices.
+std::vector<Scalar> batched_row_dot(const DenseMatrix& x,
+                                    const DenseMatrix& y);
+
+/// X_i *= coeff[i] for every row i.
+void scale_rows(DenseMatrix& x, std::span<const Scalar> coeff);
+
+/// Y_i += coeff[i] * X_i for every row i.
+void axpy_rows(std::span<const Scalar> coeff, const DenseMatrix& x,
+               DenseMatrix& y);
+
+} // namespace dsk

@@ -1,0 +1,38 @@
+#pragma once
+/// \file coo_kernels.hpp
+/// Triplet-form local kernels used by the distributed algorithms that
+/// cyclically shift sparse blocks. A shifted block arrives as (row, col,
+/// value) arrays — the 3-words-per-nonzero wire format the paper charges
+/// for sparse propagation — and these kernels consume the triplets
+/// directly, with row/col offsets translating the block's global
+/// coordinates into the local dense buffers.
+
+#include <span>
+
+#include "dense/dense_matrix.hpp"
+
+namespace dsk {
+
+/// dots[k] += <a[rows[k] - row_offset], b[cols[k] - col_offset]>.
+/// Returns FLOPs (2 * nnz * r).
+std::uint64_t masked_dots_coo(std::span<const Index> rows,
+                              std::span<const Index> cols,
+                              const DenseMatrix& a, const DenseMatrix& b,
+                              std::span<Scalar> dots, Index row_offset,
+                              Index col_offset);
+
+/// a_out[rows[k] - row_offset] += values[k] * b[cols[k] - col_offset].
+std::uint64_t spmm_a_coo(std::span<const Index> rows,
+                         std::span<const Index> cols,
+                         std::span<const Scalar> values,
+                         const DenseMatrix& b, DenseMatrix& a_out,
+                         Index row_offset, Index col_offset);
+
+/// b_out[cols[k] - col_offset] += values[k] * a[rows[k] - row_offset].
+std::uint64_t spmm_b_coo(std::span<const Index> rows,
+                         std::span<const Index> cols,
+                         std::span<const Scalar> values,
+                         const DenseMatrix& a, DenseMatrix& b_out,
+                         Index row_offset, Index col_offset);
+
+} // namespace dsk

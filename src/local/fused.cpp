@@ -1,0 +1,90 @@
+#include "local/fused.hpp"
+
+#include "common/error.hpp"
+#include "local/thread_pool.hpp"
+
+namespace dsk {
+
+namespace {
+
+void fused_rows(const CsrMatrix& s, const DenseMatrix& a_in,
+                const DenseMatrix& b, DenseMatrix& a_out,
+                std::span<Scalar> r_values, Index row_begin, Index row_end) {
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = b.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    const auto a_row = a_in.row(i);
+    auto acc = a_out.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      Scalar dot = 0;
+      for (Index f = 0; f < r; ++f) {
+        dot += a_row[static_cast<std::size_t>(f)] *
+               b_row[static_cast<std::size_t>(f)];
+      }
+      const Scalar weight = values[static_cast<std::size_t>(k)] * dot;
+      if (!r_values.empty()) {
+        r_values[static_cast<std::size_t>(k)] = weight;
+      }
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            weight * b_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+}
+
+void validate(const CsrMatrix& s, const DenseMatrix& a_in,
+              const DenseMatrix& b, const DenseMatrix& a_out) {
+  check(a_in.rows() == s.rows(), "fusedmm_a: A_in has ", a_in.rows(),
+        " rows, S has ", s.rows());
+  check(b.rows() == s.cols(), "fusedmm_a: B has ", b.rows(), " rows, S has ",
+        s.cols(), " cols");
+  check(a_out.rows() == s.rows() && a_out.cols() == b.cols(),
+        "fusedmm_a: output shape ", a_out.rows(), "x", a_out.cols(),
+        " does not match ", s.rows(), "x", b.cols());
+  check(a_in.cols() == b.cols(), "fusedmm_a: A width ", a_in.cols(),
+        " != B width ", b.cols());
+}
+
+} // namespace
+
+std::uint64_t fusedmm_a(const CsrMatrix& s, const DenseMatrix& a_in,
+                        const DenseMatrix& b, DenseMatrix& a_out,
+                        ThreadPool* pool) {
+  validate(s, a_in, b, a_out);
+  if (pool != nullptr) {
+    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
+      fused_rows(s, a_in, b, a_out, {}, begin, end);
+    });
+  } else {
+    fused_rows(s, a_in, b, a_out, {}, 0, s.rows());
+  }
+  return 4ULL * static_cast<std::uint64_t>(s.nnz()) *
+         static_cast<std::uint64_t>(b.cols());
+}
+
+std::uint64_t fusedmm_a_with_values(const CsrMatrix& s,
+                                    const DenseMatrix& a_in,
+                                    const DenseMatrix& b, DenseMatrix& a_out,
+                                    std::span<Scalar> r_values,
+                                    ThreadPool* pool) {
+  validate(s, a_in, b, a_out);
+  check(static_cast<Index>(r_values.size()) == s.nnz(),
+        "fusedmm_a_with_values: r_values length ", r_values.size(),
+        " != nnz ", s.nnz());
+  if (pool != nullptr) {
+    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
+      fused_rows(s, a_in, b, a_out, r_values, begin, end);
+    });
+  } else {
+    fused_rows(s, a_in, b, a_out, r_values, 0, s.rows());
+  }
+  return 4ULL * static_cast<std::uint64_t>(s.nnz()) *
+         static_cast<std::uint64_t>(b.cols());
+}
+
+} // namespace dsk

@@ -1,0 +1,77 @@
+#include "local/reference.hpp"
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+namespace {
+
+Scalar row_dot(const DenseMatrix& a, Index i, const DenseMatrix& b,
+               Index j) {
+  Scalar dot = 0;
+  for (Index f = 0; f < a.cols(); ++f) {
+    dot += a(i, f) * b(j, f);
+  }
+  return dot;
+}
+
+void validate(const CooMatrix& s, const DenseMatrix& a,
+              const DenseMatrix& b) {
+  check(a.rows() == s.rows(), "reference: A rows ", a.rows(), " != S rows ",
+        s.rows());
+  check(b.rows() == s.cols(), "reference: B rows ", b.rows(), " != S cols ",
+        s.cols());
+  check(a.cols() == b.cols(), "reference: width mismatch");
+}
+
+} // namespace
+
+CooMatrix reference_sddmm(const CooMatrix& s, const DenseMatrix& a,
+                          const DenseMatrix& b) {
+  validate(s, a, b);
+  CooMatrix out(s.rows(), s.cols());
+  out.reserve(s.nnz());
+  for (Index k = 0; k < s.nnz(); ++k) {
+    const auto e = s.entry(k);
+    out.push_back(e.row, e.col, e.value * row_dot(a, e.row, b, e.col));
+  }
+  return out;
+}
+
+DenseMatrix reference_spmm_a(const CooMatrix& s, const DenseMatrix& b) {
+  check(b.rows() == s.cols(), "reference_spmm_a: B rows ", b.rows(),
+        " != S cols ", s.cols());
+  DenseMatrix out(s.rows(), b.cols());
+  for (Index k = 0; k < s.nnz(); ++k) {
+    const auto e = s.entry(k);
+    for (Index f = 0; f < b.cols(); ++f) {
+      out(e.row, f) += e.value * b(e.col, f);
+    }
+  }
+  return out;
+}
+
+DenseMatrix reference_spmm_b(const CooMatrix& s, const DenseMatrix& a) {
+  check(a.rows() == s.rows(), "reference_spmm_b: A rows ", a.rows(),
+        " != S rows ", s.rows());
+  DenseMatrix out(s.cols(), a.cols());
+  for (Index k = 0; k < s.nnz(); ++k) {
+    const auto e = s.entry(k);
+    for (Index f = 0; f < a.cols(); ++f) {
+      out(e.col, f) += e.value * a(e.row, f);
+    }
+  }
+  return out;
+}
+
+DenseMatrix reference_fusedmm_a(const CooMatrix& s, const DenseMatrix& a,
+                                const DenseMatrix& b) {
+  return reference_spmm_a(reference_sddmm(s, a, b), b);
+}
+
+DenseMatrix reference_fusedmm_b(const CooMatrix& s, const DenseMatrix& a,
+                                const DenseMatrix& b) {
+  return reference_spmm_b(reference_sddmm(s, a, b), a);
+}
+
+} // namespace dsk

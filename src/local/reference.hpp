@@ -1,0 +1,31 @@
+#pragma once
+/// \file reference.hpp
+/// Straight-line reference implementations over COO triplets, written
+/// independently of the CSR kernels and the distributed layer. Every
+/// distributed algorithm's gathered output is compared against these in
+/// the test suite.
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+/// R = S * (A . B^T) masked on nnz(S); returned as COO in S's entry order.
+CooMatrix reference_sddmm(const CooMatrix& s, const DenseMatrix& a,
+                          const DenseMatrix& b);
+
+/// Returns S . B (s.rows() x b.cols()).
+DenseMatrix reference_spmm_a(const CooMatrix& s, const DenseMatrix& b);
+
+/// Returns S^T . A (s.cols() x a.cols()).
+DenseMatrix reference_spmm_b(const CooMatrix& s, const DenseMatrix& a);
+
+/// FusedMMA(S,A,B) = SpMMA(SDDMM(A,B,S), B).
+DenseMatrix reference_fusedmm_a(const CooMatrix& s, const DenseMatrix& a,
+                                const DenseMatrix& b);
+
+/// FusedMMB(S,A,B) = SpMMB(SDDMM(A,B,S), A).
+DenseMatrix reference_fusedmm_b(const CooMatrix& s, const DenseMatrix& a,
+                                const DenseMatrix& b);
+
+} // namespace dsk

@@ -1,0 +1,75 @@
+#include "local/sddmm.hpp"
+
+#include "common/error.hpp"
+#include "local/thread_pool.hpp"
+
+namespace dsk {
+
+namespace {
+
+void sddmm_rows(const CsrMatrix& pattern, const DenseMatrix& a,
+                const DenseMatrix& b, std::span<Scalar> dots,
+                Index row_begin, Index row_end) {
+  const auto row_ptr = pattern.row_ptr();
+  const auto col_idx = pattern.col_idx();
+  const Index r = a.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    const auto a_row = a.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      Scalar dot = 0;
+      for (Index f = 0; f < r; ++f) {
+        dot += a_row[static_cast<std::size_t>(f)] *
+               b_row[static_cast<std::size_t>(f)];
+      }
+      dots[static_cast<std::size_t>(k)] += dot;
+    }
+  }
+}
+
+} // namespace
+
+std::uint64_t masked_dot_products(const CsrMatrix& pattern,
+                                  const DenseMatrix& a, const DenseMatrix& b,
+                                  std::span<Scalar> dots, ThreadPool* pool) {
+  check(a.rows() == pattern.rows(), "masked_dot_products: A has ", a.rows(),
+        " rows, S has ", pattern.rows());
+  check(b.rows() == pattern.cols(), "masked_dot_products: B has ", b.rows(),
+        " rows, S has ", pattern.cols(), " cols");
+  check(a.cols() == b.cols(), "masked_dot_products: A width ", a.cols(),
+        " != B width ", b.cols());
+  check(static_cast<Index>(dots.size()) == pattern.nnz(),
+        "masked_dot_products: dots length ", dots.size(), " != nnz ",
+        pattern.nnz());
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, pattern.rows(), [&](Index begin, Index end) {
+      sddmm_rows(pattern, a, b, dots, begin, end);
+    });
+  } else {
+    sddmm_rows(pattern, a, b, dots, 0, pattern.rows());
+  }
+  return 2ULL * static_cast<std::uint64_t>(pattern.nnz()) *
+         static_cast<std::uint64_t>(a.cols());
+}
+
+void hadamard_values(std::span<const Scalar> s_values,
+                     std::span<const Scalar> dots, std::span<Scalar> out) {
+  check(s_values.size() == dots.size() && dots.size() == out.size(),
+        "hadamard_values: length mismatch");
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = s_values[k] * dots[k];
+  }
+}
+
+CsrMatrix sddmm(const CsrMatrix& s, const DenseMatrix& a,
+                const DenseMatrix& b, ThreadPool* pool) {
+  CsrMatrix out = s;
+  std::vector<Scalar> dots(static_cast<std::size_t>(s.nnz()), Scalar{0});
+  masked_dot_products(s, a, b, dots, pool);
+  hadamard_values(s.values(), dots, out.values());
+  return out;
+}
+
+} // namespace dsk

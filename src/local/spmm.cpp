@@ -1,0 +1,81 @@
+#include "local/spmm.hpp"
+
+#include "common/error.hpp"
+#include "local/thread_pool.hpp"
+
+namespace dsk {
+
+namespace {
+
+void spmm_a_rows(const CsrMatrix& s, const DenseMatrix& b,
+                 DenseMatrix& a_out, Index row_begin, Index row_end) {
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = b.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    auto acc = a_out.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Scalar v = values[static_cast<std::size_t>(k)];
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            v * b_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::uint64_t spmm_a(const CsrMatrix& s, const DenseMatrix& b,
+                     DenseMatrix& a_out, ThreadPool* pool) {
+  check(b.rows() == s.cols(), "spmm_a: B has ", b.rows(), " rows, S has ",
+        s.cols(), " cols");
+  check(a_out.rows() == s.rows(), "spmm_a: output has ", a_out.rows(),
+        " rows, S has ", s.rows());
+  check(a_out.cols() == b.cols(), "spmm_a: output width ", a_out.cols(),
+        " != B width ", b.cols());
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
+      spmm_a_rows(s, b, a_out, begin, end);
+    });
+  } else {
+    spmm_a_rows(s, b, a_out, 0, s.rows());
+  }
+  return 2ULL * static_cast<std::uint64_t>(s.nnz()) *
+         static_cast<std::uint64_t>(b.cols());
+}
+
+std::uint64_t spmm_b(const CsrMatrix& s, const DenseMatrix& a,
+                     DenseMatrix& b_out) {
+  check(a.rows() == s.rows(), "spmm_b: A has ", a.rows(), " rows, S has ",
+        s.rows());
+  check(b_out.rows() == s.cols(), "spmm_b: output has ", b_out.rows(),
+        " rows, S has ", s.cols(), " cols");
+  check(b_out.cols() == a.cols(), "spmm_b: output width ", b_out.cols(),
+        " != A width ", a.cols());
+
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = a.cols();
+  for (Index i = 0; i < s.rows(); ++i) {
+    const auto a_row = a.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Scalar v = values[static_cast<std::size_t>(k)];
+      auto acc = b_out.row(col_idx[static_cast<std::size_t>(k)]);
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            v * a_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+  return 2ULL * static_cast<std::uint64_t>(s.nnz()) *
+         static_cast<std::uint64_t>(r);
+}
+
+} // namespace dsk

@@ -1,0 +1,27 @@
+#pragma once
+/// \file spmm.hpp
+/// Local SpMM kernels, in the paper's two orientations (Section II):
+///   SpMMA: A += S . B      (output has A's shape; S is rows x cols,
+///                           B has cols rows)
+///   SpMMB: B += S^T . A    (output has B's shape)
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsk {
+
+class ThreadPool;
+
+/// a_out += S . b. a_out has s.rows() rows; b has s.cols() rows.
+/// Returns FLOPs (2 * nnz * r). Row-parallel when pool is provided.
+std::uint64_t spmm_a(const CsrMatrix& s, const DenseMatrix& b,
+                     DenseMatrix& a_out, ThreadPool* pool = nullptr);
+
+/// b_out += S^T . a. b_out has s.cols() rows; a has s.rows() rows.
+/// Returns FLOPs (2 * nnz * r). Serial (output rows are scattered across
+/// input rows; the distributed layer transposes instead when it needs
+/// parallelism).
+std::uint64_t spmm_b(const CsrMatrix& s, const DenseMatrix& a,
+                     DenseMatrix& b_out);
+
+} // namespace dsk

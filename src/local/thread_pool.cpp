@@ -1,0 +1,76 @@
+#include "local/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+ThreadPool::ThreadPool(int num_threads) {
+  check(num_threads >= 1, "ThreadPool: need at least one thread");
+  const std::size_t helpers = static_cast<std::size_t>(num_threads) - 1;
+  tasks_.resize(helpers);
+  has_task_.assign(helpers, false);
+  workers_.reserve(helpers);
+  for (std::size_t w = 0; w < helpers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || has_task_[worker_id]; });
+      if (stop_) return;
+      task = tasks_[worker_id];
+      has_task_[worker_id] = false;
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(Index begin, Index end,
+                              const std::function<void(Index, Index)>& fn) {
+  const Index total = end - begin;
+  if (total <= 0) return;
+  const auto threads = static_cast<Index>(num_threads());
+  const Index chunk = (total + threads - 1) / threads;
+
+  Index next = begin;
+  std::size_t issued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size() && next + chunk < end; ++w) {
+      tasks_[w] = Task{&fn, next, next + chunk};
+      has_task_[w] = true;
+      ++pending_;
+      next += chunk;
+      ++issued;
+    }
+  }
+  if (issued > 0) wake_.notify_all();
+
+  // The caller runs the tail chunk itself.
+  fn(next, end);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+} // namespace dsk

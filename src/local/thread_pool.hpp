@@ -1,0 +1,56 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small persistent thread pool with a parallel_for primitive. This is
+/// the shared-memory ("OpenMP") axis of the paper's hybrid MPI+OpenMP
+/// model: local kernels optionally split their row loops across pool
+/// workers. Simulated ranks do not use the pool (they are already
+/// threads); it serves the standalone shared-memory kernel path and the
+/// local-kernel benchmarks.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsk {
+
+class ThreadPool {
+ public:
+  /// Spawn num_threads workers (must be >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(begin, end) over a partition of [begin, end) across the pool,
+  /// blocking until every chunk completes. The calling thread executes one
+  /// chunk itself. fn must be safe to run concurrently on disjoint ranges.
+  void parallel_for(Index begin, Index end,
+                    const std::function<void(Index, Index)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(Index, Index)>* fn = nullptr;
+    Index begin = 0;
+    Index end = 0;
+  };
+
+  void worker_loop(std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<Task> tasks_;     // one slot per worker
+  std::vector<bool> has_task_;  // one flag per worker
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+} // namespace dsk

@@ -1,0 +1,47 @@
+#pragma once
+/// \file cost_model.hpp
+/// The paper's communication cost model (Table III): per-processor words
+/// and messages for one FusedMM call under each algorithm family and
+/// eliding strategy, split into replication (fiber all-gather /
+/// reduce-scatter) and propagation (cyclic shifts) terms. The runtime
+/// measures these same quantities, and the property tests assert
+/// measured == modeled exactly on load-balanced inputs.
+
+#include "common/types.hpp"
+
+namespace dsk {
+
+/// Problem parameters for the model. The paper's analysis assumes m ~ n;
+/// we keep both so rectangular problems model correctly.
+struct CostInputs {
+  double m = 0;   ///< rows of S / A
+  double n = 0;   ///< cols of S / rows of B
+  double r = 0;   ///< embedding width
+  double nnz = 0; ///< nonzeros of S
+  int p = 1;      ///< processors
+  int c = 1;      ///< replication factor
+
+  double phi() const { return nnz / (n * r); } ///< Table I ratio
+};
+
+struct CommCost {
+  double replication_words = 0;
+  double propagation_words = 0;
+  double messages = 0;
+
+  double total_words() const {
+    return replication_words + propagation_words;
+  }
+};
+
+/// Words/messages for ONE FusedMM call (the paper's Table III rows).
+/// Throws when the (kind, elision) pair is unsupported (e.g. local kernel
+/// fusion outside 1.5D dense shifting) or the grid is invalid.
+CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
+                      const CostInputs& in);
+
+/// Words/messages for one unified kernel call (SDDMM or either SpMM —
+/// identical by the paper's Section IV-A equivalence).
+CommCost kernel_cost(AlgorithmKind kind, const CostInputs& in);
+
+} // namespace dsk

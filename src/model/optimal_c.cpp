@@ -1,0 +1,84 @@
+#include "model/optimal_c.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/algorithm.hpp"
+#include "dist/grid.hpp"
+
+namespace dsk {
+
+double closed_form_optimal_c(AlgorithmKind kind, Elision elision, int p,
+                             double phi) {
+  const double dp = p;
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D:
+      switch (elision) {
+        case Elision::None:
+          return std::sqrt(dp);
+        case Elision::ReplicationReuse:
+          return std::sqrt(2.0 * dp);
+        case Elision::LocalKernelFusion:
+          return std::sqrt(dp / 2.0);
+      }
+      break;
+    case AlgorithmKind::SparseShift15D:
+      check(elision != Elision::LocalKernelFusion,
+            "sparse shifting admits no local kernel fusion");
+      // Table IV lists the replication-reuse form sqrt(6 p phi); without
+      // elision the fiber term doubles, giving sqrt(3 p phi).
+      return elision == Elision::ReplicationReuse
+                 ? std::sqrt(6.0 * dp * phi)
+                 : std::sqrt(3.0 * dp * phi);
+    case AlgorithmKind::DenseRepl25D: {
+      check(elision != Elision::LocalKernelFusion,
+            "2.5D dense replicating admits no local kernel fusion");
+      const double base = 1.0 + 3.0 * phi;
+      return elision == Elision::ReplicationReuse
+                 ? std::cbrt(dp * base * base)
+                 : std::cbrt(dp * base * base / 4.0);
+    }
+    case AlgorithmKind::SparseRepl25D: {
+      check(elision == Elision::None,
+            "2.5D sparse replicating admits no elision");
+      const double ratio = 2.0 * phi / 3.0;
+      return std::cbrt(dp / (ratio * ratio));
+    }
+    case AlgorithmKind::Baseline1D:
+      return 1.0;
+  }
+  fail("closed_form_optimal_c: unsupported combination");
+}
+
+std::vector<int> admissible_replication_factors(AlgorithmKind kind, int p,
+                                                int c_max) {
+  std::vector<int> out;
+  const int cap = c_max > 0 ? c_max : p;
+  for (int c = 1; c <= std::min(p, cap); ++c) {
+    if (valid_config(kind, p, c)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+BestReplication best_replication_factor(AlgorithmKind kind, Elision elision,
+                                        CostInputs in, int c_max) {
+  const auto candidates = admissible_replication_factors(kind, in.p, c_max);
+  check(!candidates.empty(), "best_replication_factor: no admissible c for ",
+        to_string(kind), " on p=", in.p);
+  BestReplication best;
+  bool first = true;
+  for (const int c : candidates) {
+    in.c = c;
+    const CommCost cost = fusedmm_cost(kind, elision, in);
+    if (first || cost.total_words() < best.cost.total_words()) {
+      best.c = c;
+      best.cost = cost;
+      first = false;
+    }
+  }
+  return best;
+}
+
+} // namespace dsk

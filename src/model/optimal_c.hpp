@@ -1,0 +1,36 @@
+#pragma once
+/// \file optimal_c.hpp
+/// Optimal replication factors (paper Table IV): the closed forms from
+/// differentiating the Table III costs, plus a discrete search over the
+/// replication factors a grid actually admits (the benchmarks report the
+/// "best observed replication factor" the same way).
+
+#include <vector>
+
+#include "model/cost_model.hpp"
+
+namespace dsk {
+
+/// Closed-form optimal c (continuous relaxation, Table IV). phi is
+/// nnz/(n r). Values below 1 mean "no replication is favorable" (the
+/// paper's reading of c < 1 for the sparse shifting algorithm).
+double closed_form_optimal_c(AlgorithmKind kind, Elision elision, int p,
+                             double phi);
+
+/// Replication factors valid for the family on p processors, in
+/// increasing order (divisors of p; for 2.5D additionally p/c must be a
+/// perfect square), optionally capped (the paper caps c at 8-16 for
+/// memory).
+std::vector<int> admissible_replication_factors(AlgorithmKind kind, int p,
+                                                int c_max = 0);
+
+struct BestReplication {
+  int c = 1;
+  CommCost cost;
+};
+
+/// Discrete argmin of the Table III total words over admissible c.
+BestReplication best_replication_factor(AlgorithmKind kind, Elision elision,
+                                        CostInputs in, int c_max = 0);
+
+} // namespace dsk

@@ -1,0 +1,43 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+std::vector<std::pair<AlgorithmKind, Elision>> default_contenders() {
+  return {
+      {AlgorithmKind::DenseShift15D, Elision::ReplicationReuse},
+      {AlgorithmKind::DenseShift15D, Elision::LocalKernelFusion},
+      {AlgorithmKind::SparseShift15D, Elision::ReplicationReuse},
+      {AlgorithmKind::DenseRepl25D, Elision::ReplicationReuse},
+      {AlgorithmKind::SparseRepl25D, Elision::None},
+  };
+}
+
+std::vector<Candidate> rank_algorithms(
+    const CostInputs& in,
+    const std::vector<std::pair<AlgorithmKind, Elision>>& contenders,
+    int c_max) {
+  std::vector<Candidate> out;
+  for (const auto& [kind, elision] : contenders) {
+    if (admissible_replication_factors(kind, in.p, c_max).empty()) {
+      continue; // family cannot run on this processor count
+    }
+    const auto best = best_replication_factor(kind, elision, in, c_max);
+    out.push_back({kind, elision, best.c, best.cost});
+  }
+  check(!out.empty(), "rank_algorithms: no contender fits p=", in.p);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cost.total_words() < b.cost.total_words();
+                   });
+  return out;
+}
+
+Candidate predict_best(const CostInputs& in, int c_max) {
+  return rank_algorithms(in, default_contenders(), c_max).front();
+}
+
+} // namespace dsk

@@ -1,0 +1,39 @@
+#pragma once
+/// \file predictor.hpp
+/// The best-algorithm predictor behind Figure 6: for a problem
+/// (p, m, n, r, nnz), evaluate every algorithm family + eliding strategy
+/// at its best admissible replication factor and rank them by modeled
+/// communication. The paper's prediction: 1.5D sparse shifting wins when
+/// phi = nnz/(nr) is low, 1.5D dense shifting with local kernel fusion
+/// wins when phi is high, with the crossover near 3 nnz(S)/r = n
+/// (the "3 nnz(S) / r = 1" curve of Figure 6, in per-row terms).
+
+#include <vector>
+
+#include "model/optimal_c.hpp"
+
+namespace dsk {
+
+struct Candidate {
+  AlgorithmKind kind = AlgorithmKind::DenseShift15D;
+  Elision elision = Elision::None;
+  int c = 1;
+  CommCost cost;
+};
+
+/// The paper's Figure 6 contenders: the four eliding algorithms plus the
+/// 2.5D sparse replicating algorithm.
+std::vector<std::pair<AlgorithmKind, Elision>> default_contenders();
+
+/// Evaluate each contender at its best admissible c; sorted by ascending
+/// total words.
+std::vector<Candidate> rank_algorithms(
+    const CostInputs& in,
+    const std::vector<std::pair<AlgorithmKind, Elision>>& contenders =
+        default_contenders(),
+    int c_max = 0);
+
+/// The winner only.
+Candidate predict_best(const CostInputs& in, int c_max = 0);
+
+} // namespace dsk

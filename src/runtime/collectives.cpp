@@ -1,0 +1,194 @@
+#include "runtime/collectives.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+namespace {
+
+MessageWords to_words(std::span<const Scalar> data) {
+  MessageWords words(data.size());
+  std::memcpy(words.data(), data.data(), data.size() * sizeof(Scalar));
+  return words;
+}
+
+void add_scalars(std::span<Scalar> acc, const MessageWords& words) {
+  check(acc.size() == words.size(),
+        "collectives: reduction chunk size mismatch (", acc.size(), " vs ",
+        words.size(), ")");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    Scalar v;
+    std::memcpy(&v, &words[i], sizeof(Scalar));
+    acc[i] += v;
+  }
+}
+
+} // namespace
+
+Group::Group(Comm& comm, std::vector<int> members)
+    : comm_(comm), members_(std::move(members)) {
+  check(!members_.empty(), "Group: empty member list");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == comm_.rank()) {
+      check(pos_ == -1, "Group: rank ", comm_.rank(), " listed twice");
+      pos_ = static_cast<int>(i);
+    }
+  }
+  check(pos_ >= 0, "Group: rank ", comm_.rank(),
+        " is not in the member list");
+}
+
+std::vector<Scalar> Group::allgather(std::span<const Scalar> local) {
+  std::vector<std::size_t> offsets;
+  const MessageWords local_words = to_words(local);
+  const auto words = allgather_words(local_words, &offsets);
+  for (std::size_t b = 1; b + 1 < offsets.size(); ++b) {
+    check(offsets[b] - offsets[b - 1] == local.size(),
+          "Group::allgather: unequal block sizes; use allgather_words");
+  }
+  std::vector<Scalar> out(words.size());
+  std::memcpy(out.data(), words.data(), words.size() * sizeof(Scalar));
+  return out;
+}
+
+std::vector<std::uint64_t> Group::allgather_words(
+    std::span<const std::uint64_t> local,
+    std::vector<std::size_t>* block_offsets) {
+  const int g = size();
+  std::vector<MessageWords> blocks(static_cast<std::size_t>(g));
+  blocks[static_cast<std::size_t>(pos_)] =
+      MessageWords(local.begin(), local.end());
+
+  // Ring: at step s, forward the block that originated at (pos - s) and
+  // receive the block that originated at (pos - s - 1).
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_origin = (pos_ - s + g) % g;
+    const int recv_origin = (pos_ - s - 1 + g) % g;
+    comm_.send_words(right(), kTagAllgather,
+                     blocks[static_cast<std::size_t>(send_origin)]);
+    blocks[static_cast<std::size_t>(recv_origin)] =
+        comm_.recv_words(left(), kTagAllgather);
+  }
+
+  std::vector<std::uint64_t> out;
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  out.reserve(total);
+  if (block_offsets != nullptr) {
+    block_offsets->assign(1, 0);
+  }
+  for (const auto& b : blocks) {
+    out.insert(out.end(), b.begin(), b.end());
+    if (block_offsets != nullptr) {
+      block_offsets->push_back(out.size());
+    }
+  }
+  return out;
+}
+
+std::vector<Scalar> Group::reduce_scatter(std::span<const Scalar> local) {
+  const int g = size();
+  check(local.size() % static_cast<std::size_t>(g) == 0,
+        "Group::reduce_scatter: input length ", local.size(),
+        " is not divisible by group size ", g);
+  const std::size_t chunk = local.size() / static_cast<std::size_t>(g);
+
+  std::vector<Scalar> work(local.begin(), local.end());
+  auto chunk_span = [&](int idx) {
+    return std::span<Scalar>(work.data() +
+                                 static_cast<std::size_t>(idx) * chunk,
+                             chunk);
+  };
+
+  // Ring reduce-scatter, offset so that this rank finishes owning chunk
+  // `pos`: at step s it sends partial chunk (pos-1-s) and accumulates into
+  // chunk (pos-2-s); the last chunk accumulated is its own.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_idx = (pos_ - 1 - s + 2 * g) % g;
+    const int recv_idx = (pos_ - 2 - s + 2 * g) % g;
+    comm_.send_words(right(), kTagReduceScatter,
+                     to_words(chunk_span(send_idx)));
+    const MessageWords incoming = comm_.recv_words(left(), kTagReduceScatter);
+    add_scalars(chunk_span(recv_idx), incoming);
+  }
+
+  const auto mine = chunk_span(pos_);
+  return std::vector<Scalar>(mine.begin(), mine.end());
+}
+
+std::vector<Scalar> Group::allreduce(std::span<const Scalar> local) {
+  const int g = size();
+  if (g == 1) {
+    return std::vector<Scalar>(local.begin(), local.end());
+  }
+  // Pad to a multiple of g so reduce-scatter chunks are equal.
+  const std::size_t padded =
+      (local.size() + static_cast<std::size_t>(g) - 1) /
+      static_cast<std::size_t>(g) * static_cast<std::size_t>(g);
+  std::vector<Scalar> work(local.begin(), local.end());
+  work.resize(padded, Scalar{0});
+  const auto chunk = reduce_scatter(work);
+  auto full = allgather(chunk);
+  full.resize(local.size());
+  return full;
+}
+
+void Group::broadcast(std::vector<Scalar>& data, int root_pos) {
+  const int g = size();
+  if (g == 1) return;
+  check(0 <= root_pos && root_pos < g, "Group::broadcast: bad root ",
+        root_pos);
+  // Scatter from the root, then ring all-gather: ~2N/g words per rank.
+  const std::size_t total = data.size();
+  const std::size_t chunk = (total + static_cast<std::size_t>(g) - 1) /
+                            static_cast<std::size_t>(g);
+  std::vector<Scalar> padded(data);
+  padded.resize(chunk * static_cast<std::size_t>(g), Scalar{0});
+
+  std::vector<Scalar> mine(chunk);
+  if (pos_ == root_pos) {
+    for (int q = 0; q < g; ++q) {
+      std::span<const Scalar> piece(padded.data() +
+                                        static_cast<std::size_t>(q) * chunk,
+                                    chunk);
+      if (q == pos_) {
+        mine.assign(piece.begin(), piece.end());
+      } else {
+        comm_.send_words(member(q), kTagBroadcast, to_words(piece));
+      }
+    }
+  } else {
+    const MessageWords words =
+        comm_.recv_words(member(root_pos), kTagBroadcast);
+    mine.resize(words.size());
+    std::memcpy(mine.data(), words.data(), words.size() * sizeof(Scalar));
+  }
+  auto full = allgather(mine);
+  full.resize(total);
+  data = std::move(full);
+}
+
+std::vector<MessageWords> Group::gather_words(
+    std::span<const std::uint64_t> local, int root_pos) {
+  const int g = size();
+  check(0 <= root_pos && root_pos < g, "Group::gather_words: bad root ",
+        root_pos);
+  if (pos_ != root_pos) {
+    comm_.send_words(member(root_pos), kTagGather,
+                     MessageWords(local.begin(), local.end()));
+    return {};
+  }
+  std::vector<MessageWords> out(static_cast<std::size_t>(g));
+  out[static_cast<std::size_t>(pos_)] =
+      MessageWords(local.begin(), local.end());
+  for (int q = 0; q < g; ++q) {
+    if (q == root_pos) continue;
+    out[static_cast<std::size_t>(q)] =
+        comm_.recv_words(member(q), kTagGather);
+  }
+  return out;
+}
+
+} // namespace dsk

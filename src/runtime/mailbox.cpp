@@ -1,0 +1,49 @@
+#include "runtime/mailbox.hpp"
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+void Mailbox::deliver(int source, int tag, MessageWords words) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[Key{source, tag}].push_back(std::move(words));
+  }
+  available_.notify_all();
+}
+
+MessageWords Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{source, tag};
+  available_.wait(lock, [&] {
+    if (aborted_) return true;
+    const auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  if (aborted_) {
+    fail("Mailbox::receive: world aborted while waiting for message from ",
+         source, " tag ", tag);
+  }
+  auto& queue = queues_[key];
+  MessageWords out = std::move(queue.front());
+  queue.pop_front();
+  return out;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  available_.notify_all();
+}
+
+bool Mailbox::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, queue] : queues_) {
+    if (!queue.empty()) return false;
+  }
+  return true;
+}
+
+} // namespace dsk

@@ -1,0 +1,46 @@
+#pragma once
+/// \file mailbox.hpp
+/// Point-to-point message transport between simulated ranks. Each rank
+/// owns a mailbox; a send enqueues a word vector under (source, tag) and
+/// never blocks (buffered sends, like MPI_Isend with ample buffering); a
+/// receive blocks until a matching message arrives. An abort flag lets the
+/// world wake every blocked receiver when some rank throws, so failures
+/// surface instead of deadlocking.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dsk {
+
+/// Message payload: 8-byte words (Scalar or Index bit patterns).
+using MessageWords = std::vector<std::uint64_t>;
+
+class Mailbox {
+ public:
+  /// Enqueue a message from source with the given tag.
+  void deliver(int source, int tag, MessageWords words);
+
+  /// Block until a message from (source, tag) is available and return it.
+  /// Throws dsk::Error if the world aborts while waiting.
+  MessageWords receive(int source, int tag);
+
+  /// Wake all blocked receivers with an abort error.
+  void abort();
+
+  /// True when no undelivered messages remain (used by tests to assert
+  /// protocols consume everything they send).
+  bool empty() const;
+
+ private:
+  using Key = std::pair<int, int>; // (source, tag)
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::map<Key, std::deque<MessageWords>> queues_;
+  bool aborted_ = false;
+};
+
+} // namespace dsk

@@ -1,0 +1,144 @@
+#pragma once
+/// \file stats.hpp
+/// Per-rank, per-phase communication and computation accounting. The
+/// runtime counts every message and every 8-byte word that crosses a rank
+/// boundary, attributed to the phase the algorithm declared (replication /
+/// propagation / computation, as in the paper's Figure 5 breakdown). The
+/// paper's "communication cost" — the maximum time any processor spends
+/// sending and receiving — is computed from these counters by
+/// WorldStats::modeled_time.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/machine.hpp"
+
+namespace dsk {
+
+/// Counters for one phase on one rank. A "word" is 8 bytes (one Scalar or
+/// one Index), matching the paper's cost accounting (a COO nonzero is 3
+/// words).
+struct PhaseCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t words_received = 0;
+  std::uint64_t flops = 0;
+
+  PhaseCounters& operator+=(const PhaseCounters& other) {
+    messages_sent += other.messages_sent;
+    words_sent += other.words_sent;
+    messages_received += other.messages_received;
+    words_received += other.words_received;
+    flops += other.flops;
+    return *this;
+  }
+};
+
+/// Accounting for a single simulated rank. Only that rank's thread
+/// touches it while the world runs.
+class RankStats {
+ public:
+  Phase current_phase() const { return current_; }
+  void set_phase(Phase phase) { current_ = phase; }
+
+  void record_send(std::uint64_t words) {
+    auto& c = counters_[index(current_)];
+    ++c.messages_sent;
+    c.words_sent += words;
+  }
+  void record_receive(std::uint64_t words) {
+    auto& c = counters_[index(current_)];
+    ++c.messages_received;
+    c.words_received += words;
+  }
+  void add_flops(std::uint64_t flops) {
+    counters_[index(current_)].flops += flops;
+  }
+
+  const PhaseCounters& phase(Phase phase) const {
+    return counters_[index(phase)];
+  }
+
+  /// Sum over the requested phases.
+  PhaseCounters total(std::initializer_list<Phase> phases) const;
+
+  /// Sum over all phases.
+  PhaseCounters total() const;
+
+ private:
+  static std::size_t index(Phase phase) {
+    return static_cast<std::size_t>(phase);
+  }
+  Phase current_ = Phase::Other;
+  std::array<PhaseCounters, kNumPhases> counters_{};
+};
+
+/// RAII phase marker: sets the rank's phase for the enclosed scope and
+/// restores the previous phase on exit.
+class PhaseScope {
+ public:
+  PhaseScope(RankStats& stats, Phase phase)
+      : stats_(stats), previous_(stats.current_phase()) {
+    stats_.set_phase(phase);
+  }
+  ~PhaseScope() { stats_.set_phase(previous_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  RankStats& stats_;
+  Phase previous_;
+};
+
+/// Aggregated statistics for a finished world run.
+class WorldStats {
+ public:
+  WorldStats() = default;
+  explicit WorldStats(std::vector<RankStats> ranks)
+      : ranks_(std::move(ranks)) {}
+
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  const RankStats& rank(int r) const {
+    return ranks_[static_cast<std::size_t>(r)];
+  }
+
+  /// Max over ranks of words sent in a phase (the bandwidth-cost term the
+  /// paper analyzes; ring collectives send and receive symmetrically).
+  std::uint64_t max_words(Phase phase) const;
+
+  /// Max over ranks of messages sent in a phase.
+  std::uint64_t max_messages(Phase phase) const;
+
+  /// Max over ranks of FLOPs in a phase.
+  std::uint64_t max_flops(Phase phase) const;
+
+  /// Modeled seconds for one phase: max over ranks of
+  /// alpha*messages + beta*max(words_sent, words_received) + gamma*flops.
+  double modeled_phase_seconds(Phase phase, const MachineModel& m) const;
+
+  /// Sum of modeled phase times over the given phases.
+  double modeled_seconds(std::initializer_list<Phase> phases,
+                         const MachineModel& m) const;
+
+  /// Replication + Propagation + Computation (the FusedMM kernel cost).
+  double modeled_kernel_seconds(const MachineModel& m) const;
+
+  /// Replication + Propagation communication only (no computation), the
+  /// paper's "time spent exclusively in communication".
+  double modeled_comm_seconds(const MachineModel& m) const;
+
+  /// Kernel time if propagation were fully overlapped with local
+  /// computation — the paper's future-work direction ("overlapping
+  /// communication in the propagation phase ... with local computation",
+  /// e.g. via one-sided MPI/RDMA): per rank, replication + max(prop,
+  /// comp) instead of their sum; max over ranks.
+  double modeled_overlap_seconds(const MachineModel& m) const;
+
+ private:
+  std::vector<RankStats> ranks_;
+};
+
+} // namespace dsk

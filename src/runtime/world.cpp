@@ -1,0 +1,114 @@
+#include "runtime/world.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send_words(int destination, int tag, MessageWords words) {
+  check(0 <= destination && destination < size(),
+        "Comm::send_words: destination ", destination, " out of range");
+  stats_->record_send(words.size());
+  world_->mailbox(destination).deliver(rank_, tag, std::move(words));
+}
+
+MessageWords Comm::recv_words(int source, int tag) {
+  check(0 <= source && source < size(), "Comm::recv_words: source ", source,
+        " out of range");
+  MessageWords words = world_->mailbox(rank_).receive(source, tag);
+  stats_->record_receive(words.size());
+  return words;
+}
+
+MessageWords Comm::shift_exchange(int destination, int source,
+                                  MessageWords words, int tag) {
+  if (destination == rank_ && source == rank_) {
+    return words; // single-processor ring: no communication
+  }
+  send_words(destination, tag, std::move(words));
+  return recv_words(source, tag);
+}
+
+void Comm::barrier() { world_->barrier_wait(); }
+
+SimWorld::SimWorld(int num_ranks) : num_ranks_(num_ranks) {
+  check(num_ranks >= 1, "SimWorld: need at least one rank, got ", num_ranks);
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void SimWorld::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (aborted_) fail("SimWorld: aborted during barrier");
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == num_ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != generation || aborted_;
+  });
+  if (aborted_) fail("SimWorld: aborted during barrier");
+}
+
+void SimWorld::abort_all() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    aborted_ = true;
+  }
+  barrier_cv_.notify_all();
+  for (auto& mailbox : mailboxes_) {
+    mailbox->abort();
+  }
+}
+
+WorldStats SimWorld::run(const std::function<void(Comm&)>& body) {
+  std::vector<RankStats> stats(static_cast<std::size_t>(num_ranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r, stats[static_cast<std::size_t>(r)]);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    check(mailboxes_[static_cast<std::size_t>(r)]->empty(),
+          "SimWorld: rank ", r,
+          " finished with undelivered messages (protocol bug)");
+  }
+  return WorldStats(std::move(stats));
+}
+
+WorldStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body) {
+  SimWorld world(num_ranks);
+  return world.run(body);
+}
+
+} // namespace dsk

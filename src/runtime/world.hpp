@@ -1,0 +1,51 @@
+#pragma once
+/// \file world.hpp
+/// The simulated distributed-memory machine. SimWorld spawns one thread
+/// per rank, runs the SPMD body, and returns per-rank statistics. This is
+/// the stand-in for MPI on Cori: algorithms written against Comm/Group
+/// are structured exactly like their MPI counterparts, and the world
+/// measures precisely the communication the paper's theory counts.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "runtime/comm.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/stats.hpp"
+
+namespace dsk {
+
+class SimWorld {
+ public:
+  /// Create a world with num_ranks simulated processors.
+  explicit SimWorld(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  /// Execute body(comm) on every rank concurrently and return the
+  /// per-rank statistics. If any rank throws, all blocked ranks are
+  /// aborted and the first exception is rethrown after joining.
+  /// Throws if a protocol finishes with undelivered messages.
+  WorldStats run(const std::function<void(Comm&)>& body);
+
+  // --- used by Comm ---
+  Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+  void barrier_wait();
+  void abort_all();
+
+ private:
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Convenience: build a world, run the body, return the stats.
+WorldStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body);
+
+} // namespace dsk

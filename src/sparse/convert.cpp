@@ -1,0 +1,93 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+CsrMatrix coo_to_csr(const CooMatrix& coo_in) {
+  CooMatrix coo = coo_in;
+  coo.sort_and_combine();
+
+  const Index rows = coo.rows();
+  std::vector<Index> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (const Index i : coo.row_idx()) {
+    ++row_ptr[static_cast<std::size_t>(i) + 1];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    row_ptr[i] += row_ptr[i - 1];
+  }
+  std::vector<Index> col_idx(coo.col_idx().begin(), coo.col_idx().end());
+  std::vector<Scalar> values(coo.values().begin(), coo.values().end());
+  return CsrMatrix(rows, coo.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CooMatrix csr_to_coo(const CsrMatrix& csr) {
+  CooMatrix out(csr.rows(), csr.cols());
+  out.reserve(csr.nnz());
+  for (Index i = 0; i < csr.rows(); ++i) {
+    const auto cols = csr.row_cols(i);
+    const auto vals = csr.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out.push_back(i, cols[k], vals[k]);
+    }
+  }
+  return out;
+}
+
+CsrMatrix transpose(const CsrMatrix& csr) {
+  const Index rows = csr.rows();
+  const Index cols = csr.cols();
+  const Index nnz = csr.nnz();
+
+  std::vector<Index> row_ptr(static_cast<std::size_t>(cols) + 1, 0);
+  for (const Index j : csr.col_idx()) {
+    ++row_ptr[static_cast<std::size_t>(j) + 1];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    row_ptr[i] += row_ptr[i - 1];
+  }
+
+  std::vector<Index> col_idx(static_cast<std::size_t>(nnz));
+  std::vector<Scalar> values(static_cast<std::size_t>(nnz));
+  std::vector<Index> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (Index i = 0; i < rows; ++i) {
+    const auto in_cols = csr.row_cols(i);
+    const auto in_vals = csr.row_values(i);
+    for (std::size_t k = 0; k < in_cols.size(); ++k) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(
+              in_cols[k])]++);
+      col_idx[slot] = i;
+      values[slot] = in_vals[k];
+    }
+  }
+  return CsrMatrix(cols, rows, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+bool same_pattern(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz()) {
+    return false;
+  }
+  return std::equal(a.row_ptr().begin(), a.row_ptr().end(),
+                    b.row_ptr().begin()) &&
+         std::equal(a.col_idx().begin(), a.col_idx().end(),
+                    b.col_idx().begin());
+}
+
+Scalar max_abs_value_diff(const CsrMatrix& a, const CsrMatrix& b) {
+  check(same_pattern(a, b), "max_abs_value_diff: patterns differ");
+  Scalar worst = 0;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t k = 0; k < va.size(); ++k) {
+    worst = std::max(worst, std::abs(va[k] - vb[k]));
+  }
+  return worst;
+}
+
+} // namespace dsk

@@ -1,0 +1,25 @@
+#pragma once
+/// \file convert.hpp
+/// Format conversions and structural transforms between COO and CSR.
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsk {
+
+/// COO -> CSR. Entries need not be sorted; duplicates are summed.
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+/// CSR -> COO (sorted by construction).
+CooMatrix csr_to_coo(const CsrMatrix& csr);
+
+/// CSR transpose (counting sort over columns, O(nnz + rows + cols)).
+CsrMatrix transpose(const CsrMatrix& csr);
+
+/// True when both matrices have identical shape and sparsity pattern.
+bool same_pattern(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Largest |a_k - b_k| over stored values; requires same_pattern.
+Scalar max_abs_value_diff(const CsrMatrix& a, const CsrMatrix& b);
+
+} // namespace dsk

@@ -1,0 +1,100 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dsk {
+
+CooMatrix::CooMatrix(Index rows, Index cols, std::vector<Index> row_idx,
+                     std::vector<Index> col_idx, std::vector<Scalar> values)
+    : rows_(rows), cols_(cols), row_idx_(std::move(row_idx)),
+      col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  check(row_idx_.size() == col_idx_.size() &&
+            col_idx_.size() == values_.size(),
+        "CooMatrix: triplet arrays have mismatched lengths");
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    check(0 <= row_idx_[k] && row_idx_[k] < rows_, "CooMatrix: row ",
+          row_idx_[k], " out of range [0, ", rows_, ")");
+    check(0 <= col_idx_[k] && col_idx_[k] < cols_, "CooMatrix: col ",
+          col_idx_[k], " out of range [0, ", cols_, ")");
+  }
+}
+
+void CooMatrix::push_back(Index row, Index col, Scalar value) {
+  check(0 <= row && row < rows_, "CooMatrix::push_back: row ", row,
+        " out of range [0, ", rows_, ")");
+  check(0 <= col && col < cols_, "CooMatrix::push_back: col ", col,
+        " out of range [0, ", cols_, ")");
+  row_idx_.push_back(row);
+  col_idx_.push_back(col);
+  values_.push_back(value);
+}
+
+void CooMatrix::reserve(Index count) {
+  row_idx_.reserve(static_cast<std::size_t>(count));
+  col_idx_.reserve(static_cast<std::size_t>(count));
+  values_.reserve(static_cast<std::size_t>(count));
+}
+
+void CooMatrix::sort_and_combine() {
+  const std::size_t n = values_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx_[a] != row_idx_[b]) return row_idx_[a] < row_idx_[b];
+    return col_idx_[a] < col_idx_[b];
+  });
+
+  std::vector<Index> rows_out, cols_out;
+  std::vector<Scalar> vals_out;
+  rows_out.reserve(n);
+  cols_out.reserve(n);
+  vals_out.reserve(n);
+  for (std::size_t k : order) {
+    if (!rows_out.empty() && rows_out.back() == row_idx_[k] &&
+        cols_out.back() == col_idx_[k]) {
+      vals_out.back() += values_[k];
+    } else {
+      rows_out.push_back(row_idx_[k]);
+      cols_out.push_back(col_idx_[k]);
+      vals_out.push_back(values_[k]);
+    }
+  }
+  row_idx_ = std::move(rows_out);
+  col_idx_ = std::move(cols_out);
+  values_ = std::move(vals_out);
+}
+
+bool CooMatrix::is_sorted_unique() const {
+  for (std::size_t k = 1; k < values_.size(); ++k) {
+    if (row_idx_[k - 1] > row_idx_[k]) return false;
+    if (row_idx_[k - 1] == row_idx_[k] && col_idx_[k - 1] >= col_idx_[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CooMatrix CooMatrix::transposed() const {
+  CooMatrix out(cols_, rows_, col_idx_, row_idx_, values_);
+  return out;
+}
+
+CooMatrix CooMatrix::block(Index row_begin, Index row_end, Index col_begin,
+                           Index col_end) const {
+  check(0 <= row_begin && row_begin <= row_end && row_end <= rows_,
+        "CooMatrix::block: bad row range");
+  check(0 <= col_begin && col_begin <= col_end && col_end <= cols_,
+        "CooMatrix::block: bad col range");
+  CooMatrix out(row_end - row_begin, col_end - col_begin);
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    const Index i = row_idx_[k];
+    const Index j = col_idx_[k];
+    if (row_begin <= i && i < row_end && col_begin <= j && j < col_end) {
+      out.push_back(i - row_begin, j - col_begin, values_[k]);
+    }
+  }
+  return out;
+}
+
+} // namespace dsk

@@ -1,0 +1,76 @@
+#pragma once
+/// \file coo.hpp
+/// Coordinate-format sparse matrix. COO is the wire format of the library:
+/// the paper's sparse-shifting algorithms charge 3 words per nonzero
+/// (row, col, value) when a sparse block moves between processors, and we
+/// serialize exactly those three arrays.
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace dsk {
+
+struct CooEntry {
+  Index row;
+  Index col;
+  Scalar value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    check(rows >= 0 && cols >= 0, "CooMatrix: negative dims");
+  }
+
+  CooMatrix(Index rows, Index cols, std::vector<Index> row_idx,
+            std::vector<Index> col_idx, std::vector<Scalar> values);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+
+  std::span<const Index> row_idx() const { return row_idx_; }
+  std::span<const Index> col_idx() const { return col_idx_; }
+  std::span<const Scalar> values() const { return values_; }
+  std::span<Scalar> values() { return values_; }
+
+  /// Append one nonzero; bounds-checked.
+  void push_back(Index row, Index col, Scalar value);
+
+  void reserve(Index count);
+
+  /// Sort entries by (row, col) and sum duplicates in place.
+  void sort_and_combine();
+
+  /// True when entries are sorted by (row, col) with no duplicates.
+  bool is_sorted_unique() const;
+
+  /// Transposed copy (rows and cols swapped).
+  CooMatrix transposed() const;
+
+  /// Entries with row in [row_begin,row_end) and col in
+  /// [col_begin,col_end), re-based so the block's top-left is (0,0).
+  CooMatrix block(Index row_begin, Index row_end, Index col_begin,
+                  Index col_end) const;
+
+  /// Entry-wise access for tests.
+  CooEntry entry(Index k) const {
+    return {row_idx_[static_cast<std::size_t>(k)],
+            col_idx_[static_cast<std::size_t>(k)],
+            values_[static_cast<std::size_t>(k)]};
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_idx_;
+  std::vector<Index> col_idx_;
+  std::vector<Scalar> values_;
+};
+
+} // namespace dsk

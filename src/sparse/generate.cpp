@@ -1,0 +1,119 @@
+#include "sparse/generate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+CooMatrix erdos_renyi_fixed_row(Index rows, Index cols, Index nnz_per_row,
+                                Rng& rng) {
+  check(nnz_per_row >= 0 && nnz_per_row <= cols,
+        "erdos_renyi_fixed_row: nnz_per_row ", nnz_per_row,
+        " exceeds column count ", cols);
+  CooMatrix out(rows, cols);
+  out.reserve(rows * nnz_per_row);
+
+  // Per-row sampling without replacement. For the sparse regime the paper
+  // uses (32 nonzeros out of >= 65536 columns) rejection is cheap; fall
+  // back to a partial Fisher-Yates when a row is dense.
+  std::unordered_set<Index> seen;
+  for (Index i = 0; i < rows; ++i) {
+    seen.clear();
+    if (nnz_per_row * 4 < cols) {
+      while (static_cast<Index>(seen.size()) < nnz_per_row) {
+        seen.insert(rng.next_index(0, cols));
+      }
+      for (const Index j : seen) {
+        out.push_back(i, j, rng.next_in(-1.0, 1.0));
+      }
+    } else {
+      std::vector<Index> perm(static_cast<std::size_t>(cols));
+      for (Index j = 0; j < cols; ++j) perm[static_cast<std::size_t>(j)] = j;
+      for (Index k = 0; k < nnz_per_row; ++k) {
+        const Index swap_at = rng.next_index(k, cols);
+        std::swap(perm[static_cast<std::size_t>(k)],
+                  perm[static_cast<std::size_t>(swap_at)]);
+        out.push_back(i, perm[static_cast<std::size_t>(k)],
+                      rng.next_in(-1.0, 1.0));
+      }
+    }
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+CooMatrix erdos_renyi_bernoulli(Index rows, Index cols, double prob,
+                                Rng& rng) {
+  check(prob >= 0.0 && prob <= 1.0, "erdos_renyi_bernoulli: prob ", prob,
+        " outside [0,1]");
+  CooMatrix out(rows, cols);
+  if (prob == 0.0) return out;
+  // Geometric skipping: visit present entries directly instead of testing
+  // all rows*cols cells.
+  const double log1m = std::log1p(-prob);
+  const auto total = static_cast<double>(rows) * static_cast<double>(cols);
+  double pos = -1.0;
+  for (;;) {
+    const double u = std::max(rng.next_double(), 1e-300);
+    pos += 1.0 + std::floor(std::log(u) / log1m);
+    if (pos >= total) break;
+    const auto flat = static_cast<Index>(pos);
+    out.push_back(flat / cols, flat % cols, rng.next_in(-1.0, 1.0));
+  }
+  return out;
+}
+
+CooMatrix rmat(Index rows, Index cols, Index edges_target, Rng& rng,
+               const RmatParams& params) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  check(params.a >= 0 && params.b >= 0 && params.c >= 0 && d >= 0,
+        "rmat: probabilities must be non-negative and sum to <= 1");
+  check(rows > 0 && cols > 0, "rmat: empty matrix");
+
+  const Index side = std::max(rows, cols);
+  const int levels = std::bit_width(static_cast<std::uint64_t>(side - 1));
+
+  CooMatrix out(rows, cols);
+  out.reserve(edges_target);
+  Index accepted = 0;
+  // Cap the re-draw loop so degenerate parameter choices cannot spin
+  // forever when most samples land outside a non-square matrix.
+  const Index max_attempts = edges_target * 16 + 1024;
+  for (Index attempt = 0; attempt < max_attempts && accepted < edges_target;
+       ++attempt) {
+    Index i = 0, j = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double u = rng.next_double();
+      Index bit_i = 0, bit_j = 0;
+      if (u < params.a) {
+      } else if (u < params.a + params.b) {
+        bit_j = 1;
+      } else if (u < params.a + params.b + params.c) {
+        bit_i = 1;
+      } else {
+        bit_i = 1;
+        bit_j = 1;
+      }
+      i = (i << 1) | bit_i;
+      j = (j << 1) | bit_j;
+    }
+    if (i >= rows || j >= cols) continue;
+    if (params.remove_self_loops && i == j) continue;
+    out.push_back(i, j, rng.next_in(-1.0, 1.0));
+    ++accepted;
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+double phi_ratio(const CooMatrix& s, Index r) {
+  check(r > 0, "phi_ratio: r must be positive");
+  return static_cast<double>(s.nnz()) /
+         (static_cast<double>(s.cols()) * static_cast<double>(r));
+}
+
+} // namespace dsk

@@ -1,0 +1,98 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+} // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  check(static_cast<bool>(std::getline(in, line)),
+        "matrix market: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  check(banner == "%%MatrixMarket", "matrix market: bad banner '", banner,
+        "'");
+  check(lower(object) == "matrix", "matrix market: unsupported object '",
+        object, "'");
+  check(lower(format) == "coordinate",
+        "matrix market: only coordinate format is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  check(field == "real" || field == "integer" || field == "pattern",
+        "matrix market: unsupported field '", field, "'");
+  check(symmetry == "general" || symmetry == "symmetric",
+        "matrix market: unsupported symmetry '", symmetry, "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  Index rows = 0, cols = 0, count = 0;
+  dims >> rows >> cols >> count;
+  check(rows > 0 && cols > 0 && count >= 0,
+        "matrix market: bad size line '", line, "'");
+
+  CooMatrix out(rows, cols);
+  out.reserve(symmetry == "symmetric" ? 2 * count : count);
+  for (Index k = 0; k < count; ++k) {
+    check(static_cast<bool>(std::getline(in, line)),
+          "matrix market: expected ", count, " entries, got ", k);
+    std::istringstream entry(line);
+    Index i = 0, j = 0;
+    Scalar v = 1.0;
+    entry >> i >> j;
+    if (field != "pattern") entry >> v;
+    check(!entry.fail(), "matrix market: malformed entry '", line, "'");
+    out.push_back(i - 1, j - 1, v); // 1-based on disk
+    if (symmetry == "symmetric" && i != j) {
+      out.push_back(j - 1, i - 1, v);
+    }
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "matrix market: cannot open '", path, "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& matrix) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << matrix.rows() << ' ' << matrix.cols() << ' ' << matrix.nnz()
+      << '\n';
+  const auto rows = matrix.row_idx();
+  const auto cols = matrix.col_idx();
+  const auto vals = matrix.values();
+  out.precision(17);
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    out << rows[k] + 1 << ' ' << cols[k] + 1 << ' ' << vals[k] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix& matrix) {
+  std::ofstream out(path);
+  check(out.good(), "matrix market: cannot open '", path, "' for writing");
+  write_matrix_market(out, matrix);
+}
+
+} // namespace dsk

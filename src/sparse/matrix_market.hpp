@@ -1,0 +1,30 @@
+#pragma once
+/// \file matrix_market.hpp
+/// Matrix Market (.mtx) reader/writer for the coordinate format. The
+/// paper loads its strong-scaling inputs (amazon-large, uk-2002, eukarya,
+/// arabic-2005, twitter7) from SuiteSparse .mtx files via CombBLAS; this
+/// reader accepts the same files when they are available locally.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+/// Parse a Matrix Market coordinate stream. Supports real/integer/pattern
+/// fields and general/symmetric symmetry (symmetric entries are mirrored).
+/// Pattern matrices get value 1.0 per entry. Throws dsk::Error on
+/// malformed input.
+CooMatrix read_matrix_market(std::istream& in);
+
+/// Read from a file path.
+CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Write a general real coordinate matrix.
+void write_matrix_market(std::ostream& out, const CooMatrix& matrix);
+
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix& matrix);
+
+} // namespace dsk

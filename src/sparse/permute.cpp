@@ -1,0 +1,58 @@
+#include "sparse/permute.hpp"
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+std::vector<Index> random_permutation(Index n, Rng& rng) {
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (Index i = n - 1; i > 0; --i) {
+    const Index j = rng.next_index(0, i + 1);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+std::vector<Index> inverse_permutation(const std::vector<Index>& perm) {
+  std::vector<Index> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const Index target = perm[i];
+    check(0 <= target && target < static_cast<Index>(perm.size()),
+          "inverse_permutation: entry ", target, " out of range");
+    inv[static_cast<std::size_t>(target)] = static_cast<Index>(i);
+  }
+  return inv;
+}
+
+CooMatrix permute(const CooMatrix& in, const std::vector<Index>& row_perm,
+                  const std::vector<Index>& col_perm) {
+  check(static_cast<Index>(row_perm.size()) == in.rows(),
+        "permute: row permutation has ", row_perm.size(), " entries for ",
+        in.rows(), " rows");
+  check(static_cast<Index>(col_perm.size()) == in.cols(),
+        "permute: col permutation has ", col_perm.size(), " entries for ",
+        in.cols(), " cols");
+  CooMatrix out(in.rows(), in.cols());
+  out.reserve(in.nnz());
+  const auto rows = in.row_idx();
+  const auto cols = in.col_idx();
+  const auto vals = in.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    out.push_back(row_perm[static_cast<std::size_t>(rows[k])],
+                  col_perm[static_cast<std::size_t>(cols[k])], vals[k]);
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+PermutedMatrix random_permute(const CooMatrix& in, Rng& rng) {
+  PermutedMatrix out;
+  out.row_perm = random_permutation(in.rows(), rng);
+  out.col_perm = random_permutation(in.cols(), rng);
+  out.matrix = permute(in, out.row_perm, out.col_perm);
+  return out;
+}
+
+} // namespace dsk

@@ -1,0 +1,36 @@
+#pragma once
+/// \file permute.hpp
+/// Random row/column permutations. Sparsity-agnostic algorithms rely on a
+/// random permutation of the sparse matrix for load balance across
+/// processors (paper Section III-C / VI: "To load balance among the
+/// processors, we randomly permute the rows and columns of sparse matrices
+/// that we read in").
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+/// Uniformly random permutation of [0, n) (Fisher-Yates).
+std::vector<Index> random_permutation(Index n, Rng& rng);
+
+/// Inverse permutation: out[perm[i]] = i.
+std::vector<Index> inverse_permutation(const std::vector<Index>& perm);
+
+/// Apply row/column permutations: out(row_perm[i], col_perm[j]) = in(i,j).
+CooMatrix permute(const CooMatrix& in, const std::vector<Index>& row_perm,
+                  const std::vector<Index>& col_perm);
+
+/// Convenience: permute rows and columns with independent random
+/// permutations drawn from rng; returns the permuted matrix together with
+/// the permutations used (needed to map results back).
+struct PermutedMatrix {
+  CooMatrix matrix;
+  std::vector<Index> row_perm;
+  std::vector<Index> col_perm;
+};
+PermutedMatrix random_permute(const CooMatrix& in, Rng& rng);
+
+} // namespace dsk

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "apps/app_stats.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk {
+namespace {
+
+TEST(AppStats, RowDotReductionFormulas) {
+  const double m = 1024;
+  // 1.5D dense shift: full rows local, no reduction.
+  EXPECT_EQ(rowdot_reduction_words(AlgorithmKind::DenseShift15D, 16, 4, m),
+            0.0);
+  EXPECT_EQ(rowdot_reduction_words(AlgorithmKind::Baseline1D, 16, 1, m),
+            0.0);
+  // 1.5D sparse shift: group p/c = 4 slices, m/c = 256 rows per rank:
+  // 2 * (3/4) * 256 = 384.
+  EXPECT_DOUBLE_EQ(
+      rowdot_reduction_words(AlgorithmKind::SparseShift15D, 16, 4, m),
+      384.0);
+  // 2.5D dense repl p=16 c=4 -> q=2: group 2, rows m/(qc) = 128:
+  // 2 * (1/2) * 128 = 128.
+  EXPECT_DOUBLE_EQ(
+      rowdot_reduction_words(AlgorithmKind::DenseRepl25D, 16, 4, m), 128.0);
+  // 2.5D sparse repl: group qc = 8, rows m/q = 512: 2*(7/8)*512 = 896.
+  EXPECT_DOUBLE_EQ(
+      rowdot_reduction_words(AlgorithmKind::SparseRepl25D, 16, 4, m),
+      896.0);
+  // Degenerate single-slice groups reduce nothing.
+  EXPECT_EQ(rowdot_reduction_words(AlgorithmKind::SparseShift15D, 4, 4, m),
+            0.0);
+}
+
+TEST(AppStats, RedistributionOnlyFor25D) {
+  EXPECT_EQ(redistribution_words(AlgorithmKind::DenseShift15D, 1024, 64,
+                                 16),
+            0.0);
+  EXPECT_EQ(redistribution_words(AlgorithmKind::SparseShift15D, 1024, 64,
+                                 16),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      redistribution_words(AlgorithmKind::DenseRepl25D, 1024, 64, 16),
+      1024.0 * 64 / 16);
+  EXPECT_DOUBLE_EQ(
+      redistribution_words(AlgorithmKind::SparseRepl25D, 1024, 64, 16),
+      1024.0 * 64 / 16);
+}
+
+TEST(AppStats, AccumulatesKernelAndAppCosts) {
+  auto stats = run_spmd(2, [](Comm& comm) {
+    {
+      PhaseScope scope(comm.stats(), Phase::Replication);
+      if (comm.rank() == 0) {
+        comm.send<Scalar>(1, kTagUser, std::vector<Scalar>(100, 1.0));
+      } else {
+        comm.recv<Scalar>(0, kTagUser);
+      }
+    }
+    PhaseScope scope(comm.stats(), Phase::Computation);
+    comm.stats().add_flops(1000);
+  });
+
+  const MachineModel m{0.0, 1e-9, 1e-10};
+  AppCosts costs;
+  costs.add_kernel(stats, m);
+  costs.add_kernel(stats, m); // two calls accumulate
+  EXPECT_EQ(costs.fused_replication_words, 200u);
+  EXPECT_NEAR(costs.fused_replication_seconds, 2 * 100e-9, 1e-15);
+  EXPECT_NEAR(costs.fused_computation_seconds, 2 * 1000e-10, 1e-15);
+
+  costs.add_app_comm(500.0, m);
+  EXPECT_NEAR(costs.app_comm_seconds, 500e-9, 1e-15);
+  // Zero-word "communication" (row-colocated layouts) costs nothing, not
+  // even latency.
+  costs.add_app_comm(0.0, m);
+  EXPECT_NEAR(costs.app_comm_seconds, 500e-9, 1e-15);
+  costs.add_app_flops(10000, /*p=*/2, m);
+  EXPECT_EQ(costs.app_flops, 10000u);
+  EXPECT_NEAR(costs.app_comp_seconds, 10000e-10 / 2, 1e-15);
+  EXPECT_GT(costs.total_seconds(), 0.0);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "apps/als.hpp"
+#include "apps/gat.hpp"
+#include "common/rng.hpp"
+#include "local/reference.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+/// A low-rank-plus-noise rating matrix: ALS must be able to fit it.
+CooMatrix make_ratings(Index m, Index n, Index true_rank, Index per_row,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix a(m, true_rank), b(n, true_rank);
+  a.fill_gaussian(rng, 1.0);
+  b.fill_gaussian(rng, 1.0);
+  auto pattern = erdos_renyi_fixed_row(m, n, per_row, rng);
+  CooMatrix ratings(m, n);
+  for (Index k = 0; k < pattern.nnz(); ++k) {
+    const auto e = pattern.entry(k);
+    Scalar dot = 0;
+    for (Index f = 0; f < true_rank; ++f) {
+      dot += a(e.row, f) * b(e.col, f);
+    }
+    ratings.push_back(e.row, e.col, dot + 0.01 * rng.next_gaussian());
+  }
+  ratings.sort_and_combine();
+  return ratings;
+}
+
+TEST(Als, LossDecreasesMonotonically) {
+  const auto ratings = make_ratings(64, 96, 4, 6, 11);
+  AlsConfig config;
+  config.rank = 8;
+  config.lambda = 0.05;
+  config.cg_iterations = 6;
+  config.sweeps = 3;
+  config.kind = AlgorithmKind::DenseShift15D;
+  config.p = 4;
+  config.c = 2;
+  const auto result = run_als(ratings, config);
+  ASSERT_EQ(result.loss_history.size(), 4u);
+  for (std::size_t i = 1; i < result.loss_history.size(); ++i) {
+    EXPECT_LT(result.loss_history[i], result.loss_history[i - 1])
+        << "sweep " << i;
+  }
+  // The low-rank structure should be essentially recovered. The floor is
+  // dominated by the lambda ||A||^2 + ||B||^2 regularization of the
+  // true-scale factors, not by residual error.
+  EXPECT_LT(result.loss_history.back(), 0.15 * result.loss_history.front());
+}
+
+TEST(Als, AllAlgorithmFamiliesAgree) {
+  const auto ratings = make_ratings(64, 96, 3, 5, 13);
+  std::vector<Scalar> final_losses;
+  struct Case {
+    AlgorithmKind kind;
+    int p, c;
+    Elision elision;
+  };
+  for (const auto& cs : std::vector<Case>{
+           {AlgorithmKind::DenseShift15D, 4, 2,
+            Elision::ReplicationReuse},
+           {AlgorithmKind::SparseShift15D, 4, 2,
+            Elision::ReplicationReuse},
+           {AlgorithmKind::DenseRepl25D, 4, 1, Elision::ReplicationReuse},
+           {AlgorithmKind::SparseRepl25D, 4, 1, Elision::None}}) {
+    AlsConfig config;
+    config.rank = 8;
+    config.cg_iterations = 4;
+    config.sweeps = 2;
+    config.kind = cs.kind;
+    config.p = cs.p;
+    config.c = cs.c;
+    config.elision = cs.elision;
+    const auto result = run_als(ratings, config);
+    final_losses.push_back(result.loss_history.back());
+  }
+  // The distributed kernels are exact, so every family optimizes the
+  // identical deterministic iteration: losses agree to rounding.
+  for (std::size_t i = 1; i < final_losses.size(); ++i) {
+    EXPECT_NEAR(final_losses[i], final_losses[0],
+                1e-6 * std::abs(final_losses[0]));
+  }
+}
+
+TEST(Als, LocalFusionMatvecMatches) {
+  // Local kernel fusion is a valid matvec engine for ALS (no softmax
+  // involved); it must reach the same optimum.
+  const auto ratings = make_ratings(64, 64, 3, 5, 17);
+  AlsConfig base;
+  base.rank = 8;
+  base.cg_iterations = 4;
+  base.sweeps = 1;
+  base.kind = AlgorithmKind::DenseShift15D;
+  base.p = 4;
+  base.c = 2;
+  base.elision = Elision::ReplicationReuse;
+  auto fused = base;
+  fused.elision = Elision::LocalKernelFusion;
+  const auto a = run_als(ratings, base);
+  const auto b = run_als(ratings, fused);
+  EXPECT_NEAR(a.loss_history.back(), b.loss_history.back(),
+              1e-8 * std::abs(a.loss_history.back()));
+}
+
+TEST(Als, ChargesApplicationCosts) {
+  const auto ratings = make_ratings(64, 96, 3, 5, 19);
+  AlsConfig config;
+  config.rank = 8;
+  config.cg_iterations = 3;
+  config.sweeps = 1;
+  config.kind = AlgorithmKind::SparseShift15D; // r-split: pays dot comm
+  config.p = 4;
+  config.c = 2;
+  const auto result = run_als(ratings, config);
+  EXPECT_GT(result.costs.fused_propagation_words, 0u);
+  EXPECT_GT(result.costs.app_comm_words, 0.0);
+  EXPECT_GT(result.costs.app_flops, 0u);
+  EXPECT_GT(result.costs.total_seconds(), 0.0);
+
+  // 1.5D dense shifting co-locates full rows: no dot-reduction words.
+  AlsConfig dense = config;
+  dense.kind = AlgorithmKind::DenseShift15D;
+  const auto dense_result = run_als(ratings, dense);
+  EXPECT_LT(dense_result.costs.app_comm_words,
+            result.costs.app_comm_words);
+}
+
+TEST(Als, RejectsBadConfigs) {
+  const auto ratings = make_ratings(64, 96, 3, 5, 23);
+  AlsConfig config;
+  config.kind = AlgorithmKind::SparseRepl25D;
+  config.p = 4;
+  config.c = 1;
+  config.elision = Elision::ReplicationReuse; // unsupported there
+  EXPECT_THROW(run_als(ratings, config), Error);
+  config.elision = Elision::None;
+  config.rank = 7; // does not divide the 2.5D slice grid
+  EXPECT_THROW(run_als(ratings, config), Error);
+}
+
+CooMatrix make_graph(Index n, Index degree, std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = erdos_renyi_fixed_row(n, n, degree, rng);
+  for (auto& v : g.values()) v = 1.0;
+  return g;
+}
+
+TEST(Gat, MatchesSerialReference) {
+  const Index n = 64;
+  const auto graph = make_graph(n, 6, 29);
+  Rng rng(31);
+  DenseMatrix features(n, 12);
+  features.fill_random(rng);
+
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D}) {
+    GatConfig config;
+    config.heads = 3;
+    config.out_features = 8;
+    config.kind = kind;
+    config.p = 4;
+    config.c = kind == AlgorithmKind::DenseRepl25D ||
+                       kind == AlgorithmKind::SparseRepl25D
+                   ? 1
+                   : 2;
+    const auto result = gat_forward(graph, features, config);
+    const auto expected = gat_forward_reference(graph, features, config);
+    const Scalar norm = std::max<Scalar>(expected.frobenius_norm(), 1.0);
+    EXPECT_LT(result.output.max_abs_diff(expected) / norm, 1e-9)
+        << to_string(kind);
+  }
+}
+
+TEST(Gat, SoftmaxRowsAreStochastic) {
+  const Index n = 32;
+  const auto graph = make_graph(n, 4, 37);
+  Rng rng(41);
+  DenseMatrix features(n, 8);
+  features.fill_random(rng);
+  GatConfig config;
+  config.heads = 1;
+  config.out_features = 8;
+  config.p = 4;
+  config.c = 2;
+  // With softmax on and features == identity-ish aggregation, each output
+  // row is a convex combination of neighbor rows of HW; verify against
+  // reference (already covered) and check attention normalization via
+  // constant features: sum of attention = 1 implies output == HW row
+  // constant.
+  DenseMatrix ones(n, 8);
+  ones.fill(1.0);
+  const auto result = gat_forward(graph, ones, config);
+  const auto reference = gat_forward_reference(graph, ones, config);
+  EXPECT_LT(result.output.max_abs_diff(reference), 1e-9);
+  // Every node has degree >= 1, so each output row must equal the
+  // (constant) transformed feature row exactly: convex combination of
+  // identical rows.
+  for (Index i = 1; i < n; ++i) {
+    for (Index f = 0; f < result.output.cols(); ++f) {
+      EXPECT_NEAR(result.output(i, f), result.output(0, f), 1e-9);
+    }
+  }
+}
+
+TEST(Gat, WithoutSoftmaxUsesRawWeights) {
+  const Index n = 32;
+  const auto graph = make_graph(n, 4, 43);
+  Rng rng(47);
+  DenseMatrix features(n, 8);
+  features.fill_random(rng);
+  GatConfig config;
+  config.heads = 2;
+  config.out_features = 8;
+  config.softmax = false;
+  config.p = 4;
+  config.c = 1;
+  const auto result = gat_forward(graph, features, config);
+  const auto expected = gat_forward_reference(graph, features, config);
+  EXPECT_LT(result.output.max_abs_diff(expected), 1e-9);
+}
+
+TEST(Gat, RejectsLocalFusionWithSoftmax) {
+  const auto graph = make_graph(32, 4, 53);
+  DenseMatrix features(32, 8);
+  GatConfig config;
+  config.kind = AlgorithmKind::DenseShift15D;
+  config.elision = Elision::LocalKernelFusion;
+  config.p = 4;
+  config.c = 2;
+  EXPECT_THROW(gat_forward(graph, features, config), Error);
+}
+
+TEST(Gat, OutputShapeIsConcatenatedHeads) {
+  const auto graph = make_graph(32, 4, 59);
+  Rng rng(61);
+  DenseMatrix features(32, 8);
+  features.fill_random(rng);
+  GatConfig config;
+  config.heads = 5;
+  config.out_features = 4;
+  config.p = 2;
+  config.c = 1;
+  const auto result = gat_forward(graph, features, config);
+  EXPECT_EQ(result.output.rows(), 32);
+  EXPECT_EQ(result.output.cols(), 20);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,141 @@
+/// Property sweep over group sizes: the ring collectives must satisfy
+/// their algebraic identities and exact ring cost for every group size,
+/// not just the sizes the algorithm tests happen to exercise.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk {
+namespace {
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+std::vector<int> all_ranks(int p) {
+  std::vector<int> members(static_cast<std::size_t>(p));
+  std::iota(members.begin(), members.end(), 0);
+  return members;
+}
+
+TEST_P(CollectiveSweep, AllgatherThenSliceIsIdentity) {
+  const int g = GetParam();
+  run_spmd(g, [&](Comm& comm) {
+    Group group(comm, all_ranks(g));
+    std::vector<Scalar> mine(5);
+    Rng rng(100 + static_cast<unsigned>(comm.rank()));
+    for (auto& x : mine) x = rng.next_in(-1, 1);
+    const auto all = group.allgather(mine);
+    ASSERT_EQ(all.size(), 5u * static_cast<std::size_t>(g));
+    for (std::size_t k = 0; k < 5; ++k) {
+      EXPECT_EQ(all[static_cast<std::size_t>(comm.rank()) * 5 + k],
+                mine[k]);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterPlusAllgatherEqualsAllreduce) {
+  const int g = GetParam();
+  run_spmd(g, [&](Comm& comm) {
+    Group group(comm, all_ranks(g));
+    std::vector<Scalar> local(static_cast<std::size_t>(3 * g));
+    Rng rng(200 + static_cast<unsigned>(comm.rank()));
+    for (auto& x : local) x = rng.next_in(-1, 1);
+
+    const auto chunk = group.reduce_scatter(local);
+    const auto via_rs_ag = group.allgather(chunk);
+    const auto direct = group.allreduce(local);
+    ASSERT_EQ(via_rs_ag.size(), direct.size());
+    for (std::size_t k = 0; k < direct.size(); ++k) {
+      EXPECT_NEAR(via_rs_ag[k], direct[k], 1e-12);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceMatchesSerialSum) {
+  const int g = GetParam();
+  // Deterministic inputs so the expected sum is computable outside.
+  std::vector<std::vector<Scalar>> inputs(static_cast<std::size_t>(g));
+  for (int q = 0; q < g; ++q) {
+    Rng rng(300 + static_cast<unsigned>(q));
+    inputs[static_cast<std::size_t>(q)].resize(7);
+    for (auto& x : inputs[static_cast<std::size_t>(q)]) {
+      x = rng.next_in(-1, 1);
+    }
+  }
+  std::vector<Scalar> expected(7, 0.0);
+  for (const auto& in : inputs) {
+    for (std::size_t k = 0; k < 7; ++k) expected[k] += in[k];
+  }
+  run_spmd(g, [&](Comm& comm) {
+    Group group(comm, all_ranks(g));
+    const auto out = group.allreduce(
+        inputs[static_cast<std::size_t>(comm.rank())]);
+    ASSERT_EQ(out.size(), 7u);
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_NEAR(out[k], expected[k], 1e-12);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, RingCostIsExact) {
+  const int g = GetParam();
+  const std::size_t words = 12;
+  auto stats = run_spmd(g, [&](Comm& comm) {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group group(comm, all_ranks(g));
+    group.allgather(std::vector<Scalar>(words, 1.0));
+  });
+  for (int rank = 0; rank < g; ++rank) {
+    EXPECT_EQ(stats.rank(rank).phase(Phase::Replication).words_sent,
+              static_cast<std::uint64_t>(g - 1) * words);
+  }
+}
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const int g = GetParam();
+  for (int root = 0; root < g; ++root) {
+    run_spmd(g, [&](Comm& comm) {
+      Group group(comm, all_ranks(g));
+      std::vector<Scalar> data(9, comm.rank() == root ? 3.75 : -1.0);
+      group.broadcast(data, root);
+      for (const auto x : data) EXPECT_EQ(x, 3.75);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                         [](const auto& param_info) {
+                           return "g" + std::to_string(param_info.param);
+                         });
+
+TEST(OverlapModel, BoundedByBulkSynchronous) {
+  // overlap time <= bulk-synchronous time, and >= replication + the
+  // larger of the two overlapped phases for a single-rank world.
+  auto stats = run_spmd(2, [](Comm& comm) {
+    {
+      PhaseScope scope(comm.stats(), Phase::Propagation);
+      if (comm.rank() == 0) {
+        comm.send<Scalar>(1, kTagUser, std::vector<Scalar>(1000, 1.0));
+      } else {
+        comm.recv<Scalar>(0, kTagUser);
+      }
+    }
+    PhaseScope scope(comm.stats(), Phase::Computation);
+    comm.stats().add_flops(5000);
+  });
+  const MachineModel m{0.0, 1e-9, 1e-9};
+  const double bulk = stats.modeled_kernel_seconds(m);
+  const double overlap = stats.modeled_overlap_seconds(m);
+  EXPECT_LE(overlap, bulk);
+  // prop = 1000e-9 on both ends, comp = 5000e-9: overlap = max = 5e-6.
+  EXPECT_NEAR(overlap, 5.0e-6, 1e-12);
+  EXPECT_NEAR(bulk, 6.0e-6, 1e-12);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+TEST(ErdosRenyi, ExactRowDegrees) {
+  Rng rng(1);
+  const auto s = erdos_renyi_fixed_row(64, 256, 8, rng);
+  EXPECT_EQ(s.nnz(), 64 * 8);
+  std::vector<int> degree(64, 0);
+  for (Index k = 0; k < s.nnz(); ++k) {
+    degree[static_cast<std::size_t>(s.entry(k).row)]++;
+  }
+  for (const int d : degree) EXPECT_EQ(d, 8);
+  EXPECT_TRUE(s.is_sorted_unique());
+}
+
+TEST(ErdosRenyi, DenseRowsFallBackToFisherYates) {
+  Rng rng(2);
+  // nnz_per_row * 4 >= cols triggers the partial-shuffle path.
+  const auto s = erdos_renyi_fixed_row(8, 16, 8, rng);
+  EXPECT_EQ(s.nnz(), 64);
+  std::vector<int> degree(8, 0);
+  for (Index k = 0; k < s.nnz(); ++k) {
+    degree[static_cast<std::size_t>(s.entry(k).row)]++;
+  }
+  for (const int d : degree) EXPECT_EQ(d, 8);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleDegree) {
+  Rng rng(3);
+  EXPECT_THROW(erdos_renyi_fixed_row(4, 4, 5, rng), Error);
+}
+
+TEST(ErdosRenyi, SeedDeterminism) {
+  Rng a(7), b(7);
+  const auto x = erdos_renyi_fixed_row(32, 64, 4, a);
+  const auto y = erdos_renyi_fixed_row(32, 64, 4, b);
+  ASSERT_EQ(x.nnz(), y.nnz());
+  for (Index k = 0; k < x.nnz(); ++k) {
+    EXPECT_EQ(x.entry(k).row, y.entry(k).row);
+    EXPECT_EQ(x.entry(k).col, y.entry(k).col);
+    EXPECT_EQ(x.entry(k).value, y.entry(k).value);
+  }
+}
+
+TEST(ErdosRenyiBernoulli, DensityIsRoughlyRight) {
+  Rng rng(11);
+  const double prob = 0.01;
+  const auto s = erdos_renyi_bernoulli(512, 512, prob, rng);
+  const double expected = 512.0 * 512.0 * prob;
+  EXPECT_GT(static_cast<double>(s.nnz()), 0.8 * expected);
+  EXPECT_LT(static_cast<double>(s.nnz()), 1.2 * expected);
+}
+
+TEST(ErdosRenyiBernoulli, EdgeProbabilities) {
+  Rng rng(12);
+  EXPECT_EQ(erdos_renyi_bernoulli(100, 100, 0.0, rng).nnz(), 0);
+  EXPECT_THROW(erdos_renyi_bernoulli(10, 10, 1.5, rng), Error);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  Rng rng(13);
+  const auto s = rmat(1 << 12, 1 << 12, 1 << 15, rng);
+  EXPECT_GT(s.nnz(), (1 << 15) * 0.8); // duplicates combine
+  std::vector<Index> degree(1 << 12, 0);
+  for (Index k = 0; k < s.nnz(); ++k) {
+    degree[static_cast<std::size_t>(s.entry(k).row)]++;
+  }
+  const Index max_degree = *std::max_element(degree.begin(), degree.end());
+  const double mean_degree =
+      static_cast<double>(s.nnz()) / static_cast<double>(1 << 12);
+  // Power-law-ish: hub degree far above the mean (uniform ER would
+  // concentrate near the mean).
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+}
+
+TEST(Rmat, RespectsRectangularShape) {
+  Rng rng(14);
+  const auto s = rmat(100, 300, 2000, rng);
+  EXPECT_EQ(s.rows(), 100);
+  EXPECT_EQ(s.cols(), 300);
+  for (Index k = 0; k < s.nnz(); ++k) {
+    EXPECT_LT(s.entry(k).row, 100);
+    EXPECT_LT(s.entry(k).col, 300);
+  }
+}
+
+TEST(Phi, MatchesDefinition) {
+  Rng rng(15);
+  const auto s = erdos_renyi_fixed_row(64, 128, 4, rng);
+  // phi = nnz / (n*r) = 64*4 / (128*16) = 0.125
+  EXPECT_DOUBLE_EQ(phi_ratio(s, 16), 0.125);
+  EXPECT_THROW(phi_ratio(s, 0), Error);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "apps/gnn.hpp"
+#include "common/rng.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+CooMatrix make_graph(Index n, Index degree, std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = erdos_renyi_fixed_row(n, n, degree, rng);
+  for (auto& v : g.values()) v = 1.0;
+  return g;
+}
+
+TEST(Gnn, RowNormalizationMakesRowsStochastic) {
+  const auto graph = make_graph(32, 4, 3);
+  const auto normalized = row_normalized(graph);
+  std::vector<Scalar> row_sum(32, 0.0);
+  for (Index k = 0; k < normalized.nnz(); ++k) {
+    row_sum[static_cast<std::size_t>(normalized.entry(k).row)] +=
+        normalized.entry(k).value;
+  }
+  for (const auto s : row_sum) {
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Gnn, MatchesSerialReferenceAcrossFamilies) {
+  const Index n = 64;
+  const auto graph = make_graph(n, 6, 5);
+  Rng rng(7);
+  DenseMatrix features(n, 16);
+  features.fill_random(rng);
+
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D}) {
+    GnnConfig config;
+    config.layer_widths = {16, 8, 8};
+    config.kind = kind;
+    config.p = 4;
+    config.c = kind == AlgorithmKind::DenseShift15D ||
+                       kind == AlgorithmKind::SparseShift15D
+                   ? 2
+                   : 1;
+    const auto result = gnn_forward(graph, features, config);
+    const auto expected = gnn_forward_reference(graph, features, config);
+    const Scalar norm = std::max<Scalar>(expected.frobenius_norm(), 1.0);
+    EXPECT_LT(result.output.max_abs_diff(expected) / norm, 1e-9)
+        << to_string(kind);
+  }
+}
+
+TEST(Gnn, DeepNetworkShrinksAndGrowsWidths) {
+  const Index n = 32;
+  const auto graph = make_graph(n, 4, 9);
+  Rng rng(11);
+  DenseMatrix features(n, 8);
+  features.fill_random(rng);
+  GnnConfig config;
+  config.layer_widths = {8, 4, 16, 2};
+  config.p = 4;
+  config.c = 2;
+  const auto result = gnn_forward(graph, features, config);
+  EXPECT_EQ(result.output.cols(), 2);
+  const auto expected = gnn_forward_reference(graph, features, config);
+  EXPECT_LT(result.output.max_abs_diff(expected), 1e-9);
+}
+
+TEST(Gnn, ReluClampsBetweenLayers) {
+  const Index n = 32;
+  const auto graph = make_graph(n, 4, 13);
+  Rng rng(17);
+  DenseMatrix features(n, 8);
+  features.fill_random(rng);
+  GnnConfig with_relu, without_relu;
+  with_relu.layer_widths = without_relu.layer_widths = {8, 8, 8};
+  with_relu.p = without_relu.p = 2;
+  without_relu.relu = false;
+  const auto a = gnn_forward(graph, features, with_relu);
+  const auto b = gnn_forward(graph, features, without_relu);
+  // Different activations must yield different outputs (random features
+  // guarantee some negatives at the hidden layer).
+  EXPECT_GT(a.output.max_abs_diff(b.output), 1e-6);
+}
+
+TEST(Gnn, ChargesKernelCosts) {
+  const Index n = 64;
+  const auto graph = make_graph(n, 6, 19);
+  Rng rng(23);
+  DenseMatrix features(n, 16);
+  features.fill_random(rng);
+  GnnConfig config;
+  config.layer_widths = {16, 8};
+  config.kind = AlgorithmKind::DenseShift15D;
+  config.p = 8;
+  config.c = 2;
+  const auto result = gnn_forward(graph, features, config);
+  EXPECT_GT(result.costs.fused_propagation_words, 0u);
+  EXPECT_GT(result.costs.app_flops, 0u);
+}
+
+TEST(Gnn, RejectsBadConfigs) {
+  const auto graph = make_graph(32, 4, 29);
+  DenseMatrix features(32, 8);
+  GnnConfig config;
+  config.layer_widths = {8};
+  EXPECT_THROW(gnn_forward(graph, features, config), Error);
+  config.layer_widths = {4, 8}; // feature width mismatch
+  EXPECT_THROW(gnn_forward(graph, features, config), Error);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/grid.hpp"
+
+namespace dsk {
+namespace {
+
+TEST(Grid15D, CoordinateRoundTrip) {
+  const Grid15D grid(12, 3);
+  std::set<int> seen;
+  for (int u = 0; u < grid.layer_size(); ++u) {
+    for (int v = 0; v < grid.c(); ++v) {
+      const int rank = grid.rank_of(u, v);
+      EXPECT_EQ(grid.u_of(rank), u);
+      EXPECT_EQ(grid.v_of(rank), v);
+      seen.insert(rank);
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u); // bijection onto [0, p)
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 11);
+}
+
+TEST(Grid15D, GroupsPartitionTheMachine) {
+  const Grid15D grid(12, 3);
+  // Fibers partition ranks; so do layers.
+  std::set<int> fiber_union, layer_union;
+  for (int u = 0; u < grid.layer_size(); ++u) {
+    const auto members = grid.fiber_members(u);
+    EXPECT_EQ(members.size(), 3u);
+    fiber_union.insert(members.begin(), members.end());
+  }
+  for (int v = 0; v < grid.c(); ++v) {
+    const auto members = grid.layer_members(v);
+    EXPECT_EQ(members.size(), 4u);
+    layer_union.insert(members.begin(), members.end());
+  }
+  EXPECT_EQ(fiber_union.size(), 12u);
+  EXPECT_EQ(layer_union.size(), 12u);
+}
+
+TEST(Grid15D, RejectsBadConfigs) {
+  EXPECT_THROW(Grid15D(10, 3), Error);
+  EXPECT_THROW(Grid15D(4, 8), Error);
+  EXPECT_FALSE(Grid15D::valid(0, 1));
+  EXPECT_TRUE(Grid15D::valid(1, 1));
+}
+
+TEST(Grid25D, CoordinateRoundTrip) {
+  const Grid25D grid(18, 2); // q = 3
+  EXPECT_EQ(grid.q(), 3);
+  std::set<int> seen;
+  for (int u = 0; u < grid.q(); ++u) {
+    for (int v = 0; v < grid.q(); ++v) {
+      for (int w = 0; w < grid.c(); ++w) {
+        const int rank = grid.rank_of(u, v, w);
+        EXPECT_EQ(grid.u_of(rank), u);
+        EXPECT_EQ(grid.v_of(rank), v);
+        EXPECT_EQ(grid.w_of(rank), w);
+        seen.insert(rank);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 18u);
+}
+
+TEST(Grid25D, RowColumnFiberGroups) {
+  const Grid25D grid(16, 4); // q = 2
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < 4; ++w) {
+      const auto row = grid.row_members(u, w);
+      ASSERT_EQ(row.size(), 2u);
+      for (const int rank : row) {
+        EXPECT_EQ(grid.u_of(rank), u);
+        EXPECT_EQ(grid.w_of(rank), w);
+      }
+    }
+  }
+  const auto fiber = grid.fiber_members(1, 0);
+  ASSERT_EQ(fiber.size(), 4u);
+  for (const int rank : fiber) {
+    EXPECT_EQ(grid.u_of(rank), 1);
+    EXPECT_EQ(grid.v_of(rank), 0);
+  }
+}
+
+TEST(Grid25D, ValidityRequiresSquareLayers) {
+  EXPECT_TRUE(Grid25D::valid(4, 1));
+  EXPECT_TRUE(Grid25D::valid(8, 2));
+  EXPECT_TRUE(Grid25D::valid(27, 3));
+  EXPECT_FALSE(Grid25D::valid(8, 1));
+  EXPECT_FALSE(Grid25D::valid(6, 2));
+  EXPECT_THROW(Grid25D(8, 1), Error);
+}
+
+} // namespace
+} // namespace dsk

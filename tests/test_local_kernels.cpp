@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dense/dense_ops.hpp"
+#include "dist/shards.hpp"
+#include "local/coo_kernels.hpp"
+#include "local/fused.hpp"
+#include "local/gat_kernels.hpp"
+#include "local/reference.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "local/thread_pool.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+struct Fixture {
+  CooMatrix coo;
+  CsrMatrix csr;
+  DenseMatrix a;
+  DenseMatrix b;
+};
+
+Fixture make_fixture(Index m = 32, Index n = 48, Index r = 8,
+                     std::uint64_t seed = 7) {
+  Rng rng(seed);
+  Fixture f{erdos_renyi_fixed_row(m, n, 5, rng), {}, DenseMatrix(m, r),
+            DenseMatrix(n, r)};
+  f.csr = coo_to_csr(f.coo);
+  f.a.fill_random(rng);
+  f.b.fill_random(rng);
+  return f;
+}
+
+constexpr Scalar kTol = 1e-12;
+
+TEST(LocalSddmm, MatchesDenseReference) {
+  auto f = make_fixture();
+  const auto got = sddmm(f.csr, f.a, f.b);
+  // Reference via full dense product: R = S .* (A B^T).
+  DenseMatrix ab(f.a.rows(), f.b.rows());
+  gemm(f.a, f.b, ab, 1.0, false, /*transpose_y=*/true);
+  for (Index i = 0; i < f.csr.rows(); ++i) {
+    const auto cols = f.csr.row_cols(i);
+    const auto s_vals = f.csr.row_values(i);
+    const auto r_vals = got.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_NEAR(r_vals[k], s_vals[k] * ab(i, cols[k]), kTol);
+    }
+  }
+}
+
+TEST(LocalSddmm, SplitPrimitivesComposeToSddmm) {
+  auto f = make_fixture();
+  std::vector<Scalar> dots(static_cast<std::size_t>(f.csr.nnz()), 0.0);
+  masked_dot_products(f.csr, f.a, f.b, dots);
+  std::vector<Scalar> out(dots.size());
+  hadamard_values(f.csr.values(), dots, out);
+  const auto direct = sddmm(f.csr, f.a, f.b);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_NEAR(out[k], direct.values()[k], kTol);
+  }
+}
+
+TEST(LocalSddmm, AccumulatesAcrossCalls) {
+  // Two calls on r-slices must equal one call on the full width — the
+  // property the sparse-shifting algorithms rely on.
+  auto f = make_fixture(16, 24, 8);
+  std::vector<Scalar> dots(static_cast<std::size_t>(f.csr.nnz()), 0.0);
+  const auto a_lo = f.a.col_block(0, 4);
+  const auto a_hi = f.a.col_block(4, 8);
+  const auto b_lo = f.b.col_block(0, 4);
+  const auto b_hi = f.b.col_block(4, 8);
+  masked_dot_products(f.csr, a_lo, b_lo, dots);
+  masked_dot_products(f.csr, a_hi, b_hi, dots);
+  std::vector<Scalar> full(dots.size(), 0.0);
+  masked_dot_products(f.csr, f.a, f.b, full);
+  for (std::size_t k = 0; k < dots.size(); ++k) {
+    EXPECT_NEAR(dots[k], full[k], kTol);
+  }
+}
+
+TEST(LocalSpmm, BothOrientationsMatchReference) {
+  auto f = make_fixture();
+  DenseMatrix a_out(f.csr.rows(), f.a.cols());
+  spmm_a(f.csr, f.b, a_out);
+  EXPECT_LT(a_out.max_abs_diff(reference_spmm_a(f.coo, f.b)), kTol);
+
+  DenseMatrix b_out(f.csr.cols(), f.a.cols());
+  spmm_b(f.csr, f.a, b_out);
+  EXPECT_LT(b_out.max_abs_diff(reference_spmm_b(f.coo, f.a)), kTol);
+}
+
+TEST(LocalSpmm, TransposeDuality) {
+  // SpMMA(S, B) == SpMMB(S^T, B) — the identity behind the paper's
+  // orientation interchange.
+  auto f = make_fixture();
+  DenseMatrix via_a(f.csr.rows(), f.a.cols());
+  spmm_a(f.csr, f.b, via_a);
+  DenseMatrix via_b(f.csr.rows(), f.a.cols());
+  spmm_b(transpose(f.csr), f.b, via_b);
+  EXPECT_LT(via_a.max_abs_diff(via_b), kTol);
+}
+
+TEST(LocalSpmm, AccumulatesIntoOutput) {
+  auto f = make_fixture();
+  DenseMatrix acc(f.csr.rows(), f.a.cols());
+  acc.fill(1.0);
+  spmm_a(f.csr, f.b, acc);
+  DenseMatrix fresh(f.csr.rows(), f.a.cols());
+  spmm_a(f.csr, f.b, fresh);
+  for (Index i = 0; i < acc.rows(); ++i) {
+    for (Index j = 0; j < acc.cols(); ++j) {
+      EXPECT_NEAR(acc(i, j), fresh(i, j) + 1.0, kTol);
+    }
+  }
+}
+
+TEST(LocalFused, MatchesTwoStepComposition) {
+  auto f = make_fixture();
+  DenseMatrix fused_out(f.csr.rows(), f.a.cols());
+  fusedmm_a(f.csr, f.a, f.b, fused_out);
+  EXPECT_LT(fused_out.max_abs_diff(reference_fusedmm_a(f.coo, f.a, f.b)),
+            1e-10);
+}
+
+TEST(LocalFused, RecordsIntermediateValues) {
+  auto f = make_fixture();
+  DenseMatrix out(f.csr.rows(), f.a.cols());
+  std::vector<Scalar> r_values(static_cast<std::size_t>(f.csr.nnz()));
+  fusedmm_a_with_values(f.csr, f.a, f.b, out, r_values);
+  const auto r = sddmm(f.csr, f.a, f.b);
+  for (std::size_t k = 0; k < r_values.size(); ++k) {
+    EXPECT_NEAR(r_values[k], r.values()[k], kTol);
+  }
+}
+
+TEST(LocalFused, FlopCountIsDouble) {
+  auto f = make_fixture();
+  DenseMatrix out(f.csr.rows(), f.a.cols());
+  const auto fused_flops = fusedmm_a(f.csr, f.a, f.b, out);
+  DenseMatrix out2(f.csr.rows(), f.a.cols());
+  const auto spmm_flops = spmm_a(f.csr, f.b, out2);
+  EXPECT_EQ(fused_flops, 2 * spmm_flops);
+}
+
+TEST(CooKernels, MatchCsrKernels) {
+  auto f = make_fixture();
+  Triplets t;
+  t.rows.assign(f.coo.row_idx().begin(), f.coo.row_idx().end());
+  t.cols.assign(f.coo.col_idx().begin(), f.coo.col_idx().end());
+  t.values.assign(f.coo.values().begin(), f.coo.values().end());
+
+  DenseMatrix a_coo(f.csr.rows(), f.a.cols());
+  spmm_a_coo(t.rows, t.cols, t.values, f.b, a_coo, 0, 0);
+  DenseMatrix a_csr(f.csr.rows(), f.a.cols());
+  spmm_a(f.csr, f.b, a_csr);
+  EXPECT_LT(a_coo.max_abs_diff(a_csr), kTol);
+
+  DenseMatrix b_coo(f.csr.cols(), f.a.cols());
+  spmm_b_coo(t.rows, t.cols, t.values, f.a, b_coo, 0, 0);
+  DenseMatrix b_csr(f.csr.cols(), f.a.cols());
+  spmm_b(f.csr, f.a, b_csr);
+  EXPECT_LT(b_coo.max_abs_diff(b_csr), kTol);
+}
+
+TEST(CooKernels, OffsetsTranslateBlocks) {
+  auto f = make_fixture(16, 16, 4);
+  // Shift all coordinates by a block offset and compensate with kernel
+  // offsets.
+  Triplets t;
+  for (Index k = 0; k < f.coo.nnz(); ++k) {
+    t.rows.push_back(f.coo.entry(k).row + 100);
+    t.cols.push_back(f.coo.entry(k).col + 200);
+    t.values.push_back(f.coo.entry(k).value);
+  }
+  DenseMatrix out(16, 4);
+  spmm_a_coo(t.rows, t.cols, t.values, f.b, out, 100, 200);
+  EXPECT_LT(out.max_abs_diff(reference_spmm_a(f.coo, f.b)), kTol);
+  // Out-of-range coordinates are rejected.
+  DenseMatrix small(8, 4);
+  EXPECT_THROW(spmm_a_coo(t.rows, t.cols, t.values, f.b, small, 100, 200),
+               Error);
+}
+
+TEST(ThreadPool, ParallelKernelsMatchSerial) {
+  auto f = make_fixture(64, 64, 16);
+  ThreadPool pool(4);
+  DenseMatrix serial(f.csr.rows(), 16), parallel_out(f.csr.rows(), 16);
+  spmm_a(f.csr, f.b, serial);
+  spmm_a(f.csr, f.b, parallel_out, &pool);
+  EXPECT_LT(serial.max_abs_diff(parallel_out), kTol);
+
+  std::vector<Scalar> d1(static_cast<std::size_t>(f.csr.nnz()), 0.0);
+  std::vector<Scalar> d2(static_cast<std::size_t>(f.csr.nnz()), 0.0);
+  masked_dot_products(f.csr, f.a, f.b, d1);
+  masked_dot_products(f.csr, f.a, f.b, d2, &pool);
+  for (std::size_t k = 0; k < d1.size(); ++k) {
+    EXPECT_NEAR(d1[k], d2[k], kTol);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsFine) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](Index, Index) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(GatKernels, LogitsDecomposeAttention) {
+  auto f = make_fixture(16, 16, 4);
+  std::vector<Scalar> u(16), v(16);
+  Rng rng(3);
+  for (auto& x : u) x = rng.next_in(-1, 1);
+  for (auto& x : v) x = rng.next_in(-1, 1);
+  std::vector<Scalar> scores(static_cast<std::size_t>(f.csr.nnz()), 0.0);
+  gat_edge_logits(f.csr, u, v, scores);
+  std::size_t k = 0;
+  for (Index i = 0; i < f.csr.rows(); ++i) {
+    for (const Index j : f.csr.row_cols(i)) {
+      EXPECT_NEAR(scores[k++], u[static_cast<std::size_t>(i)] +
+                                   v[static_cast<std::size_t>(j)],
+                  kTol);
+    }
+  }
+}
+
+TEST(GatKernels, LeakyReluNegativeSlope) {
+  std::vector<Scalar> x{-2.0, 0.0, 3.0};
+  leaky_relu(x, 0.2);
+  EXPECT_DOUBLE_EQ(x[0], -0.4);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(GatKernels, RowSoftmaxNormalizes) {
+  auto f = make_fixture(16, 16, 4);
+  CsrMatrix s = f.csr;
+  row_softmax(s);
+  for (Index i = 0; i < s.rows(); ++i) {
+    const auto vals = s.row_values(i);
+    if (vals.empty()) continue;
+    Scalar sum = 0;
+    for (const auto x : vals) {
+      EXPECT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GatKernels, DistributedSoftmaxPiecesCompose) {
+  // row_max / row_exp_sum / apply_softmax with full rows must equal
+  // row_softmax (the distributed GAT combines these across ranks).
+  auto f = make_fixture(16, 16, 4, 9);
+  CsrMatrix direct = f.csr;
+  row_softmax(direct);
+
+  CsrMatrix pieces = f.csr;
+  std::vector<Scalar> shift(16);
+  row_max(pieces, shift);
+  std::vector<Scalar> denom(16, 0.0);
+  row_exp_sum(pieces, shift, denom);
+  apply_softmax(pieces, shift, denom);
+  EXPECT_EQ(max_abs_value_diff(direct, pieces), 0.0);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,105 @@
+/// Failure-injection tests for the simulated runtime: protocols that go
+/// wrong must surface as errors, never hang or silently corrupt.
+
+#include <gtest/gtest.h>
+
+#include "runtime/collectives.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk {
+namespace {
+
+TEST(RuntimeFailure, LeftoverMessageIsAProtocolBug) {
+  // A send nobody receives must make the world throw at shutdown.
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            comm.send<Scalar>(1, kTagUser,
+                                              std::vector<Scalar>{1.0});
+                          }
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, SendToInvalidRankThrows) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& comm) {
+                          comm.send<Scalar>(7, kTagUser,
+                                            std::vector<Scalar>{1.0});
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, RecvFromInvalidRankThrows) {
+  EXPECT_THROW(
+      run_spmd(2, [](Comm& comm) { comm.recv<Scalar>(-1, kTagUser); }),
+      Error);
+}
+
+TEST(RuntimeFailure, ExceptionDuringCollectiveUnblocksGroup) {
+  // One rank dies before joining the all-gather; everyone else is blocked
+  // inside the ring and must be aborted, with the original error
+  // propagated.
+  try {
+    run_spmd(4, [](Comm& comm) {
+      if (comm.rank() == 2) {
+        fail("injected failure before collective");
+      }
+      Group group(comm, {0, 1, 2, 3});
+      group.allgather(std::vector<Scalar>(8, 1.0));
+    });
+    FAIL() << "expected dsk::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected failure"),
+              std::string::npos);
+  }
+}
+
+TEST(RuntimeFailure, ExceptionDuringBarrierUnblocksPeers) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            fail("dead before barrier");
+                          }
+                          comm.barrier();
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, GroupRequiresMembership) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          // Rank 2 builds a group it is not part of.
+                          if (comm.rank() == 2) {
+                            Group group(comm, {0, 1});
+                          }
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, GroupRejectsDuplicateMembers) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            Group group(comm, {0, 0, 1});
+                          }
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, ReduceScatterRequiresDivisibleInput) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          Group group(comm, {0, 1, 2});
+                          group.reduce_scatter(
+                              std::vector<Scalar>(7, 1.0)); // 7 % 3 != 0
+                        }),
+               Error);
+}
+
+TEST(RuntimeFailure, WorldRequiresAtLeastOneRank) {
+  EXPECT_THROW(SimWorld(0), Error);
+}
+
+} // namespace
+} // namespace dsk

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/shards.hpp"
+
+namespace dsk {
+namespace {
+
+TEST(Shards, TripletsRoundTrip) {
+  Triplets t;
+  t.rows = {3, 1, 4};
+  t.cols = {1, 5, 9};
+  t.values = {2.5, -6.25, 0.0};
+  const auto words = pack_triplets(t);
+  // 3 words per nonzero + 1 count header: the paper's COO wire cost.
+  EXPECT_EQ(words.size(), 3 * 3 + 1);
+  const auto back = unpack_triplets(words);
+  EXPECT_EQ(back.rows, t.rows);
+  EXPECT_EQ(back.cols, t.cols);
+  EXPECT_EQ(back.values, t.values);
+}
+
+TEST(Shards, EmptyTripletsAreOneWord) {
+  const auto words = pack_triplets(Triplets{});
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_EQ(unpack_triplets(words).size(), 0u);
+}
+
+TEST(Shards, TripletsRejectCorruptMessages) {
+  Triplets t;
+  t.rows = {1};
+  t.cols = {2};
+  t.values = {3.0};
+  auto words = pack_triplets(t);
+  words.push_back(0); // trailing garbage
+  EXPECT_THROW(unpack_triplets(words), Error);
+  MessageWords truncated(words.begin(), words.begin() + 2);
+  EXPECT_THROW(unpack_triplets(truncated), Error);
+}
+
+TEST(Shards, DenseRoundTripPreservesLayout) {
+  Rng rng(5);
+  DenseMatrix m(7, 3);
+  m.fill_random(rng);
+  const auto words = pack_dense(m);
+  EXPECT_EQ(words.size(), 21u); // values only; shape travels out of band
+  const auto back = unpack_dense(words, 7, 3);
+  EXPECT_EQ(back.max_abs_diff(m), 0.0);
+  EXPECT_THROW(unpack_dense(words, 7, 4), Error);
+}
+
+TEST(Shards, ValuesRoundTrip) {
+  const std::vector<Scalar> values{1.0, -2.0, 1e-300, 4e300};
+  const auto words = pack_values(values);
+  EXPECT_EQ(unpack_values(words), values);
+}
+
+TEST(Shards, MismatchedTripletArraysRejected) {
+  Triplets t;
+  t.rows = {1, 2};
+  t.cols = {3};
+  t.values = {1.0};
+  EXPECT_THROW(pack_triplets(t), Error);
+}
+
+} // namespace
+} // namespace dsk

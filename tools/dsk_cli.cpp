@@ -1,0 +1,217 @@
+/// dsk command-line driver: run any distributed kernel or FusedMM
+/// configuration on a generated or Matrix Market input and print the
+/// verified result quality plus the paper's communication metrics.
+///
+/// Usage:
+///   dsk_cli [options]
+///     --op        sddmm | spmma | spmmb | fusedmm-a | fusedmm-b
+///                 (default fusedmm-a)
+///     --algo      dense-shift | sparse-shift | dense-repl | sparse-repl
+///                 | baseline   (default dense-shift)
+///     --elision   none | reuse | fusion      (default none; FusedMM only)
+///     --p N       simulated ranks            (default 16)
+///     --c N       replication factor         (default 1)
+///     --n N       square matrix side         (default 8192)
+///     --d N       nonzeros per row           (default 8)
+///     --r N       embedding width            (default 32)
+///     --matrix F  load a Matrix Market file instead of generating
+///     --rmat      generate R-MAT instead of Erdos-Renyi
+///     --seed N    RNG seed                   (default 1)
+///     --reps N    FusedMM repetitions        (default 1)
+///     --no-verify skip the serial reference check (large inputs)
+///
+/// Examples:
+///   dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 --c 4
+///   dsk_cli --matrix graph.mtx --algo sparse-shift --elision reuse
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "dist/algorithm.hpp"
+#include "dist/problem.hpp"
+#include "local/reference.hpp"
+#include "model/cost_model.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/permute.hpp"
+
+namespace {
+
+using namespace dsk;
+
+struct Options {
+  std::string op = "fusedmm-a";
+  std::string algo = "dense-shift";
+  std::string elision = "none";
+  std::string matrix_path;
+  bool use_rmat = false;
+  bool verify = true;
+  int p = 16;
+  int c = 1;
+  Index n = 8192;
+  Index d = 8;
+  Index r = 32;
+  std::uint64_t seed = 1;
+  int reps = 1;
+};
+
+[[noreturn]] void usage_and_exit(const char* message) {
+  std::fprintf(stderr, "dsk_cli: %s\nSee the header comment of "
+                       "tools/dsk_cli.cpp for usage.\n",
+               message);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--op") opt.op = next();
+    else if (arg == "--algo") opt.algo = next();
+    else if (arg == "--elision") opt.elision = next();
+    else if (arg == "--matrix") opt.matrix_path = next();
+    else if (arg == "--rmat") opt.use_rmat = true;
+    else if (arg == "--no-verify") opt.verify = false;
+    else if (arg == "--p") opt.p = std::atoi(next());
+    else if (arg == "--c") opt.c = std::atoi(next());
+    else if (arg == "--n") opt.n = std::atoll(next());
+    else if (arg == "--d") opt.d = std::atoll(next());
+    else if (arg == "--r") opt.r = std::atoll(next());
+    else if (arg == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--reps") opt.reps = std::atoi(next());
+    else if (arg == "--help" || arg == "-h") usage_and_exit("help");
+    else usage_and_exit(("unknown option " + arg).c_str());
+  }
+  return opt;
+}
+
+AlgorithmKind parse_algo(const std::string& name) {
+  if (name == "dense-shift") return AlgorithmKind::DenseShift15D;
+  if (name == "sparse-shift") return AlgorithmKind::SparseShift15D;
+  if (name == "dense-repl") return AlgorithmKind::DenseRepl25D;
+  if (name == "sparse-repl") return AlgorithmKind::SparseRepl25D;
+  if (name == "baseline") return AlgorithmKind::Baseline1D;
+  usage_and_exit(("unknown algorithm " + name).c_str());
+}
+
+Elision parse_elision(const std::string& name) {
+  if (name == "none") return Elision::None;
+  if (name == "reuse") return Elision::ReplicationReuse;
+  if (name == "fusion") return Elision::LocalKernelFusion;
+  usage_and_exit(("unknown elision " + name).c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const AlgorithmKind kind = parse_algo(opt.algo);
+  const Elision elision = parse_elision(opt.elision);
+
+  try {
+    Rng rng(opt.seed);
+    CooMatrix s(0, 0);
+    if (!opt.matrix_path.empty()) {
+      std::printf("loading %s\n", opt.matrix_path.c_str());
+      auto loaded = read_matrix_market_file(opt.matrix_path);
+      // Random permutation for load balance, as the paper does on input.
+      s = random_permute(loaded, rng).matrix;
+    } else if (opt.use_rmat) {
+      s = rmat(opt.n, opt.n, opt.n * opt.d, rng);
+    } else {
+      s = erdos_renyi_fixed_row(opt.n, opt.n, opt.d, rng);
+    }
+
+    DenseMatrix a(s.rows(), opt.r), b(s.cols(), opt.r);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    auto padded = pad_problem(kind, opt.p, opt.c, s, a, b);
+    std::printf("problem: %lld x %lld, nnz %lld, r %lld (padded to "
+                "%lld x %lld), phi = %.4f\n",
+                static_cast<long long>(s.rows()),
+                static_cast<long long>(s.cols()),
+                static_cast<long long>(s.nnz()),
+                static_cast<long long>(opt.r),
+                static_cast<long long>(padded.s.rows()),
+                static_cast<long long>(padded.s.cols()),
+                phi_ratio(s, opt.r));
+    std::printf("config: %s, %s, p = %d, c = %d\n", opt.algo.c_str(),
+                opt.op.c_str(), opt.p, opt.c);
+
+    auto algo = make_algorithm(kind, opt.p, opt.c);
+    Timer timer;
+    WorldStats stats;
+    double max_err = -1;
+
+    if (opt.op == "fusedmm-a" || opt.op == "fusedmm-b") {
+      const auto orientation = opt.op == "fusedmm-a" ? FusedOrientation::A
+                                                     : FusedOrientation::B;
+      auto result = algo->run_fusedmm(orientation, elision, padded.s,
+                                      padded.a, padded.b, opt.reps);
+      stats = std::move(result.stats);
+      if (opt.verify && kind != AlgorithmKind::Baseline1D) {
+        const auto expected =
+            orientation == FusedOrientation::A
+                ? reference_fusedmm_a(padded.s, padded.a, padded.b)
+                : reference_fusedmm_b(padded.s, padded.a, padded.b);
+        max_err = result.output.max_abs_diff(expected) /
+                  std::max<Scalar>(expected.frobenius_norm(), 1.0);
+      }
+    } else {
+      Mode mode;
+      if (opt.op == "sddmm") mode = Mode::SDDMM;
+      else if (opt.op == "spmma") mode = Mode::SpMMA;
+      else if (opt.op == "spmmb") mode = Mode::SpMMB;
+      else usage_and_exit(("unknown op " + opt.op).c_str());
+      auto result = algo->run_kernel(mode, padded.s, padded.a, padded.b);
+      stats = std::move(result.stats);
+      if (opt.verify && mode == Mode::SpMMA) {
+        const auto expected = reference_spmm_a(padded.s, padded.b);
+        max_err = result.dense.max_abs_diff(expected) /
+                  std::max<Scalar>(expected.frobenius_norm(), 1.0);
+      } else if (opt.verify && mode == Mode::SpMMB) {
+        const auto expected = reference_spmm_b(padded.s, padded.a);
+        max_err = result.dense.max_abs_diff(expected) /
+                  std::max<Scalar>(expected.frobenius_norm(), 1.0);
+      }
+    }
+    const double wall = timer.seconds();
+
+    const auto machine = MachineModel::cori_knl();
+    std::printf("\n%-24s %14s %14s %12s\n", "phase", "words (max)",
+                "messages", "modeled");
+    for (const Phase phase :
+         {Phase::Replication, Phase::Propagation, Phase::Computation}) {
+      std::printf("%-24s %14llu %14llu %10.4fms\n",
+                  to_string(phase).c_str(),
+                  static_cast<unsigned long long>(stats.max_words(phase)),
+                  static_cast<unsigned long long>(stats.max_messages(phase)),
+                  1e3 * stats.modeled_phase_seconds(phase, machine));
+    }
+    std::printf("%-24s %43.4fms\n", "total (modeled)",
+                1e3 * stats.modeled_kernel_seconds(machine));
+    std::printf("%-24s %43.4fms\n", "overlap bound (modeled)",
+                1e3 * stats.modeled_overlap_seconds(machine));
+    std::printf("\nhost wall time: %.3fs (simulation, not performance)\n",
+                wall);
+    if (max_err >= 0) {
+      std::printf("verification vs serial reference: max rel err %.2e %s\n",
+                  max_err, max_err < 1e-9 ? "[OK]" : "[FAIL]");
+      if (max_err >= 1e-9) return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dsk_cli: error: %s\n", e.what());
+    return 1;
+  }
+}
