@@ -12,27 +12,124 @@
 /// winning algorithm) so every figure regenerates in seconds on a
 /// laptop. Set DSK_BENCH_SCALE=2 (or 4) to double/quadruple n.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sparse/generate.hpp"
+
+#if __has_include("dist/algorithm.hpp")
+#define DSK_BENCH_HAVE_DIST 1
 #include "dist/algorithm.hpp"
 #include "dist/grid.hpp"
 #include "model/optimal_c.hpp"
 #include "model/predictor.hpp"
 #include "runtime/machine.hpp"
-#include "sparse/generate.hpp"
+#endif
 
 namespace dsk::bench {
+
+/// Machine-readable benchmark output: a flat JSON array of records, one
+/// per measurement, written atomically on write(). Keys and values are
+/// caller-controlled identifiers/numbers, so only minimal string
+/// escaping is applied. This is the interchange format for the repo's
+/// perf-trajectory tracking (BENCH_*.json files committed per PR).
+class JsonRecords {
+ public:
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + escape(value) + "\"");
+      return *this;
+    }
+    Record& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+    Record& field(const std::string& key, double value) {
+      // inf/nan are not valid JSON tokens (a zero-duration timing would
+      // otherwise poison the whole file); emit null instead.
+      if (!std::isfinite(value)) {
+        fields_.emplace_back(key, "null");
+        return *this;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& field(const std::string& key, std::int64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Record& field(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Record& field(const std::string& key, int value) {
+      return field(key, static_cast<std::int64_t>(value));
+    }
+
+   private:
+    friend class JsonRecords;
+    static std::string escape(const std::string& s) {
+      std::string out;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Record& add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Returns false if the file could not be opened or fully written.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << "  {";
+      const auto& fields = records_[i].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        out << "\"" << Record::escape(fields[f].first)
+            << "\": " << fields[f].second;
+        if (f + 1 < fields.size()) out << ", ";
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    return out.good();
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 inline int env_scale() {
   const char* s = std::getenv("DSK_BENCH_SCALE");
   const int v = s != nullptr ? std::atoi(s) : 1;
   return v >= 1 ? v : 1;
 }
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Everything below drives the *distributed* figure benchmarks and needs
+// the dist layer (grids, algorithms, cost model). Guarded so the local
+// kernel benchmark keeps building before src/dist lands.
+#ifdef DSK_BENCH_HAVE_DIST
 
 /// The paper reports "Time for 5 FusedMM Calls"; communication scales
 /// exactly linearly in repetitions (tested), so we run one call and
@@ -187,8 +284,6 @@ inline std::vector<Variant> paper_variants() {
   };
 }
 
-inline void print_header(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
-}
+#endif // DSK_BENCH_HAVE_DIST
 
 } // namespace dsk::bench

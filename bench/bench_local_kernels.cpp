@@ -1,15 +1,32 @@
 /// Local (shared-memory) kernel microbenchmarks — the Section III-A
 /// substrate: CSR SDDMM, SpMM in both orientations, and the fused
-/// FusedMM kernel that local kernel fusion relies on, serial and with
-/// the thread pool. The interesting ratio is fused vs (SDDMM + SpMM):
-/// fusion halves the passes over the sparse structure and skips the
-/// intermediate store, which is the shared-memory benefit Rahman et al.
-/// [11] report.
+/// FusedMM kernel. Each kernel is measured in three implementations on a
+/// power-law (R-MAT) matrix:
+///
+///   seed      — the seed repo's kernels: generic scalar inner loop,
+///               equal-*row* thread partitioning, serial SpMM-B
+///               (replicated here verbatim as the baseline)
+///   tuned     — the current library kernels: nnz-balanced scheduling,
+///               width-specialized (r in {32,64,128}) inner loops,
+///               parallel SpMM-B with private scatter buffers
+///
+/// Results are printed as a table and written as a flat JSON array
+/// (default BENCH_local_kernels.json) with one record per measurement:
+/// kernel, impl, n, nnz, r, threads, seconds, gflops — the repo's
+/// perf-trajectory format.
+///
+/// Usage: bench_local_kernels [--n N] [--edges-per-row E]
+///                            [--out PATH] [--quick]
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "common/rng.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
 #include "local/fused.hpp"
+#include "local/schedule.hpp"
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
 #include "local/thread_pool.hpp"
@@ -20,106 +37,371 @@ namespace {
 
 using namespace dsk;
 
+// ------------------------------------------------------------------
+// Seed-kernel replicas: the exact inner loops and scheduling the repo
+// shipped with, kept here as the fixed baseline the tuned kernels are
+// measured against.
+
+void seed_spmm_a_rows(const CsrMatrix& s, const DenseMatrix& b,
+                      DenseMatrix& a_out, Index row_begin, Index row_end) {
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = b.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    auto acc = a_out.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Scalar v = values[static_cast<std::size_t>(k)];
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            v * b_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+}
+
+void seed_spmm_a(const CsrMatrix& s, const DenseMatrix& b,
+                 DenseMatrix& a_out, ThreadPool* pool) {
+  if (pool != nullptr) {
+    // Seed scheduling: equal row counts per thread.
+    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
+      seed_spmm_a_rows(s, b, a_out, begin, end);
+    });
+  } else {
+    seed_spmm_a_rows(s, b, a_out, 0, s.rows());
+  }
+}
+
+void seed_spmm_b(const CsrMatrix& s, const DenseMatrix& a,
+                 DenseMatrix& b_out) {
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = a.cols();
+  for (Index i = 0; i < s.rows(); ++i) {
+    const auto a_row = a.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Scalar v = values[static_cast<std::size_t>(k)];
+      auto acc = b_out.row(col_idx[static_cast<std::size_t>(k)]);
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            v * a_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+}
+
+void seed_sddmm_rows(const CsrMatrix& pattern, const DenseMatrix& a,
+                     const DenseMatrix& b, std::span<Scalar> dots,
+                     Index row_begin, Index row_end) {
+  const auto row_ptr = pattern.row_ptr();
+  const auto col_idx = pattern.col_idx();
+  const Index r = a.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    const auto a_row = a.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      Scalar dot = 0;
+      for (Index f = 0; f < r; ++f) {
+        dot += a_row[static_cast<std::size_t>(f)] *
+               b_row[static_cast<std::size_t>(f)];
+      }
+      dots[static_cast<std::size_t>(k)] += dot;
+    }
+  }
+}
+
+void seed_sddmm(const CsrMatrix& pattern, const DenseMatrix& a,
+                const DenseMatrix& b, std::span<Scalar> dots,
+                ThreadPool* pool) {
+  if (pool != nullptr) {
+    pool->parallel_for(0, pattern.rows(), [&](Index begin, Index end) {
+      seed_sddmm_rows(pattern, a, b, dots, begin, end);
+    });
+  } else {
+    seed_sddmm_rows(pattern, a, b, dots, 0, pattern.rows());
+  }
+}
+
+void seed_fused_rows(const CsrMatrix& s, const DenseMatrix& a_in,
+                     const DenseMatrix& b, DenseMatrix& a_out,
+                     Index row_begin, Index row_end) {
+  const auto row_ptr = s.row_ptr();
+  const auto col_idx = s.col_idx();
+  const auto values = s.values();
+  const Index r = b.cols();
+  for (Index i = row_begin; i < row_end; ++i) {
+    const auto a_row = a_in.row(i);
+    auto acc = a_out.row(i);
+    for (Index k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
+      Scalar dot = 0;
+      for (Index f = 0; f < r; ++f) {
+        dot += a_row[static_cast<std::size_t>(f)] *
+               b_row[static_cast<std::size_t>(f)];
+      }
+      const Scalar weight = values[static_cast<std::size_t>(k)] * dot;
+      for (Index f = 0; f < r; ++f) {
+        acc[static_cast<std::size_t>(f)] +=
+            weight * b_row[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+}
+
+void seed_fusedmm_a(const CsrMatrix& s, const DenseMatrix& a_in,
+                    const DenseMatrix& b, DenseMatrix& a_out,
+                    ThreadPool* pool) {
+  if (pool != nullptr) {
+    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
+      seed_fused_rows(s, a_in, b, a_out, begin, end);
+    });
+  } else {
+    seed_fused_rows(s, a_in, b, a_out, 0, s.rows());
+  }
+}
+
+// ------------------------------------------------------------------
+// Harness.
+
+struct Options {
+  Index n = Index{1} << 16;
+  Index edges_per_row = 18;
+  std::string out = "BENCH_local_kernels.json";
+  bool quick = false; // smaller instance, fewer repetitions (CI smoke)
+};
+
 struct Instance {
   CsrMatrix s;
   DenseMatrix a;
   DenseMatrix b;
 };
 
-Instance make_instance(Index n, Index nnz_per_row, Index r) {
+Instance make_instance(Index n, Index edges_per_row, Index r) {
   Rng rng(1234);
-  Instance inst{coo_to_csr(erdos_renyi_fixed_row(n, n, nnz_per_row, rng)),
+  Instance inst{coo_to_csr(rmat(n, n, n * edges_per_row, rng)),
                 DenseMatrix(n, r), DenseMatrix(n, r)};
   inst.a.fill_random(rng);
   inst.b.fill_random(rng);
   return inst;
 }
 
-void args_grid(benchmark::internal::Benchmark* b) {
-  b->Args({1 << 12, 8, 32})->Args({1 << 13, 16, 64})->Args({1 << 14, 8, 128});
+/// Best-of-k wall time of fn (after one warmup call), where k grows
+/// until min_total seconds have been spent or max_iters is reached.
+template <typename Fn>
+double measure_seconds(const Fn& fn, double min_total, int max_iters) {
+  fn(); // warmup
+  double best = 1e300;
+  double spent = 0;
+  for (int i = 0; i < max_iters && (i < 2 || spent < min_total); ++i) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    best = std::min(best, s);
+    spent += s;
+  }
+  return best;
 }
 
-void BM_Sddmm(benchmark::State& state) {
-  const auto inst = make_instance(state.range(0), state.range(1),
-                                  state.range(2));
+struct Harness {
+  bench::JsonRecords records;
+  double min_total;
+  int max_iters;
+
+  void report(const std::string& kernel, const std::string& impl,
+              const Instance& inst, Index r, int threads, double seconds,
+              std::uint64_t flops) {
+    const double gflops = static_cast<double>(flops) / seconds * 1e-9;
+    records.add()
+        .field("kernel", kernel)
+        .field("impl", impl)
+        .field("n", static_cast<std::int64_t>(inst.s.rows()))
+        .field("nnz", static_cast<std::int64_t>(inst.s.nnz()))
+        .field("r", static_cast<std::int64_t>(r))
+        .field("threads", threads)
+        .field("seconds", seconds)
+        .field("gflops", gflops);
+    std::printf("%-10s %-6s r=%-4lld threads=%d  %8.4fs  %7.2f GFLOP/s\n",
+                kernel.c_str(), impl.c_str(),
+                static_cast<long long>(r), threads, seconds, gflops);
+  }
+
+  template <typename Fn>
+  void run(const std::string& kernel, const std::string& impl,
+           const Instance& inst, Index r, int threads,
+           std::uint64_t flops, const Fn& fn) {
+    report(kernel, impl, inst, r, threads,
+           measure_seconds(fn, min_total, max_iters), flops);
+  }
+};
+
+/// Partition quality: max part nnz over the mean (1.0 = perfectly
+/// balanced). This is the thread-count-independent predictor of parallel
+/// kernel speedup — wall-clock scaling itself needs real cores, which CI
+/// containers may not have, so the imbalance ratio is recorded alongside
+/// the timings.
+double imbalance(const CsrMatrix& s, std::span<const Index> bounds) {
+  const auto row_ptr = s.row_ptr();
+  const auto parts = static_cast<int>(bounds.size()) - 1;
+  Index max_part = 0;
+  for (int p = 0; p < parts; ++p) {
+    max_part = std::max(
+        max_part,
+        row_ptr[static_cast<std::size_t>(bounds[static_cast<std::size_t>(p) +
+                                                1])] -
+            row_ptr[static_cast<std::size_t>(
+                bounds[static_cast<std::size_t>(p)])]);
+  }
+  return s.nnz() > 0
+             ? static_cast<double>(max_part) * parts /
+                   static_cast<double>(s.nnz())
+             : 1.0;
+}
+
+void bench_partition_quality(Harness& h, const Instance& inst,
+                             const std::vector<int>& thread_counts) {
+  for (const int threads : thread_counts) {
+    if (threads < 2) continue;
+    const double seed_rows =
+        imbalance(inst.s, partition_uniform(inst.s.rows(), threads));
+    const double nnz_balanced =
+        imbalance(inst.s, partition_rows_by_nnz(inst.s.row_ptr(), threads));
+    h.records.add()
+        .field("kernel", "partition")
+        .field("impl", "seed")
+        .field("n", static_cast<std::int64_t>(inst.s.rows()))
+        .field("nnz", static_cast<std::int64_t>(inst.s.nnz()))
+        .field("threads", threads)
+        .field("imbalance", seed_rows);
+    h.records.add()
+        .field("kernel", "partition")
+        .field("impl", "tuned")
+        .field("n", static_cast<std::int64_t>(inst.s.rows()))
+        .field("nnz", static_cast<std::int64_t>(inst.s.nnz()))
+        .field("threads", threads)
+        .field("imbalance", nnz_balanced);
+    std::printf("partition  threads=%d  equal-rows imbalance %.2fx, "
+                "nnz-balanced %.3fx\n",
+                threads, seed_rows, nnz_balanced);
+  }
+}
+
+void bench_width(Harness& h, const Options& opt, Index r,
+                 const std::vector<int>& thread_counts) {
+  const Instance inst = make_instance(opt.quick ? opt.n / 8 : opt.n,
+                                      opt.edges_per_row, r);
+  if (r == 32) bench_partition_quality(h, inst, thread_counts);
+  const auto nnz = static_cast<std::uint64_t>(inst.s.nnz());
+  const std::uint64_t flops2 = 2 * nnz * static_cast<std::uint64_t>(r);
+  const std::uint64_t flops4 = 2 * flops2;
+  std::printf("\n-- power-law n=%lld nnz=%llu r=%lld --\n",
+              static_cast<long long>(inst.s.rows()),
+              static_cast<unsigned long long>(nnz),
+              static_cast<long long>(r));
+
+  DenseMatrix a_out(inst.s.rows(), r);
+  DenseMatrix b_out(inst.s.cols(), r);
   std::vector<Scalar> dots(static_cast<std::size_t>(inst.s.nnz()));
-  for (auto _ : state) {
+
+  // Serial baselines (seed had no parallel SpMM-B at all).
+  h.run("spmm_a", "seed", inst, r, 1, flops2, [&] {
+    a_out.fill(0);
+    seed_spmm_a(inst.s, inst.b, a_out, nullptr);
+  });
+  h.run("spmm_b", "seed", inst, r, 1, flops2, [&] {
+    b_out.fill(0);
+    seed_spmm_b(inst.s, inst.a, b_out);
+  });
+  h.run("sddmm", "seed", inst, r, 1, flops2, [&] {
     std::fill(dots.begin(), dots.end(), Scalar{0});
-    masked_dot_products(inst.s, inst.a, inst.b, dots);
-    benchmark::DoNotOptimize(dots.data());
-  }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
-}
-BENCHMARK(BM_Sddmm)->Apply(args_grid);
+    seed_sddmm(inst.s, inst.a, inst.b, dots, nullptr);
+  });
+  h.run("fusedmm_a", "seed", inst, r, 1, flops4, [&] {
+    a_out.fill(0);
+    seed_fusedmm_a(inst.s, inst.a, inst.b, a_out, nullptr);
+  });
 
-void BM_SpmmA(benchmark::State& state) {
-  const auto inst = make_instance(state.range(0), state.range(1),
-                                  state.range(2));
-  DenseMatrix out(inst.s.rows(), inst.b.cols());
-  for (auto _ : state) {
-    out.fill(0);
-    spmm_a(inst.s, inst.b, out);
-    benchmark::DoNotOptimize(out.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
-}
-BENCHMARK(BM_SpmmA)->Apply(args_grid);
+  for (const int threads : thread_counts) {
+    ThreadPool pool(threads);
+    ThreadPool* p = &pool;
 
-void BM_SpmmB(benchmark::State& state) {
-  const auto inst = make_instance(state.range(0), state.range(1),
-                                  state.range(2));
-  DenseMatrix out(inst.s.cols(), inst.a.cols());
-  for (auto _ : state) {
-    out.fill(0);
-    spmm_b(inst.s, inst.a, out);
-    benchmark::DoNotOptimize(out.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
-}
-BENCHMARK(BM_SpmmB)->Apply(args_grid);
+    // Seed scheduling (equal rows) at this thread count.
+    h.run("spmm_a", "seed", inst, r, threads, flops2, [&] {
+      a_out.fill(0);
+      seed_spmm_a(inst.s, inst.b, a_out, p);
+    });
+    h.run("sddmm", "seed", inst, r, threads, flops2, [&] {
+      std::fill(dots.begin(), dots.end(), Scalar{0});
+      seed_sddmm(inst.s, inst.a, inst.b, dots, p);
+    });
+    h.run("fusedmm_a", "seed", inst, r, threads, flops4, [&] {
+      a_out.fill(0);
+      seed_fusedmm_a(inst.s, inst.a, inst.b, a_out, p);
+    });
 
-void BM_FusedTwoStep(benchmark::State& state) {
-  // Unfused local FusedMM: SDDMM materializes R, then SpMMA consumes it.
-  const auto inst = make_instance(state.range(0), state.range(1),
-                                  state.range(2));
-  DenseMatrix out(inst.s.rows(), inst.b.cols());
-  for (auto _ : state) {
-    out.fill(0);
-    const CsrMatrix r = sddmm(inst.s, inst.a, inst.b);
-    spmm_a(r, inst.b, out);
-    benchmark::DoNotOptimize(out.data().data());
+    // Tuned: nnz-balanced + width-specialized (+ parallel SpMM-B).
+    h.run("spmm_a", "tuned", inst, r, threads, flops2, [&] {
+      a_out.fill(0);
+      spmm_a(inst.s, inst.b, a_out, p);
+    });
+    h.run("spmm_b", "tuned", inst, r, threads, flops2, [&] {
+      b_out.fill(0);
+      spmm_b(inst.s, inst.a, b_out, p);
+    });
+    h.run("sddmm", "tuned", inst, r, threads, flops2, [&] {
+      std::fill(dots.begin(), dots.end(), Scalar{0});
+      masked_dot_products(inst.s, inst.a, inst.b, dots, p);
+    });
+    h.run("fusedmm_a", "tuned", inst, r, threads, flops4, [&] {
+      a_out.fill(0);
+      fusedmm_a(inst.s, inst.a, inst.b, a_out, p);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
 }
-BENCHMARK(BM_FusedTwoStep)->Apply(args_grid);
-
-void BM_FusedKernel(benchmark::State& state) {
-  // The fused local kernel: no intermediate R, one pass.
-  const auto inst = make_instance(state.range(0), state.range(1),
-                                  state.range(2));
-  DenseMatrix out(inst.s.rows(), inst.b.cols());
-  for (auto _ : state) {
-    out.fill(0);
-    fusedmm_a(inst.s, inst.a, inst.b, out);
-    benchmark::DoNotOptimize(out.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
-}
-BENCHMARK(BM_FusedKernel)->Apply(args_grid);
-
-void BM_SpmmAThreaded(benchmark::State& state) {
-  const auto inst = make_instance(1 << 14, 8, 128);
-  ThreadPool pool(static_cast<int>(state.range(0)));
-  DenseMatrix out(inst.s.rows(), inst.b.cols());
-  for (auto _ : state) {
-    out.fill(0);
-    spmm_a(inst.s, inst.b, out, &pool);
-    benchmark::DoNotOptimize(out.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * inst.s.nnz());
-}
-BENCHMARK(BM_SpmmAThreaded)->Arg(1)->Arg(2);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--n") == 0) {
+      opt.n = std::atoll(next());
+    } else if (std::strcmp(argv[i], "--edges-per-row") == 0) {
+      opt.edges_per_row = std::atoll(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opt.out = next();
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n N] [--edges-per-row E] [--out PATH] "
+                   "[--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Harness h;
+  h.min_total = opt.quick ? 0.05 : 0.5;
+  h.max_iters = opt.quick ? 3 : 10;
+  const std::vector<int> thread_counts = opt.quick ? std::vector<int>{2}
+                                                   : std::vector<int>{1, 2,
+                                                                      4, 8};
+  for (const Index r : {Index{32}, Index{64}, Index{128}}) {
+    bench_width(h, opt, r, thread_counts);
+  }
+  if (!h.records.write(opt.out)) {
+    std::fprintf(stderr, "error: could not write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", opt.out.c_str());
+  return 0;
+}

@@ -18,12 +18,15 @@ class DenseMatrix {
  public:
   DenseMatrix() = default;
 
-  /// Zero-initialized rows x cols matrix.
-  DenseMatrix(Index rows, Index cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), Scalar{0}) {
+  /// Zero-initialized rows x cols matrix. Dimensions are validated
+  /// before the storage is sized: a negative product cast to size_t
+  /// would otherwise request an enormous allocation.
+  DenseMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
     check(rows >= 0 && cols >= 0, "DenseMatrix: negative dimensions (",
           rows, " x ", cols, ")");
+    data_.assign(static_cast<std::size_t>(rows) *
+                     static_cast<std::size_t>(cols),
+                 Scalar{0});
   }
 
   /// Matrix wrapping existing values (row-major, size rows*cols).

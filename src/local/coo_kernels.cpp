@@ -1,6 +1,7 @@
 #include "local/coo_kernels.hpp"
 
 #include "common/error.hpp"
+#include "local/width_dispatch.hpp"
 
 namespace dsk {
 
@@ -22,24 +23,20 @@ std::uint64_t masked_dots_coo(std::span<const Index> rows,
   validate_lengths(rows, cols, dots.size());
   const Index r = a.cols();
   check(b.cols() == r, "masked_dots_coo: width mismatch");
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    const Index i = rows[k] - row_offset;
-    const Index j = cols[k] - col_offset;
-    check(0 <= i && i < a.rows(), "masked_dots_coo: row ", rows[k],
-          " with offset ", row_offset, " outside local A of ", a.rows(),
-          " rows");
-    check(0 <= j && j < b.rows(), "masked_dots_coo: col ", cols[k],
-          " with offset ", col_offset, " outside local B of ", b.rows(),
-          " rows");
-    const auto a_row = a.row(i);
-    const auto b_row = b.row(j);
-    Scalar dot = 0;
-    for (Index f = 0; f < r; ++f) {
-      dot += a_row[static_cast<std::size_t>(f)] *
-             b_row[static_cast<std::size_t>(f)];
+  dispatch_width(r, [&](auto w) {
+    constexpr int W = decltype(w)::value;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Index i = rows[k] - row_offset;
+      const Index j = cols[k] - col_offset;
+      check(0 <= i && i < a.rows(), "masked_dots_coo: row ", rows[k],
+            " with offset ", row_offset, " outside local A of ", a.rows(),
+            " rows");
+      check(0 <= j && j < b.rows(), "masked_dots_coo: col ", cols[k],
+            " with offset ", col_offset, " outside local B of ", b.rows(),
+            " rows");
+      dots[k] += dot_w<W>(a.row(i).data(), b.row(j).data(), r);
     }
-    dots[k] += dot;
-  }
+  });
   return 2ULL * rows.size() * static_cast<std::uint64_t>(r);
 }
 
@@ -51,23 +48,20 @@ std::uint64_t spmm_a_coo(std::span<const Index> rows,
   validate_lengths(rows, cols, values.size());
   const Index r = b.cols();
   check(a_out.cols() == r, "spmm_a_coo: width mismatch");
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    const Index i = rows[k] - row_offset;
-    const Index j = cols[k] - col_offset;
-    check(0 <= i && i < a_out.rows(), "spmm_a_coo: row ", rows[k],
-          " with offset ", row_offset, " outside local output of ",
-          a_out.rows(), " rows");
-    check(0 <= j && j < b.rows(), "spmm_a_coo: col ", cols[k],
-          " with offset ", col_offset, " outside local B of ", b.rows(),
-          " rows");
-    auto acc = a_out.row(i);
-    const auto b_row = b.row(j);
-    const Scalar v = values[k];
-    for (Index f = 0; f < r; ++f) {
-      acc[static_cast<std::size_t>(f)] +=
-          v * b_row[static_cast<std::size_t>(f)];
+  dispatch_width(r, [&](auto w) {
+    constexpr int W = decltype(w)::value;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Index i = rows[k] - row_offset;
+      const Index j = cols[k] - col_offset;
+      check(0 <= i && i < a_out.rows(), "spmm_a_coo: row ", rows[k],
+            " with offset ", row_offset, " outside local output of ",
+            a_out.rows(), " rows");
+      check(0 <= j && j < b.rows(), "spmm_a_coo: col ", cols[k],
+            " with offset ", col_offset, " outside local B of ", b.rows(),
+            " rows");
+      axpy_w<W>(values[k], b.row(j).data(), a_out.row(i).data(), r);
     }
-  }
+  });
   return 2ULL * rows.size() * static_cast<std::uint64_t>(r);
 }
 
@@ -79,23 +73,20 @@ std::uint64_t spmm_b_coo(std::span<const Index> rows,
   validate_lengths(rows, cols, values.size());
   const Index r = a.cols();
   check(b_out.cols() == r, "spmm_b_coo: width mismatch");
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    const Index i = rows[k] - row_offset;
-    const Index j = cols[k] - col_offset;
-    check(0 <= i && i < a.rows(), "spmm_b_coo: row ", rows[k],
-          " with offset ", row_offset, " outside local A of ", a.rows(),
-          " rows");
-    check(0 <= j && j < b_out.rows(), "spmm_b_coo: col ", cols[k],
-          " with offset ", col_offset, " outside local output of ",
-          b_out.rows(), " rows");
-    const auto a_row = a.row(i);
-    auto acc = b_out.row(j);
-    const Scalar v = values[k];
-    for (Index f = 0; f < r; ++f) {
-      acc[static_cast<std::size_t>(f)] +=
-          v * a_row[static_cast<std::size_t>(f)];
+  dispatch_width(r, [&](auto w) {
+    constexpr int W = decltype(w)::value;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Index i = rows[k] - row_offset;
+      const Index j = cols[k] - col_offset;
+      check(0 <= i && i < a.rows(), "spmm_b_coo: row ", rows[k],
+            " with offset ", row_offset, " outside local A of ", a.rows(),
+            " rows");
+      check(0 <= j && j < b_out.rows(), "spmm_b_coo: col ", cols[k],
+            " with offset ", col_offset, " outside local output of ",
+            b_out.rows(), " rows");
+      axpy_w<W>(values[k], a.row(i).data(), b_out.row(j).data(), r);
     }
-  }
+  });
   return 2ULL * rows.size() * static_cast<std::uint64_t>(r);
 }
 

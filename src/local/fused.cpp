@@ -1,12 +1,15 @@
 #include "local/fused.hpp"
 
 #include "common/error.hpp"
+#include "local/schedule.hpp"
 #include "local/thread_pool.hpp"
+#include "local/width_dispatch.hpp"
 
 namespace dsk {
 
 namespace {
 
+template <int W>
 void fused_rows(const CsrMatrix& s, const DenseMatrix& a_in,
                 const DenseMatrix& b, DenseMatrix& a_out,
                 std::span<Scalar> r_values, Index row_begin, Index row_end) {
@@ -15,24 +18,17 @@ void fused_rows(const CsrMatrix& s, const DenseMatrix& a_in,
   const auto values = s.values();
   const Index r = b.cols();
   for (Index i = row_begin; i < row_end; ++i) {
-    const auto a_row = a_in.row(i);
-    auto acc = a_out.row(i);
+    const Scalar* a_row = a_in.row(i).data();
+    Scalar* acc = a_out.row(i).data();
     for (Index k = row_ptr[static_cast<std::size_t>(i)];
          k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
-      Scalar dot = 0;
-      for (Index f = 0; f < r; ++f) {
-        dot += a_row[static_cast<std::size_t>(f)] *
-               b_row[static_cast<std::size_t>(f)];
-      }
-      const Scalar weight = values[static_cast<std::size_t>(k)] * dot;
+      const auto kk = static_cast<std::size_t>(k);
+      const Scalar* b_row = b.row(col_idx[kk]).data();
+      const Scalar weight = values[kk] * dot_w<W>(a_row, b_row, r);
       if (!r_values.empty()) {
-        r_values[static_cast<std::size_t>(k)] = weight;
+        r_values[kk] = weight;
       }
-      for (Index f = 0; f < r; ++f) {
-        acc[static_cast<std::size_t>(f)] +=
-            weight * b_row[static_cast<std::size_t>(f)];
-      }
+      axpy_w<W>(weight, b_row, acc, r);
     }
   }
 }
@@ -50,19 +46,30 @@ void validate(const CsrMatrix& s, const DenseMatrix& a_in,
         " != B width ", b.cols());
 }
 
+void run_fused(const CsrMatrix& s, const DenseMatrix& a_in,
+               const DenseMatrix& b, DenseMatrix& a_out,
+               std::span<Scalar> r_values, ThreadPool* pool) {
+  dispatch_width(b.cols(), [&](auto w) {
+    constexpr int W = decltype(w)::value;
+    if (pool != nullptr) {
+      const auto bounds = partition_rows_by_nnz(s.row_ptr(),
+                                                pool->num_threads());
+      pool->parallel_for_balanced(bounds, [&](Index begin, Index end) {
+        fused_rows<W>(s, a_in, b, a_out, r_values, begin, end);
+      });
+    } else {
+      fused_rows<W>(s, a_in, b, a_out, r_values, 0, s.rows());
+    }
+  });
+}
+
 } // namespace
 
 std::uint64_t fusedmm_a(const CsrMatrix& s, const DenseMatrix& a_in,
                         const DenseMatrix& b, DenseMatrix& a_out,
                         ThreadPool* pool) {
   validate(s, a_in, b, a_out);
-  if (pool != nullptr) {
-    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
-      fused_rows(s, a_in, b, a_out, {}, begin, end);
-    });
-  } else {
-    fused_rows(s, a_in, b, a_out, {}, 0, s.rows());
-  }
+  run_fused(s, a_in, b, a_out, {}, pool);
   return 4ULL * static_cast<std::uint64_t>(s.nnz()) *
          static_cast<std::uint64_t>(b.cols());
 }
@@ -76,13 +83,7 @@ std::uint64_t fusedmm_a_with_values(const CsrMatrix& s,
   check(static_cast<Index>(r_values.size()) == s.nnz(),
         "fusedmm_a_with_values: r_values length ", r_values.size(),
         " != nnz ", s.nnz());
-  if (pool != nullptr) {
-    pool->parallel_for(0, s.rows(), [&](Index begin, Index end) {
-      fused_rows(s, a_in, b, a_out, r_values, begin, end);
-    });
-  } else {
-    fused_rows(s, a_in, b, a_out, r_values, 0, s.rows());
-  }
+  run_fused(s, a_in, b, a_out, r_values, pool);
   return 4ULL * static_cast<std::uint64_t>(s.nnz()) *
          static_cast<std::uint64_t>(b.cols());
 }

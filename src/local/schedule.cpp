@@ -1,0 +1,47 @@
+#include "local/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+std::vector<Index> partition_rows_by_nnz(std::span<const Index> row_ptr,
+                                         int num_parts) {
+  check(num_parts >= 1, "partition_rows_by_nnz: need at least one part, got ",
+        num_parts);
+  check(!row_ptr.empty(), "partition_rows_by_nnz: row_ptr must have at least "
+                          "one entry");
+  const auto rows = static_cast<Index>(row_ptr.size()) - 1;
+  const Index base = row_ptr.front();
+  const Index total = row_ptr.back() - base;
+
+  std::vector<Index> bounds(static_cast<std::size_t>(num_parts) + 1);
+  bounds.front() = 0;
+  bounds.back() = rows;
+  for (int p = 1; p < num_parts; ++p) {
+    // First row whose prefix nnz reaches the p-th equal share. lower_bound
+    // keeps boundaries monotone because targets are monotone in p.
+    const Index target =
+        base + (total * static_cast<Index>(p)) / static_cast<Index>(num_parts);
+    const auto it = std::lower_bound(row_ptr.begin(), row_ptr.end(), target);
+    const Index row = std::distance(row_ptr.begin(), it);
+    bounds[static_cast<std::size_t>(p)] =
+        std::clamp(row, bounds[static_cast<std::size_t>(p) - 1], rows);
+  }
+  return bounds;
+}
+
+std::vector<Index> partition_uniform(Index count, int num_parts) {
+  check(num_parts >= 1, "partition_uniform: need at least one part, got ",
+        num_parts);
+  check(count >= 0, "partition_uniform: negative count ", count);
+  std::vector<Index> bounds(static_cast<std::size_t>(num_parts) + 1);
+  for (int p = 0; p <= num_parts; ++p) {
+    bounds[static_cast<std::size_t>(p)] =
+        (count * static_cast<Index>(p)) / static_cast<Index>(num_parts);
+  }
+  return bounds;
+}
+
+} // namespace dsk

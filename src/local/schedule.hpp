@@ -1,0 +1,37 @@
+#pragma once
+/// \file schedule.hpp
+/// Nonzero-balanced work partitioning for the local kernels. The paper's
+/// benchmark graphs (Amazon, Reddit-style) have power-law row degrees, so
+/// splitting a row loop into equal *row* ranges leaves one thread holding
+/// the heavy rows while the rest idle. These helpers split a CSR row range
+/// into parts with (approximately) equal *nonzero* counts instead, by
+/// binary-searching the row_ptr prefix-sum array — the load-balancing
+/// strategy of Gale et al., "Sparse GPU Kernels for Deep Learning".
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsk {
+
+/// Split the rows of a CSR matrix into num_parts contiguous ranges with
+/// near-equal nonzero counts. row_ptr is the CSR row-pointer array
+/// (length rows + 1, monotone, row_ptr.front() need not be 0 for
+/// sub-matrix views). Returns num_parts + 1 monotone row boundaries with
+/// front() == 0 and back() == rows; part p is [bounds[p], bounds[p+1]).
+///
+/// Each part's nonzero count is at most ceil(nnz / num_parts) plus the
+/// largest single row that straddles a boundary — a single row is never
+/// split, so one mega-row can still dominate a part (the kernels that
+/// need finer granularity split by nonzero index instead).
+std::vector<Index> partition_rows_by_nnz(std::span<const Index> row_ptr,
+                                         int num_parts);
+
+/// Split [0, count) items of uniform cost into num_parts near-equal
+/// contiguous ranges, same boundary convention as partition_rows_by_nnz.
+/// Used for flat value-array loops (hadamard, leaky_relu) and the strip
+/// reduction in the parallel SpMM-B.
+std::vector<Index> partition_uniform(Index count, int num_parts);
+
+} // namespace dsk

@@ -1,12 +1,15 @@
 #include "local/sddmm.hpp"
 
 #include "common/error.hpp"
+#include "local/schedule.hpp"
 #include "local/thread_pool.hpp"
+#include "local/width_dispatch.hpp"
 
 namespace dsk {
 
 namespace {
 
+template <int W>
 void sddmm_rows(const CsrMatrix& pattern, const DenseMatrix& a,
                 const DenseMatrix& b, std::span<Scalar> dots,
                 Index row_begin, Index row_end) {
@@ -14,16 +17,11 @@ void sddmm_rows(const CsrMatrix& pattern, const DenseMatrix& a,
   const auto col_idx = pattern.col_idx();
   const Index r = a.cols();
   for (Index i = row_begin; i < row_end; ++i) {
-    const auto a_row = a.row(i);
+    const Scalar* a_row = a.row(i).data();
     for (Index k = row_ptr[static_cast<std::size_t>(i)];
          k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-      const auto b_row = b.row(col_idx[static_cast<std::size_t>(k)]);
-      Scalar dot = 0;
-      for (Index f = 0; f < r; ++f) {
-        dot += a_row[static_cast<std::size_t>(f)] *
-               b_row[static_cast<std::size_t>(f)];
-      }
-      dots[static_cast<std::size_t>(k)] += dot;
+      const auto kk = static_cast<std::size_t>(k);
+      dots[kk] += dot_w<W>(a_row, b.row(col_idx[kk]).data(), r);
     }
   }
 }
@@ -43,13 +41,18 @@ std::uint64_t masked_dot_products(const CsrMatrix& pattern,
         "masked_dot_products: dots length ", dots.size(), " != nnz ",
         pattern.nnz());
 
-  if (pool != nullptr) {
-    pool->parallel_for(0, pattern.rows(), [&](Index begin, Index end) {
-      sddmm_rows(pattern, a, b, dots, begin, end);
-    });
-  } else {
-    sddmm_rows(pattern, a, b, dots, 0, pattern.rows());
-  }
+  dispatch_width(a.cols(), [&](auto w) {
+    constexpr int W = decltype(w)::value;
+    if (pool != nullptr) {
+      const auto bounds = partition_rows_by_nnz(pattern.row_ptr(),
+                                                pool->num_threads());
+      pool->parallel_for_balanced(bounds, [&](Index begin, Index end) {
+        sddmm_rows<W>(pattern, a, b, dots, begin, end);
+      });
+    } else {
+      sddmm_rows<W>(pattern, a, b, dots, 0, pattern.rows());
+    }
+  });
   return 2ULL * static_cast<std::uint64_t>(pattern.nnz()) *
          static_cast<std::uint64_t>(a.cols());
 }

@@ -1,14 +1,19 @@
 #include "local/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "local/schedule.hpp"
 
 namespace dsk {
 
 ThreadPool::ThreadPool(int num_threads) {
   check(num_threads >= 1, "ThreadPool: need at least one thread");
   const std::size_t helpers = static_cast<std::size_t>(num_threads) - 1;
-  tasks_.resize(helpers);
-  has_task_.assign(helpers, false);
+  slots_.reserve(helpers);
+  for (std::size_t w = 0; w < helpers; ++w) {
+    slots_.emplace_back(std::make_unique<WorkerSlot>());
+  }
   workers_.reserve(helpers);
   for (std::size_t w = 0; w < helpers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -16,61 +21,125 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+  for (auto& slot : slots_) {
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->stop = true;
+    }
+    slot->wake.notify_one();
   }
-  wake_.notify_all();
   for (auto& t : workers_) {
     t.join();
   }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_id) {
+  WorkerSlot& slot = *slots_[worker_id];
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || has_task_[worker_id]; });
-      if (stop_) return;
-      task = tasks_[worker_id];
-      has_task_[worker_id] = false;
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      slot.wake.wait(lock, [&] { return slot.stop || slot.has_task; });
+      if (slot.stop) return;
+      task = slot.task;
+      slot.has_task = false;
     }
-    (*task.fn)(task.begin, task.end);
+    std::exception_ptr error;
+    try {
+      (*task.fn)(task.part, task.begin, task.end);
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(done_mutex_);
       --pending_;
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
     }
     done_.notify_one();
   }
+}
+
+void ThreadPool::parallel_for_parts(
+    std::span<const Index> bounds,
+    const std::function<void(int, Index, Index)>& fn) {
+  const auto parts = static_cast<int>(bounds.size()) - 1;
+  check(parts >= 1, "parallel_for_parts: need at least one part");
+  check(parts <= num_threads(), "parallel_for_parts: ", parts,
+        " parts exceed pool size ", num_threads());
+
+  // Hand every nonempty part but the last to a worker; run the last one
+  // on the calling thread so it overlaps with the workers.
+  int caller_part = -1;
+  for (int p = parts - 1; p >= 0; --p) {
+    if (bounds[static_cast<std::size_t>(p)] <
+        bounds[static_cast<std::size_t>(p) + 1]) {
+      caller_part = p;
+      break;
+    }
+  }
+  if (caller_part < 0) return; // every part empty
+
+  int issued = 0;
+  for (int p = 0; p < caller_part; ++p) {
+    const Index begin = bounds[static_cast<std::size_t>(p)];
+    const Index end = bounds[static_cast<std::size_t>(p) + 1];
+    if (begin >= end) continue;
+    WorkerSlot& slot = *slots_[static_cast<std::size_t>(issued)];
+    {
+      std::lock_guard<std::mutex> done_lock(done_mutex_);
+      ++pending_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.task = Task{&fn, p, begin, end};
+      slot.has_task = true;
+    }
+    slot.wake.notify_one();
+    ++issued;
+  }
+
+  // Even if the caller's part throws, every dispatched worker must finish
+  // before this frame unwinds — fn and the caller's buffers die with it.
+  std::exception_ptr error;
+  try {
+    fn(caller_part, bounds[static_cast<std::size_t>(caller_part)],
+       bounds[static_cast<std::size_t>(caller_part) + 1]);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    if (error == nullptr && first_error_ != nullptr) {
+      error = first_error_;
+    }
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for_balanced(
+    std::span<const Index> bounds,
+    const std::function<void(Index, Index)>& fn) {
+  parallel_for_parts(bounds, [&fn](int, Index begin, Index end) {
+    fn(begin, end);
+  });
 }
 
 void ThreadPool::parallel_for(Index begin, Index end,
                               const std::function<void(Index, Index)>& fn) {
   const Index total = end - begin;
   if (total <= 0) return;
-  const auto threads = static_cast<Index>(num_threads());
-  const Index chunk = (total + threads - 1) / threads;
-
-  Index next = begin;
-  std::size_t issued = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t w = 0; w < workers_.size() && next + chunk < end; ++w) {
-      tasks_[w] = Task{&fn, next, next + chunk};
-      has_task_[w] = true;
-      ++pending_;
-      next += chunk;
-      ++issued;
-    }
-  }
-  if (issued > 0) wake_.notify_all();
-
-  // The caller runs the tail chunk itself.
-  fn(next, end);
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return pending_ == 0; });
+  const auto parts =
+      static_cast<int>(std::min(total, static_cast<Index>(num_threads())));
+  auto bounds = partition_uniform(total, parts);
+  for (auto& b : bounds) b += begin;
+  parallel_for_balanced(bounds, fn);
 }
 
 } // namespace dsk

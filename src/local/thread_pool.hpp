@@ -1,15 +1,23 @@
 #pragma once
 /// \file thread_pool.hpp
-/// A small persistent thread pool with a parallel_for primitive. This is
+/// A small persistent thread pool with parallel_for primitives. This is
 /// the shared-memory ("OpenMP") axis of the paper's hybrid MPI+OpenMP
 /// model: local kernels optionally split their row loops across pool
 /// workers. Simulated ranks do not use the pool (they are already
 /// threads); it serves the standalone shared-memory kernel path and the
 /// local-kernel benchmarks.
+///
+/// Each worker has a private wake slot (mutex + condition variable), so
+/// dispatching a parallel region wakes exactly the workers that received
+/// work — there is no shared wake broadcast that stampedes every worker
+/// on every call.
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -28,29 +36,64 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
-  /// Run fn(begin, end) over a partition of [begin, end) across the pool,
-  /// blocking until every chunk completes. The calling thread executes one
-  /// chunk itself. fn must be safe to run concurrently on disjoint ranges.
+  /// Run fn(begin, end) over an equal-size partition of [begin, end)
+  /// across the pool, blocking until every chunk completes. The calling
+  /// thread executes one chunk itself. fn must be safe to run
+  /// concurrently on disjoint ranges. For loops whose per-index cost is
+  /// uniform; skewed loops should precompute ranges (e.g. with
+  /// partition_rows_by_nnz) and use parallel_for_balanced.
   void parallel_for(Index begin, Index end,
                     const std::function<void(Index, Index)>& fn);
 
+  /// Run fn(bounds[p], bounds[p+1]) for every nonempty part p across the
+  /// pool, blocking until all complete. bounds must be monotone with
+  /// bounds.size() - 1 <= num_threads() parts; the calling thread
+  /// executes one part itself. This is the entry point for nnz-balanced
+  /// kernel scheduling: callers precompute ranges with equal work, the
+  /// pool just executes them one-per-thread.
+  void parallel_for_balanced(std::span<const Index> bounds,
+                             const std::function<void(Index, Index)>& fn);
+
+  /// As parallel_for_balanced, but fn also receives the part index p.
+  /// Kernels that keep per-thread private state (the SpMM-B scatter
+  /// buffers) use the part index to address their slot without atomics.
+  ///
+  /// Exception safety (all parallel_for variants): if any part's fn
+  /// throws, the dispatch still waits for every issued part to finish
+  /// before rethrowing the first captured exception on the calling
+  /// thread, so fn and caller-owned buffers are never destroyed while a
+  /// worker is still using them.
+  void parallel_for_parts(
+      std::span<const Index> bounds,
+      const std::function<void(int, Index, Index)>& fn);
+
  private:
   struct Task {
-    const std::function<void(Index, Index)>* fn = nullptr;
+    const std::function<void(int, Index, Index)>* fn = nullptr;
+    int part = 0;
     Index begin = 0;
     Index end = 0;
+  };
+
+  /// Per-worker wake slot. Workers sleep on their own condition variable,
+  /// so issuing k tasks costs exactly k notify_one calls and wakes no
+  /// idle bystanders.
+  struct WorkerSlot {
+    std::mutex mutex;
+    std::condition_variable wake;
+    Task task;
+    bool has_task = false;
+    bool stop = false;
   };
 
   void worker_loop(std::size_t worker_id);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::mutex done_mutex_;
   std::condition_variable done_;
-  std::vector<Task> tasks_;     // one slot per worker
-  std::vector<bool> has_task_;  // one flag per worker
   int pending_ = 0;
-  bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 } // namespace dsk

@@ -20,6 +20,15 @@ TEST(DenseMatrix, ZeroInitialized) {
   }
 }
 
+TEST(DenseMatrix, NegativeDimensionsThrowBeforeAllocating) {
+  // A negative product cast to size_t is astronomically large; the ctor
+  // must reject the dimensions cleanly instead of attempting the
+  // allocation.
+  EXPECT_THROW(DenseMatrix(-1, 4), Error);
+  EXPECT_THROW(DenseMatrix(4, -1), Error);
+  EXPECT_THROW(DenseMatrix(-3, -5), Error);
+}
+
 TEST(DenseMatrix, RowViewsAlias) {
   DenseMatrix m(2, 3);
   m.row(1)[2] = 5.5;

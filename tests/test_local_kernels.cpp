@@ -4,7 +4,6 @@
 
 #include "common/rng.hpp"
 #include "dense/dense_ops.hpp"
-#include "dist/shards.hpp"
 #include "local/coo_kernels.hpp"
 #include "local/fused.hpp"
 #include "local/gat_kernels.hpp"
@@ -17,6 +16,15 @@
 
 namespace dsk {
 namespace {
+
+/// Triplet arrays in the wire format of the sparse-shifting algorithms
+/// (mirrors the dist-layer shard payload; local stand-in until src/dist
+/// lands).
+struct Triplets {
+  std::vector<Index> rows;
+  std::vector<Index> cols;
+  std::vector<Scalar> values;
+};
 
 struct Fixture {
   CooMatrix coo;

@@ -1,0 +1,330 @@
+/// Tests for the nnz-balanced kernel scheduling layer: the
+/// partition_rows_by_nnz / partition_uniform utilities, the ThreadPool
+/// balanced dispatch, and — the property the distributed algorithms
+/// depend on — that every pool-scheduled local kernel matches the serial
+/// COO reference on power-law (skewed-degree) matrices across thread
+/// counts and feature widths, including the empty-row and
+/// all-nnz-in-one-row extremes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "local/fused.hpp"
+#include "local/reference.hpp"
+#include "local/schedule.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "local/thread_pool.hpp"
+#include "local/width_dispatch.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+constexpr Scalar kTol = 1e-10;
+
+Index max_row_nnz(std::span<const Index> row_ptr) {
+  Index best = 0;
+  for (std::size_t i = 0; i + 1 < row_ptr.size(); ++i) {
+    best = std::max(best, row_ptr[i + 1] - row_ptr[i]);
+  }
+  return best;
+}
+
+void expect_valid_partition(std::span<const Index> row_ptr, int parts) {
+  const auto bounds = partition_rows_by_nnz(row_ptr, parts);
+  const auto rows = static_cast<Index>(row_ptr.size()) - 1;
+  ASSERT_EQ(static_cast<int>(bounds.size()), parts + 1);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), rows);
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_LE(bounds[static_cast<std::size_t>(p)],
+              bounds[static_cast<std::size_t>(p) + 1]);
+  }
+  // Load-balance guarantee: no part exceeds its equal share by more than
+  // one unsplittable row.
+  const Index total = row_ptr.back() - row_ptr.front();
+  const Index share = (total + parts - 1) / parts;
+  const Index slack = max_row_nnz(row_ptr);
+  for (int p = 0; p < parts; ++p) {
+    const Index part_nnz =
+        row_ptr[static_cast<std::size_t>(bounds[static_cast<std::size_t>(p) +
+                                                1])] -
+        row_ptr[static_cast<std::size_t>(bounds[static_cast<std::size_t>(p)])];
+    EXPECT_LE(part_nnz, share + slack)
+        << "part " << p << " of " << parts << " is overloaded";
+  }
+}
+
+TEST(PartitionRowsByNnz, BalancesPowerLawMatrix) {
+  Rng rng(11);
+  const CsrMatrix s = coo_to_csr(rmat(512, 512, 8 * 512, rng));
+  for (const int parts : {1, 2, 3, 4, 8, 16}) {
+    expect_valid_partition(s.row_ptr(), parts);
+  }
+}
+
+TEST(PartitionRowsByNnz, UniformRowsSplitEvenly) {
+  // 8 rows x 2 nnz each: a 4-way split must land on the row boundaries
+  // 2, 4, 6.
+  const std::vector<Index> row_ptr{0, 2, 4, 6, 8, 10, 12, 14, 16};
+  const auto bounds = partition_rows_by_nnz(row_ptr, 4);
+  EXPECT_EQ(bounds, (std::vector<Index>{0, 2, 4, 6, 8}));
+}
+
+TEST(PartitionRowsByNnz, EmptyMatrixAndEmptyRows) {
+  // All-empty rows: everything lands in one part, bounds stay monotone.
+  const std::vector<Index> empty{0, 0, 0, 0, 0};
+  expect_valid_partition(empty, 3);
+
+  // Leading/trailing empty rows around a dense middle.
+  const std::vector<Index> holes{0, 0, 0, 6, 12, 12, 12};
+  expect_valid_partition(holes, 4);
+}
+
+TEST(PartitionRowsByNnz, AllNnzInOneRow) {
+  const std::vector<Index> row_ptr{0, 0, 100, 100, 100};
+  expect_valid_partition(row_ptr, 4);
+  // The mega-row cannot be split: exactly one part holds all 100.
+  const auto bounds = partition_rows_by_nnz(row_ptr, 4);
+  int loaded_parts = 0;
+  for (int p = 0; p < 4; ++p) {
+    if (row_ptr[static_cast<std::size_t>(bounds[static_cast<std::size_t>(p) +
+                                                1])] >
+        row_ptr[static_cast<std::size_t>(bounds[static_cast<std::size_t>(p)])])
+      ++loaded_parts;
+  }
+  EXPECT_EQ(loaded_parts, 1);
+}
+
+TEST(PartitionRowsByNnz, MorePartsThanRows) {
+  const std::vector<Index> row_ptr{0, 3, 5};
+  expect_valid_partition(row_ptr, 8);
+}
+
+TEST(PartitionUniform, CoversRangeEvenly) {
+  const auto bounds = partition_uniform(10, 4);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 10);
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p) {
+    const Index len = bounds[p + 1] - bounds[p];
+    EXPECT_GE(len, 2);
+    EXPECT_LE(len, 3);
+  }
+  EXPECT_EQ(partition_uniform(0, 3), (std::vector<Index>{0, 0, 0, 0}));
+}
+
+TEST(ThreadPoolBalanced, CoversEveryPartExactlyOnce) {
+  ThreadPool pool(4);
+  const std::vector<Index> bounds{0, 7, 7, 100, 512};
+  std::vector<std::atomic<int>> hits(512);
+  pool.parallel_for_balanced(bounds, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolBalanced, PartIndexAddressesPrivateSlots) {
+  ThreadPool pool(4);
+  const std::vector<Index> bounds{0, 10, 10, 20, 40};
+  std::vector<Index> sums(4, -1);
+  pool.parallel_for_parts(bounds, [&](int part, Index begin, Index end) {
+    sums[static_cast<std::size_t>(part)] = end - begin;
+  });
+  EXPECT_EQ(sums, (std::vector<Index>{10, -1, 10, 20})); // part 1 empty
+}
+
+TEST(ThreadPoolBalanced, AllPartsEmptyIsFine) {
+  ThreadPool pool(2);
+  const std::vector<Index> bounds{0, 0};
+  bool ran = false;
+  pool.parallel_for_balanced(bounds, [&](Index, Index) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolBalanced, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  const std::vector<Index> bounds{0, 10, 20, 30, 40};
+  // Thrown on a worker part: waited for, then rethrown on the caller.
+  EXPECT_THROW(pool.parallel_for_parts(bounds,
+                                       [](int part, Index, Index) {
+                                         if (part == 1) fail("boom");
+                                       }),
+               Error);
+  // Thrown on the caller's own part (the last nonempty one).
+  EXPECT_THROW(pool.parallel_for_parts(bounds,
+                                       [](int part, Index, Index) {
+                                         if (part == 3) fail("boom");
+                                       }),
+               Error);
+  // The pool must be fully reusable afterwards.
+  std::atomic<Index> covered{0};
+  pool.parallel_for(0, 100, [&](Index begin, Index end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPoolBalanced, RejectsMorePartsThanThreads) {
+  ThreadPool pool(2);
+  const std::vector<Index> bounds{0, 1, 2, 3};
+  EXPECT_THROW(
+      pool.parallel_for_balanced(bounds, [](Index, Index) {}), Error);
+}
+
+TEST(WidthDispatch, PicksSpecializedInstances) {
+  EXPECT_EQ(dispatch_width(32, [](auto w) { return decltype(w)::value; }),
+            32);
+  EXPECT_EQ(dispatch_width(64, [](auto w) { return decltype(w)::value; }),
+            64);
+  EXPECT_EQ(dispatch_width(128, [](auto w) { return decltype(w)::value; }),
+            128);
+  EXPECT_EQ(dispatch_width(33, [](auto w) { return decltype(w)::value; }), 0);
+  EXPECT_EQ(dispatch_width(1, [](auto w) { return decltype(w)::value; }), 0);
+}
+
+// ------------------------------------------------------------------
+// Pool-scheduled kernels vs the serial COO reference, power-law inputs.
+
+struct Problem {
+  CooMatrix coo;
+  CsrMatrix csr;
+  DenseMatrix a;
+  DenseMatrix b;
+};
+
+Problem make_power_law(Index n, Index r, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p{rmat(n, n, 8 * n, rng), {}, DenseMatrix(n, r),
+            DenseMatrix(n, r)};
+  p.csr = coo_to_csr(p.coo);
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  return p;
+}
+
+/// A matrix whose entire nnz sits in one row — the worst case for any
+/// row-granular split.
+Problem make_one_hot_row(Index n, Index r, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(n);
+  for (Index j = 0; j < n; ++j) {
+    coo.push_back(n / 2, j, rng.next_in(-1, 1));
+  }
+  Problem p{std::move(coo), {}, DenseMatrix(n, r), DenseMatrix(n, r)};
+  p.csr = coo_to_csr(p.coo);
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  return p;
+}
+
+/// First and last rows (and a band in the middle) empty.
+Problem make_holey(Index n, Index r, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (Index i = n / 4; i < n / 2; ++i) {
+    for (Index k = 0; k < 6; ++k) {
+      coo.push_back(i, rng.next_index(0, n), rng.next_in(-1, 1));
+    }
+  }
+  coo.sort_and_combine();
+  Problem p{std::move(coo), {}, DenseMatrix(n, r), DenseMatrix(n, r)};
+  p.csr = coo_to_csr(p.coo);
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  return p;
+}
+
+void expect_kernels_match_reference(const Problem& p, ThreadPool* pool) {
+  // SpMM-A
+  DenseMatrix a_out(p.csr.rows(), p.b.cols());
+  spmm_a(p.csr, p.b, a_out, pool);
+  EXPECT_LT(a_out.max_abs_diff(reference_spmm_a(p.coo, p.b)), kTol);
+
+  // SpMM-B (parallel scatter + strip reduction when pool is given)
+  DenseMatrix b_out(p.csr.cols(), p.a.cols());
+  spmm_b(p.csr, p.a, b_out, pool);
+  EXPECT_LT(b_out.max_abs_diff(reference_spmm_b(p.coo, p.a)), kTol);
+
+  // SpMM-B accumulates into prior contents.
+  DenseMatrix b_acc(p.csr.cols(), p.a.cols());
+  b_acc.fill(1.0);
+  spmm_b(p.csr, p.a, b_acc, pool);
+  for (Index i = 0; i < b_acc.rows(); ++i) {
+    for (Index j = 0; j < b_acc.cols(); ++j) {
+      EXPECT_NEAR(b_acc(i, j), b_out(i, j) + 1.0, kTol);
+    }
+  }
+
+  // SDDMM
+  const auto ref = reference_sddmm(p.coo, p.a, p.b);
+  std::vector<Scalar> dots(static_cast<std::size_t>(p.csr.nnz()), 0.0);
+  masked_dot_products(p.csr, p.a, p.b, dots, pool);
+  const auto s_values = p.csr.values();
+  for (Index k = 0; k < p.csr.nnz(); ++k) {
+    EXPECT_NEAR(s_values[static_cast<std::size_t>(k)] *
+                    dots[static_cast<std::size_t>(k)],
+                ref.entry(k).value, kTol);
+  }
+
+  // FusedMM-A
+  DenseMatrix fused_out(p.csr.rows(), p.b.cols());
+  fusedmm_a(p.csr, p.a, p.b, fused_out, pool);
+  EXPECT_LT(fused_out.max_abs_diff(reference_fusedmm_a(p.coo, p.a, p.b)),
+            kTol);
+}
+
+TEST(BalancedKernels, MatchReferenceAcrossThreadsAndWidths) {
+  for (const Index r : {1, 32, 33, 128}) {
+    const auto p = make_power_law(256, r, 1000 + static_cast<std::uint64_t>(r));
+    expect_kernels_match_reference(p, nullptr);
+    for (const int threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      expect_kernels_match_reference(p, &pool);
+    }
+  }
+}
+
+TEST(BalancedKernels, AllNnzInOneRow) {
+  for (const Index r : {32, 33}) {
+    const auto p = make_one_hot_row(128, r, 7);
+    expect_kernels_match_reference(p, nullptr);
+    for (const int threads : {2, 8}) {
+      ThreadPool pool(threads);
+      expect_kernels_match_reference(p, &pool);
+    }
+  }
+}
+
+TEST(BalancedKernels, EmptyRowsAtBothEnds) {
+  const auto p = make_holey(128, 32, 21);
+  ASSERT_EQ(p.csr.row_nnz(0), 0);
+  ASSERT_EQ(p.csr.row_nnz(p.csr.rows() - 1), 0);
+  expect_kernels_match_reference(p, nullptr);
+  for (const int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    expect_kernels_match_reference(p, &pool);
+  }
+}
+
+TEST(BalancedKernels, EmptyMatrix) {
+  CooMatrix coo(64, 64);
+  Problem p{std::move(coo), {}, DenseMatrix(64, 32), DenseMatrix(64, 32)};
+  p.csr = coo_to_csr(p.coo);
+  Rng rng(3);
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  ThreadPool pool(4);
+  expect_kernels_match_reference(p, &pool);
+}
+
+} // namespace
+} // namespace dsk
