@@ -2,10 +2,19 @@
 /// direction in its Conclusions: "Further performance improvement may be
 /// possible by overlapping communication in the propagation phase of any
 /// of our algorithms with local computation", e.g. with one-sided MPI /
-/// RDMA). Using the exact per-rank phase costs from the simulator, this
-/// bench bounds the achievable saving: kernel time with propagation
-/// fully hidden behind local kernels vs the measured bulk-synchronous
-/// time.
+/// RDMA).
+///
+/// Two views, one modeled and one measured:
+///  1. Modeled upper bound — using the exact per-rank phase costs from
+///     the simulator, kernel time with propagation fully hidden behind
+///     local kernels vs the bulk-synchronous sum.
+///  2. Measured — the propagation engine actually implements both
+///     schedules (dist/shift_loop.hpp): the bulk-synchronous BSP loop
+///     and the double-buffered loop that forwards blocks before
+///     computing and receives after. The simulated ranks are real
+///     threads running real kernels, so the schedules' waiting structure
+///     is directly measurable as per-rank wall-clock spans, and the two
+///     outputs are compared bit-for-bit.
 ///
 /// The interesting structure: overlap pays most where propagation and
 /// computation are balanced (dense-shifting at moderate phi) and least
@@ -13,9 +22,44 @@
 /// propagation-bound; high-phi dense problems are compute-bound).
 
 #include "bench_common.hpp"
+#include "common/timer.hpp"
 
 using namespace dsk;
 using namespace dsk::bench;
+
+namespace {
+
+struct Measured {
+  double wall_seconds = 0; ///< best-of-N host wall for kRepeats calls
+  DenseMatrix output;
+};
+
+/// FusedMM calls per timed run: repeating inside one world amortizes
+/// world/setup cost so the schedules' per-step waiting structure is
+/// what's measured.
+constexpr int kRepeats = 8;
+
+Measured run_measured(AlgorithmKind kind, Elision elision, int p, int c,
+                      ShiftSchedule schedule, const Workload& w,
+                      int trials) {
+  AlgorithmOptions options;
+  options.schedule = schedule;
+  auto algo = make_algorithm(kind, p, c, options);
+  Measured best;
+  for (int trial = 0; trial < trials; ++trial) {
+    Timer timer;
+    auto result = algo->run_fusedmm(FusedOrientation::A, elision, w.s,
+                                    w.a, w.b, kRepeats);
+    const double wall = timer.seconds();
+    if (trial == 0 || wall < best.wall_seconds) {
+      best.wall_seconds = wall;
+    }
+    best.output = std::move(result.output);
+  }
+  return best;
+}
+
+} // namespace
 
 int main() {
   print_header("Ablation: upper bound on comm/comp overlap "
@@ -59,5 +103,64 @@ int main() {
               "propagation behind local kernels; replication (fiber\n"
               "collectives) cannot overlap because its output is needed "
               "before any local work starts.\n");
-  return 0;
+
+  // ---- Measured overlap: bulk-synchronous vs double-buffered schedule
+  // on a propagation-dominated instance (many shifts, light local
+  // kernels) — the regime where the schedule's waiting structure, not
+  // arithmetic, sets the wall-clock. The bulk-synchronous loop pays a
+  // rendezvous per shift; the double-buffered loop forwards blocks
+  // before computing and lets ranks pipeline across steps.
+  print_header("Measured: double-buffered vs bulk-synchronous schedule");
+  const Index nm = 1024 * env_scale();
+  const auto wm = make_er_workload(nm, 4, r, /*seed=*/9008);
+  std::printf("propagation-bound instance: n = %lld, nnz/row = 4, "
+              "r = %lld, p = %d; host wall for %d FusedMM calls, best of "
+              "5 runs; identical output required\n",
+              static_cast<long long>(nm), static_cast<long long>(r), p,
+              kRepeats);
+  std::printf("%-30s %5s %12s %12s %8s %10s\n", "algorithm", "c",
+              "bulk-sync", "dbl-buffer", "saving", "identical");
+  const int trials = 5;
+  bool all_identical = true;
+  bool buffered_wins = true;
+  const struct {
+    const char* name;
+    AlgorithmKind kind;
+    Elision elision;
+    int c;
+  } measured_cases[] = {
+      {"1.5D DenseShift  ReplReuse", AlgorithmKind::DenseShift15D,
+       Elision::ReplicationReuse, 1},
+      {"1.5D SparseShift ReplReuse", AlgorithmKind::SparseShift15D,
+       Elision::ReplicationReuse, 1},
+      {"2.5D DenseRepl   ReplReuse", AlgorithmKind::DenseRepl25D,
+       Elision::ReplicationReuse, 1},
+      {"2.5D SparseRepl  None", AlgorithmKind::SparseRepl25D,
+       Elision::None, 1},
+  };
+  for (const auto& cs : measured_cases) {
+    const auto bulk =
+        run_measured(cs.kind, cs.elision, p, cs.c,
+                     ShiftSchedule::BulkSynchronous, wm, trials);
+    const auto buffered =
+        run_measured(cs.kind, cs.elision, p, cs.c,
+                     ShiftSchedule::DoubleBuffered, wm, trials);
+    const bool identical =
+        bulk.output.max_abs_diff(buffered.output) == 0.0;
+    all_identical = all_identical && identical;
+    buffered_wins =
+        buffered_wins && buffered.wall_seconds <= bulk.wall_seconds;
+    std::printf("%-30s %5d %10.3fms %10.3fms %7.1f%% %10s\n", cs.name,
+                cs.c, 1e3 * bulk.wall_seconds,
+                1e3 * buffered.wall_seconds,
+                100.0 * (bulk.wall_seconds - buffered.wall_seconds) /
+                    bulk.wall_seconds,
+                identical ? "yes" : "NO");
+  }
+  std::printf("\nMeasured check: double-buffered <= bulk-synchronous with "
+              "bit-identical output on every case — %s.\n",
+              all_identical && buffered_wins ? "HOLDS" : "VIOLATED");
+  // Identical output is a hard failure; a wall-clock inversion on a
+  // loaded host is reported above but only the numerics gate the exit.
+  return all_identical ? 0 : 1;
 }

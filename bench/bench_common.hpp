@@ -263,6 +263,60 @@ struct Variant {
   Elision elision;
 };
 
+/// Append one distributed measurement in the BENCH_dist_kernels.json
+/// schema: bench/setup identifiers, algorithm + elision, grid (p, c),
+/// problem shape, per-phase modeled seconds (for kPaperCalls calls), and
+/// the max-per-rank communication words of one call.
+inline void add_dist_record(JsonRecords& records, const std::string& bench,
+                            const std::string& setup,
+                            AlgorithmKind kind, Elision elision, int p,
+                            const Workload& w, const RunOutcome& out) {
+  records.add()
+      .field("bench", bench)
+      .field("setup", setup)
+      .field("algorithm", to_string(kind))
+      .field("elision", to_string(elision))
+      .field("p", p)
+      .field("c", out.c)
+      .field("n", static_cast<std::int64_t>(w.s.rows()))
+      .field("nnz", static_cast<std::int64_t>(w.s.nnz()))
+      .field("r", static_cast<std::int64_t>(w.r))
+      .field("replication_seconds", out.replication_seconds)
+      .field("propagation_seconds", out.propagation_seconds)
+      .field("computation_seconds", out.computation_seconds)
+      .field("total_seconds", out.total_seconds)
+      .field("comm_words", out.comm_words);
+}
+
+/// Shared `--out <path>` argument handling for the figure benches. A
+/// malformed invocation exits immediately: a ~1 minute sweep that ends
+/// without the baseline it was asked to write is worse than no run.
+inline std::string out_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --out requires a path\n", argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Write the records if a path was requested; complain loudly on failure
+/// so perf-trajectory tracking never silently loses a baseline.
+inline int finish_records(const JsonRecords& records,
+                          const std::string& path) {
+  if (path.empty()) return 0;
+  if (!records.write(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}
+
 inline std::vector<Variant> paper_variants() {
   return {
       {"1.5D DenseShift  None", AlgorithmKind::DenseShift15D,

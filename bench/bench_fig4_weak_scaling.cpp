@@ -22,8 +22,10 @@ using namespace dsk::bench;
 
 namespace {
 
-void run_setup(const char* title, const std::vector<int>& node_counts,
-               const std::function<Workload(int)>& make_workload) {
+void run_setup(const char* title, const char* setup_id,
+               const std::vector<int>& node_counts,
+               const std::function<Workload(int)>& make_workload,
+               JsonRecords& records) {
   print_header(title);
   std::printf("%-30s", "algorithm \\ p");
   for (const int p : node_counts) {
@@ -39,6 +41,8 @@ void run_setup(const char* title, const std::vector<int>& node_counts,
         std::printf(" %11s", "n/a");
       } else {
         std::printf(" %9.3fms", 1e3 * best.total_seconds);
+        add_dist_record(records, "fig4_weak_scaling", setup_id,
+                        variant.kind, variant.elision, p, w, best);
       }
     }
     std::printf("\n");
@@ -47,7 +51,9 @@ void run_setup(const char* title, const std::vector<int>& node_counts,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = out_path_from_args(argc, argv);
+  JsonRecords records;
   const Index n0 = 1024 * env_scale();
   const Index d0 = 4;
   const Index r = 32; // phi = d0 / r = 1/8, as in the paper
@@ -59,19 +65,23 @@ int main() {
               kPaperCalls, static_cast<long long>(n0),
               static_cast<long long>(r));
 
-  run_setup("Setup 1: n = n0 * p, nnz/row fixed (phi constant)",
-            node_counts, [&](int p) {
+  run_setup("Setup 1: n = n0 * p, nnz/row fixed (phi constant)", "setup1",
+            node_counts,
+            [&](int p) {
               return make_er_workload(n0 * p, d0, r,
                                       /*seed=*/100 + static_cast<unsigned>(p));
-            });
+            },
+            records);
 
   run_setup(
       "Setup 2: n = n0 * sqrt(p), nnz/row = d0 * sqrt(p) (phi doubles)",
-      node_counts, [&](int p) {
+      "setup2", node_counts,
+      [&](int p) {
         const auto root = static_cast<Index>(std::lround(std::sqrt(p)));
         return make_er_workload(n0 * root, d0 * root, r,
                                 /*seed=*/200 + static_cast<unsigned>(p));
-      });
+      },
+      records);
 
   std::printf(
       "\nPaper checks:\n"
@@ -81,5 +91,5 @@ int main() {
       "at scale, sparse shift degrades as phi doubles.\n"
       "  * Eliding variants beat their no-elision counterparts nearly "
       "everywhere.\n");
-  return 0;
+  return finish_records(records, out_path);
 }

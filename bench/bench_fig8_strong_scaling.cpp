@@ -65,7 +65,9 @@ Workload load_or_generate(const char* name, Index sim_n, Index sim_d,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = out_path_from_args(argc, argv);
+  JsonRecords records;
   struct MatrixSpec {
     const char* name;
     Index n;
@@ -111,6 +113,9 @@ int main() {
           continue;
         }
         std::printf(" %9.3fms", 1e3 * best.total_seconds);
+        add_dist_record(records, "fig8_strong_scaling", spec.name,
+                        variant.kind, variant.elision, node_counts[i], w,
+                        best);
         if (best_ours[i] < 0 || best.total_seconds < best_ours[i]) {
           best_ours[i] = best.total_seconds;
         }
@@ -160,5 +165,5 @@ int main() {
               "  * eliding variants beat their unoptimized sequences "
               "(paper: 1.19x on uk-2002, 1.6x on eukarya at 256 "
               "nodes).\n");
-  return 0;
+  return finish_records(records, out_path);
 }

@@ -1,0 +1,333 @@
+#include "dist/algorithm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dist/families.hpp"
+#include "dist/grid.hpp"
+#include "dist/problem.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk {
+
+void DistAlgorithm::validate_dims(Index m, Index n, Index r) const {
+  check(m >= 1 && n >= 1 && r >= 1, "validate_dims: empty problem ", m,
+        " x ", n, " x ", r);
+  const auto req = dims_requirement(kind_, p_, c_);
+  check(m % req.m_multiple == 0, to_string(kind_), ": m = ", m,
+        " is not a multiple of ", req.m_multiple, " (p=", p_, " c=", c_,
+        ")");
+  check(n % req.n_multiple == 0, to_string(kind_), ": n = ", n,
+        " is not a multiple of ", req.n_multiple, " (p=", p_, " c=", c_,
+        ")");
+  check(r % req.r_multiple == 0, to_string(kind_), ": r = ", r,
+        " is not a multiple of ", req.r_multiple, " (p=", p_, " c=", c_,
+        ")");
+}
+
+namespace {
+
+void validate_inputs(const DistAlgorithm& algo, const CooMatrix& s,
+                     const DenseMatrix& a, const DenseMatrix& b) {
+  check(s.is_sorted_unique(),
+        to_string(algo.kind()),
+        ": sparse input must be sorted with unique entries "
+        "(call sort_and_combine first)");
+  check(a.rows() == s.rows(), to_string(algo.kind()), ": A has ", a.rows(),
+        " rows, S has ", s.rows());
+  check(b.rows() == s.cols(), to_string(algo.kind()), ": B has ", b.rows(),
+        " rows, S has ", s.cols(), " cols");
+  check(a.cols() == b.cols(), to_string(algo.kind()), ": A width ",
+        a.cols(), " != B width ", b.cols());
+  algo.validate_dims(s.rows(), s.cols(), a.cols());
+}
+
+} // namespace
+
+KernelResult DistAlgorithm::run_kernel(Mode mode, const CooMatrix& s,
+                                       const DenseMatrix& a,
+                                       const DenseMatrix& b) const {
+  validate_inputs(*this, s, a, b);
+  return do_run_kernel(mode, s, a, b);
+}
+
+FusedResult DistAlgorithm::run_fusedmm(FusedOrientation orientation,
+                                       Elision elision, const CooMatrix& s,
+                                       const DenseMatrix& a,
+                                       const DenseMatrix& b,
+                                       int repetitions) const {
+  check(supports(elision), to_string(kind_), " does not support ",
+        to_string(elision));
+  check(repetitions >= 1, "run_fusedmm: repetitions must be positive, got ",
+        repetitions);
+  validate_inputs(*this, s, a, b);
+  return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+}
+
+bool valid_config(AlgorithmKind kind, int p, int c) {
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D:
+    case AlgorithmKind::SparseShift15D:
+      return Grid15D::valid(p, c);
+    case AlgorithmKind::DenseRepl25D:
+    case AlgorithmKind::SparseRepl25D:
+      return Grid25D::valid(p, c);
+    case AlgorithmKind::Baseline1D:
+      return p >= 1 && c == 1;
+  }
+  return false;
+}
+
+std::unique_ptr<DistAlgorithm> make_algorithm(AlgorithmKind kind, int p,
+                                              int c,
+                                              const AlgorithmOptions& options) {
+  check(valid_config(kind, p, c), "make_algorithm: invalid grid ",
+        to_string(kind), " p=", p, " c=", c);
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D:
+      return detail::make_dense_shift_15d(p, c, options);
+    case AlgorithmKind::SparseShift15D:
+      return detail::make_sparse_shift_15d(p, c, options);
+    case AlgorithmKind::DenseRepl25D:
+      return detail::make_dense_repl_25d(p, c, options);
+    case AlgorithmKind::SparseRepl25D:
+      return detail::make_sparse_repl_25d(p, c, options);
+    case AlgorithmKind::Baseline1D:
+      return detail::make_baseline_1d(p, c, options);
+  }
+  fail("make_algorithm: unknown algorithm kind");
+}
+
+namespace detail {
+
+CsrMatrix csr_with_values(const CsrMatrix& pattern,
+                          std::span<const Scalar> values) {
+  CsrMatrix out = pattern;
+  check(values.size() == out.values().size(),
+        "csr_with_values: got ", values.size(), " values for ",
+        out.values().size(), " nonzeros");
+  std::copy(values.begin(), values.end(), out.values().begin());
+  return out;
+}
+
+void scatter_values(std::span<const Scalar> local,
+                    std::span<const Index> entries,
+                    std::span<Scalar> global) {
+  check(local.size() == entries.size(),
+        "scatter_values: ", local.size(), " values for ", entries.size(),
+        " entry slots");
+  for (std::size_t k = 0; k < local.size(); ++k) {
+    global[static_cast<std::size_t>(entries[k])] = local[k];
+  }
+}
+
+namespace {
+
+/// The PETSc-like 1D block-row baseline (paper Section VI-A): S, A, and
+/// B in block rows of m/p (resp. n/p); SpMMA fetches the remote B rows
+/// its column support touches, point to point, with no replication to
+/// amortize them. The communication plan (which rows each pair
+/// exchanges) is computed at setup, like PETSc's cached VecScatter; the
+/// fetch payloads are charged to Phase::Propagation.
+class Baseline1D final : public DistAlgorithm {
+ public:
+  Baseline1D(int p, int c, const AlgorithmOptions& options)
+      : DistAlgorithm(AlgorithmKind::Baseline1D, p, c, options) {}
+
+  bool supports(Elision elision) const override {
+    return elision == Elision::None;
+  }
+
+ protected:
+  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                             const DenseMatrix& a,
+                             const DenseMatrix& b) const override {
+    check(mode == Mode::SpMMA,
+          "1D-Baseline supports SpMMA only (the paper's baseline runs "
+          "FusedMM as two SpMM calls)");
+    KernelResult result;
+    result.dense = DenseMatrix(s.rows(), b.cols());
+    result.stats = run(s, a, b, /*fused=*/false, /*repetitions=*/1,
+                       result.dense);
+    return result;
+  }
+
+  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision,
+                             const CooMatrix& s, const DenseMatrix& a,
+                             const DenseMatrix& b,
+                             int repetitions) const override {
+    check(orientation == FusedOrientation::A,
+          "1D-Baseline supports FusedMM orientation A only");
+    FusedResult result;
+    result.output = DenseMatrix(s.rows(), b.cols());
+    result.stats = run(s, a, b, /*fused=*/true, repetitions, result.output);
+    return result;
+  }
+
+ private:
+  struct Setup {
+    Index m = 0, n = 0, r = 0;
+    Index row_blk = 0, col_blk = 0;
+    /// Per rank: local block CSR with columns remapped to positions in
+    /// `cols` (the sorted distinct global columns it touches).
+    std::vector<SparseShard> shards;
+    std::vector<std::vector<Index>> cols;
+    /// needs[k][o]: global B rows rank k fetches from owner o.
+    std::vector<std::vector<std::vector<Index>>> needs;
+  };
+
+  Setup make_setup(const CooMatrix& s, Index r) const {
+    Setup su;
+    su.m = s.rows();
+    su.n = s.cols();
+    su.r = r;
+    su.row_blk = su.m / p();
+    su.col_blk = su.n / p();
+    su.cols.resize(static_cast<std::size_t>(p()));
+    // Distinct column support per rank (entries are sorted, so a block's
+    // columns arrive row-major; collect and sort-unique).
+    std::vector<std::vector<Index>> support(
+        static_cast<std::size_t>(p()));
+    for (Index k = 0; k < s.nnz(); ++k) {
+      const auto e = s.entry(k);
+      support[static_cast<std::size_t>(e.row / su.row_blk)].push_back(
+          e.col);
+    }
+    for (int k = 0; k < p(); ++k) {
+      auto& cols = support[static_cast<std::size_t>(k)];
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+      su.cols[static_cast<std::size_t>(k)] = std::move(cols);
+    }
+    su.shards = shard_coo(
+        s, p(), [&](Index row, Index) { return static_cast<int>(row / su.row_blk); },
+        [&](Index row, Index col) {
+          const auto k = static_cast<std::size_t>(row / su.row_blk);
+          const auto& cols = su.cols[k];
+          const auto it = std::lower_bound(cols.begin(), cols.end(), col);
+          return std::pair<Index, Index>(
+              row % su.row_blk,
+              static_cast<Index>(std::distance(cols.begin(), it)));
+        },
+        [&](int bucket) {
+          return std::pair<Index, Index>(
+              su.row_blk,
+              static_cast<Index>(
+                  su.cols[static_cast<std::size_t>(bucket)].size()));
+        });
+    su.needs.assign(static_cast<std::size_t>(p()),
+                    std::vector<std::vector<Index>>(
+                        static_cast<std::size_t>(p())));
+    for (int k = 0; k < p(); ++k) {
+      for (const Index col : su.cols[static_cast<std::size_t>(k)]) {
+        const int owner = static_cast<int>(col / su.col_blk);
+        if (owner != k) {
+          su.needs[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(owner)]
+                      .push_back(col);
+        }
+      }
+    }
+    return su;
+  }
+
+  /// Fetch remote B rows per the plan and assemble the rank's compacted
+  /// working set (distinct columns x r).
+  DenseMatrix fetch_b(Comm& comm, const Setup& su,
+                      const DenseMatrix& b) const {
+    const int rank = comm.rank();
+    const auto& mine = su.cols[static_cast<std::size_t>(rank)];
+    DenseMatrix work(static_cast<Index>(mine.size()), su.r);
+    {
+      PhaseScope scope(comm.stats(), Phase::Propagation);
+      // Buffered sends first (deadlock-free), then blocking receives.
+      for (int t = 0; t < p(); ++t) {
+        if (t == rank) continue;
+        const auto& rows =
+            su.needs[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+                rank)];
+        if (rows.empty()) continue;
+        WordPacker packer;
+        for (const Index g : rows) {
+          packer.put(std::span<const Scalar>(b.row(g)));
+        }
+        comm.send_words(t, kTagFetchReply, packer.take());
+      }
+      for (int o = 0; o < p(); ++o) {
+        if (o == rank) continue;
+        const auto& rows =
+            su.needs[static_cast<std::size_t>(rank)][static_cast<std::size_t>(
+                o)];
+        if (rows.empty()) continue;
+        const MessageWords words = comm.recv_words(o, kTagFetchReply);
+        WordReader reader(words);
+        for (const Index g : rows) {
+          const auto row = reader.take<Scalar>(
+              static_cast<std::size_t>(su.r));
+          const auto it = std::lower_bound(mine.begin(), mine.end(), g);
+          const auto local = static_cast<Index>(
+              std::distance(mine.begin(), it));
+          std::copy(row.begin(), row.end(), work.row(local).begin());
+        }
+        check(reader.exhausted(), "1D-Baseline: oversized fetch reply");
+      }
+    }
+    // Local columns straight from the owner's block (no communication).
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const Index g = mine[i];
+      if (g / su.col_blk == rank) {
+        const auto row = b.row(g);
+        std::copy(row.begin(), row.end(),
+                  work.row(static_cast<Index>(i)).begin());
+      }
+    }
+    return work;
+  }
+
+  WorldStats run(const CooMatrix& s, const DenseMatrix& a,
+                 const DenseMatrix& b, bool fused, int repetitions,
+                 DenseMatrix& out) const {
+    const Setup su = make_setup(s, b.cols());
+    return run_spmd(p(), [&](Comm& comm) {
+      const int rank = comm.rank();
+      const auto& shard = su.shards[static_cast<std::size_t>(rank)];
+      for (int rep = 0; rep < repetitions; ++rep) {
+        DenseMatrix work = fetch_b(comm, su, b);
+        if (fused) {
+          // The unfused SDDMM + SpMM pair fetches the same rows twice;
+          // the baseline has no elision to offer.
+          work = fetch_b(comm, su, b);
+        }
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        DenseMatrix block(su.row_blk, su.r);
+        if (fused) {
+          const DenseMatrix a_block =
+              a.row_block(rank * su.row_blk, (rank + 1) * su.row_blk);
+          std::vector<Scalar> dots(shard.coo.size(), Scalar{0});
+          comm.stats().add_flops(
+              masked_dot_products(shard.csr, a_block, work, dots));
+          hadamard_values(shard.csr.values(), dots, dots);
+          comm.stats().add_flops(shard.nnz());
+          comm.stats().add_flops(
+              spmm_a(csr_with_values(shard.csr, dots), work, block));
+        } else {
+          comm.stats().add_flops(spmm_a(shard.csr, work, block));
+        }
+        place_block(out, block, rank * su.row_blk, 0);
+      }
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<DistAlgorithm> make_baseline_1d(
+    int p, int c, const AlgorithmOptions& options) {
+  return std::make_unique<Baseline1D>(p, c, options);
+}
+
+} // namespace detail
+} // namespace dsk

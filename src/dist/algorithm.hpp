@@ -1,0 +1,110 @@
+#pragma once
+/// \file algorithm.hpp
+/// The distributed algorithm drivers (paper Section V): 1.5D
+/// dense-shifting (Algorithm 1), 1.5D sparse-shifting, the 2.5D
+/// dense-replicating (Algorithm 2) and sparse-replicating variants, and
+/// the PETSc-like 1D block-row baseline. Every driver runs the unified
+/// kernel (SDDMM / SpMMA / SpMMB — Section IV-A) and FusedMM in both
+/// orientations with the communication-eliding strategies of Section
+/// IV-B, over the simulated runtime with word-exact cost accounting.
+///
+/// All algorithms verify against the same serial references; the cost
+/// property tests additionally assert that the measured replication and
+/// propagation words equal the paper's Table III closed forms exactly on
+/// load-balanced inputs.
+
+#include <memory>
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+#include "dist/shift_loop.hpp"
+#include "runtime/stats.hpp"
+#include "sparse/coo.hpp"
+
+namespace dsk {
+
+/// Tuning knobs shared by every algorithm family. The schedule selects
+/// the propagation engine (see shift_loop.hpp); both schedules produce
+/// bit-identical outputs and identical word counts, so the default is
+/// the overlapping one.
+struct AlgorithmOptions {
+  ShiftSchedule schedule = ShiftSchedule::DoubleBuffered;
+};
+
+/// Result of one unified kernel call. `dense` holds the global SpMM
+/// output (empty for SDDMM); `sddmm_values` holds the SDDMM output
+/// values in the input matrix's entry order (empty for SpMM).
+struct KernelResult {
+  DenseMatrix dense;
+  std::vector<Scalar> sddmm_values;
+  WorldStats stats;
+};
+
+/// Result of a FusedMM call: the A-shaped (orientation A) or B-shaped
+/// (orientation B) global output.
+struct FusedResult {
+  DenseMatrix output;
+  WorldStats stats;
+};
+
+class DistAlgorithm {
+ public:
+  DistAlgorithm(AlgorithmKind kind, int p, int c,
+                const AlgorithmOptions& options)
+      : kind_(kind), p_(p), c_(c), options_(options) {}
+  virtual ~DistAlgorithm() = default;
+
+  AlgorithmKind kind() const { return kind_; }
+  int p() const { return p_; }
+  int c() const { return c_; }
+  const AlgorithmOptions& options() const { return options_; }
+
+  /// True when the family admits the eliding strategy (paper Figure 1:
+  /// local kernel fusion needs co-located full rows, so only 1.5D dense
+  /// shifting supports it; 2.5D sparse replication elides nothing).
+  virtual bool supports(Elision elision) const = 0;
+
+  /// Throws unless (m, n, r) divide the family's block grid (the
+  /// multiples advertised by dims_requirement in dist/problem.hpp).
+  void validate_dims(Index m, Index n, Index r) const;
+
+  /// Run one unified kernel over the simulated machine and gather the
+  /// global result. Inputs: s sorted with unique entries, a sized
+  /// s.rows() x r, b sized s.cols() x r. SpMMA reads only b, SpMMB only
+  /// a, SDDMM both.
+  KernelResult run_kernel(Mode mode, const CooMatrix& s,
+                          const DenseMatrix& a, const DenseMatrix& b) const;
+
+  /// Run FusedMM (SDDMM feeding SpMM) `repetitions` times with the given
+  /// eliding strategy; communication scales exactly linearly in
+  /// repetitions and the output is that of a single call.
+  FusedResult run_fusedmm(FusedOrientation orientation, Elision elision,
+                          const CooMatrix& s, const DenseMatrix& a,
+                          const DenseMatrix& b, int repetitions = 1) const;
+
+ protected:
+  virtual KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                                     const DenseMatrix& a,
+                                     const DenseMatrix& b) const = 0;
+  virtual FusedResult do_run_fusedmm(FusedOrientation orientation,
+                                     Elision elision, const CooMatrix& s,
+                                     const DenseMatrix& a,
+                                     const DenseMatrix& b,
+                                     int repetitions) const = 0;
+
+ private:
+  AlgorithmKind kind_;
+  int p_;
+  int c_;
+  AlgorithmOptions options_;
+};
+
+/// True when (p, c) forms a valid grid for the family (c | p; 2.5D
+/// additionally needs p/c square; the baseline has no replication).
+bool valid_config(AlgorithmKind kind, int p, int c);
+
+/// Build a driver; throws on invalid (p, c).
+std::unique_ptr<DistAlgorithm> make_algorithm(
+    AlgorithmKind kind, int p, int c, const AlgorithmOptions& options = {});
+
+} // namespace dsk

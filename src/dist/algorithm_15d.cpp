@@ -1,0 +1,621 @@
+/// \file algorithm_15d.cpp
+/// The 1.5D algorithm family (paper Algorithm 1 and its sparse-shifting
+/// sibling) on the p/c x c grid of dist/grid.hpp.
+///
+/// Dense shifting: A lives in m/p block rows and is replicated along
+/// fibers (all-gather) or reduced back (reduce-scatter); B lives in n/p
+/// block rows that shift cyclically inside each layer. Every rank owns
+/// the S block crossing its layer-row of A and its layer's column group.
+///
+/// Sparse shifting: the dense matrices stay put, split into m/c (n/c)
+/// row blocks by layer and r/(p/c) width slices by layer position; the
+/// S blocks circulate as COO triplets, SDDMM dot products accumulating
+/// in the circulating payload one width-slice at a time until the block
+/// returns home (paper Section IV-A).
+
+#include "common/error.hpp"
+#include "dist/families.hpp"
+#include "dist/grid.hpp"
+#include "dist/problem.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "local/fused.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk::detail {
+namespace {
+
+// ------------------------------------------------------------- dense shift
+
+class DenseShift15D final : public DistAlgorithm {
+ public:
+  DenseShift15D(int p, int c, const AlgorithmOptions& options)
+      : DistAlgorithm(AlgorithmKind::DenseShift15D, p, c, options),
+        grid_(p, c) {}
+
+  bool supports(Elision) const override { return true; }
+
+ protected:
+  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                             const DenseMatrix& a,
+                             const DenseMatrix& b) const override;
+  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+                             const CooMatrix& s, const DenseMatrix& a,
+                             const DenseMatrix& b,
+                             int repetitions) const override;
+
+ private:
+  struct Setup {
+    Index m = 0, n = 0, r = 0;
+    Index mL = 0;    ///< layer-row height m / L
+    Index a_blk = 0; ///< canonical A block height m / p
+    Index b_blk = 0; ///< shifting B block height n / p
+    Index ncg = 0;   ///< layer column-group width n / c
+    /// Piece (rank, j): rank's S sub-block meeting shifted B block j.
+    std::vector<SparseShard> pieces;
+  };
+
+  Setup make_setup(const CooMatrix& s, Index r) const {
+    const int L = grid_.layer_size();
+    Setup su;
+    su.m = s.rows();
+    su.n = s.cols();
+    su.r = r;
+    su.mL = su.m / L;
+    su.a_blk = su.m / p();
+    su.b_blk = su.n / p();
+    su.ncg = su.n / c();
+    su.pieces = shard_coo(
+        s, p() * L,
+        [&](Index row, Index col) {
+          const int u = static_cast<int>(row / su.mL);
+          const int v = static_cast<int>(col / su.ncg);
+          const int j = static_cast<int>((col - v * su.ncg) / su.b_blk);
+          return grid_.rank_of(u, v) * L + j;
+        },
+        [&](Index row, Index col) {
+          const Index j = (col % su.ncg) / su.b_blk;
+          const Index v = col / su.ncg;
+          return std::pair<Index, Index>(
+              row % su.mL, col - v * su.ncg - j * su.b_blk);
+        },
+        [&](int) { return std::pair<Index, Index>(su.mL, su.b_blk); });
+    return su;
+  }
+
+  const SparseShard& piece(const Setup& su, int rank, int j) const {
+    return su.pieces[static_cast<std::size_t>(rank * grid_.layer_size() +
+                                              j)];
+  }
+
+  /// Global row of the B block shifting through layer v as ring index j.
+  Index b_row0(const Setup& su, int v, int j) const {
+    return (static_cast<Index>(v) * grid_.layer_size() + j) * su.b_blk;
+  }
+
+  /// Fiber all-gather of the rank's canonical A block into its full
+  /// layer-row of A.
+  DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
+                          const DenseMatrix& a) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
+    auto gathered =
+        fiber.allgather(a.row_block(row0, row0 + su.a_blk).data());
+    return DenseMatrix(su.mL, su.r, std::move(gathered));
+  }
+
+  /// Fiber reduce-scatter of the rank's layer-row partial; writes the
+  /// rank's m/p output chunk.
+  void reduce_partial(Comm& comm, const Setup& su, int u, int v,
+                      const DenseMatrix& partial, DenseMatrix& out) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    auto chunk = fiber.reduce_scatter(partial.data());
+    place_block(out,
+                DenseMatrix(su.a_blk, su.r, std::move(chunk)),
+                static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
+  }
+
+  /// Circulate the layer's B blocks (or B-shaped accumulators) for L
+  /// steps; body(j, resident) sees ring index j and may rewrite the
+  /// resident block when mutates is set. Returns the final resident
+  /// block — after the full ring trip that is the home block again,
+  /// which the accumulator (mutating) loops write to the output.
+  MessageWords b_loop(Comm& comm, const Setup& su, int u, int v,
+                      bool mutates, MessageWords start,
+                      const std::function<void(int, MessageWords&)>& body)
+      const {
+    const int L = grid_.layer_size();
+    const auto layer = grid_.layer_members(v);
+    ShiftChannel ch =
+        ring_channel(layer, u, kTagShift, mutates, std::move(start));
+    run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
+      body((u + t) % L, ch.block);
+    });
+    return std::move(ch.block);
+  }
+
+  /// SDDMM dot products for every local piece; B input blocks circulate.
+  /// Returns dots[j] for the rank's L pieces.
+  std::vector<std::vector<Scalar>> dots_loop(Comm& comm, const Setup& su,
+                                             int rank, int u, int v,
+                                             const DenseMatrix& a_work,
+                                             const DenseMatrix& b) const {
+    std::vector<std::vector<Scalar>> dots(
+        static_cast<std::size_t>(grid_.layer_size()));
+    b_loop(comm, su, u, v, /*mutates=*/false,
+           pack_dense(b.row_block(b_row0(su, v, u),
+                                  b_row0(su, v, u) + su.b_blk)),
+           [&](int j, MessageWords& block) {
+             const auto bj = unpack_dense(block, su.b_blk, su.r);
+             const auto& pc = piece(su, rank, j);
+             auto& d = dots[static_cast<std::size_t>(j)];
+             d.assign(pc.coo.size(), Scalar{0});
+             comm.stats().add_flops(
+                 masked_dot_products(pc.csr, a_work, bj, d));
+           });
+    return dots;
+  }
+
+  /// SpMMA propagation: accumulate the layer-row partial from
+  /// circulating B blocks; values overridable for the FusedMM SpMM pass.
+  DenseMatrix spmma_loop(Comm& comm, const Setup& su, int rank, int u,
+                         int v, const DenseMatrix& b,
+                         const std::vector<std::vector<Scalar>>* values)
+      const {
+    DenseMatrix partial(su.mL, su.r);
+    b_loop(comm, su, u, v, /*mutates=*/false,
+           pack_dense(b.row_block(b_row0(su, v, u),
+                                  b_row0(su, v, u) + su.b_blk)),
+           [&](int j, MessageWords& block) {
+             const auto bj = unpack_dense(block, su.b_blk, su.r);
+             const auto& pc = piece(su, rank, j);
+             if (values == nullptr) {
+               comm.stats().add_flops(spmm_a(pc.csr, bj, partial));
+             } else {
+               comm.stats().add_flops(spmm_a(
+                   csr_with_values(pc.csr,
+                                   (*values)[static_cast<std::size_t>(j)]),
+                   bj, partial));
+             }
+           });
+    return partial;
+  }
+
+  Grid15D grid_;
+};
+
+KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
+                                          const DenseMatrix& a,
+                                          const DenseMatrix& b) const {
+  const Setup su = make_setup(s, a.cols());
+  KernelResult result;
+  if (mode == Mode::SpMMA) {
+    result.dense = DenseMatrix(su.m, su.r);
+  } else if (mode == Mode::SpMMB) {
+    result.dense = DenseMatrix(su.n, su.r);
+  } else {
+    result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
+                               Scalar{0});
+  }
+  const int L = grid_.layer_size();
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    switch (mode) {
+      case Mode::SpMMA: {
+        const auto partial =
+            spmma_loop(comm, su, rank, u, v, b, nullptr);
+        reduce_partial(comm, su, u, v, partial, result.dense);
+        return;
+      }
+      case Mode::SDDMM: {
+        const auto a_work = replicate_a(comm, su, u, v, a);
+        const auto dots = dots_loop(comm, su, rank, u, v, a_work, b);
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        for (int j = 0; j < L; ++j) {
+          const auto& pc = piece(su, rank, j);
+          std::vector<Scalar> vals(pc.coo.size());
+          hadamard_values(pc.coo.values,
+                          dots[static_cast<std::size_t>(j)], vals);
+          comm.stats().add_flops(pc.nnz());
+          scatter_values(vals, pc.entries, result.sddmm_values);
+        }
+        return;
+      }
+      case Mode::SpMMB: {
+        const auto a_work = replicate_a(comm, su, u, v, a);
+        const auto home = b_loop(
+            comm, su, u, v, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.b_blk, su.r)),
+            [&](int j, MessageWords& block) {
+              auto acc = unpack_dense(block, su.b_blk, su.r);
+              comm.stats().add_flops(
+                  spmm_b(piece(su, rank, j).csr, a_work, acc));
+              block = pack_dense(acc);
+            });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.dense, unpack_dense(home, su.b_blk, su.r),
+                    b_row0(su, v, u), 0);
+        return;
+      }
+    }
+    fail("1.5D-DenseShift: unknown mode");
+  });
+  return result;
+}
+
+FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
+                                          Elision elision,
+                                          const CooMatrix& s,
+                                          const DenseMatrix& a,
+                                          const DenseMatrix& b,
+                                          int repetitions) const {
+  if (orientation == FusedOrientation::B &&
+      elision == Elision::LocalKernelFusion) {
+    // The fused local kernel co-locates full rows of the OUTPUT-side
+    // matrix; for a B-shaped output that is the transposed problem:
+    // FusedMMB(S, A, B) = FusedMMA(S^T, B, A).
+    auto st = s.transposed();
+    st.sort_and_combine();
+    return do_run_fusedmm(FusedOrientation::A, elision, st, b, a,
+                          repetitions);
+  }
+  const Setup su = make_setup(s, a.cols());
+  const int L = grid_.layer_size();
+  FusedResult result;
+  result.output = DenseMatrix(
+      orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto a_work = replicate_a(comm, su, u, v, a);
+      if (elision == Elision::LocalKernelFusion) {
+        // Single propagation loop with the fused local kernel.
+        DenseMatrix partial(su.mL, su.r);
+        b_loop(comm, su, u, v, /*mutates=*/false,
+               pack_dense(b.row_block(b_row0(su, v, u),
+                                      b_row0(su, v, u) + su.b_blk)),
+               [&](int j, MessageWords& block) {
+                 const auto bj = unpack_dense(block, su.b_blk, su.r);
+                 comm.stats().add_flops(fusedmm_a(
+                     piece(su, rank, j).csr, a_work, bj, partial));
+               });
+        reduce_partial(comm, su, u, v, partial, result.output);
+        continue;
+      }
+      // SDDMM pass.
+      const auto dots = dots_loop(comm, su, rank, u, v, a_work, b);
+      std::vector<std::vector<Scalar>> r_values(
+          static_cast<std::size_t>(L));
+      {
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        for (int j = 0; j < L; ++j) {
+          const auto& pc = piece(su, rank, j);
+          auto& vals = r_values[static_cast<std::size_t>(j)];
+          vals.resize(pc.coo.size());
+          hadamard_values(pc.coo.values,
+                          dots[static_cast<std::size_t>(j)], vals);
+          comm.stats().add_flops(pc.nnz());
+        }
+      }
+      // SpMM pass on the SDDMM output values.
+      if (orientation == FusedOrientation::A) {
+        const auto partial =
+            spmma_loop(comm, su, rank, u, v, b, &r_values);
+        reduce_partial(comm, su, u, v, partial, result.output);
+      } else {
+        if (elision == Elision::None) {
+          // Unelided sequence: the SpMM pass replicates A again instead
+          // of reusing the SDDMM pass's copy.
+          const auto again = replicate_a(comm, su, u, v, a);
+          (void)again;
+        }
+        const auto home = b_loop(
+            comm, su, u, v, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.b_blk, su.r)),
+            [&](int j, MessageWords& block) {
+              auto acc = unpack_dense(block, su.b_blk, su.r);
+              comm.stats().add_flops(spmm_b(
+                  csr_with_values(piece(su, rank, j).csr,
+                                  r_values[static_cast<std::size_t>(j)]),
+                  a_work, acc));
+              block = pack_dense(acc);
+            });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.output, unpack_dense(home, su.b_blk, su.r),
+                    b_row0(su, v, u), 0);
+      }
+    }
+  });
+  return result;
+}
+
+// ------------------------------------------------------------ sparse shift
+
+class SparseShift15D final : public DistAlgorithm {
+ public:
+  SparseShift15D(int p, int c, const AlgorithmOptions& options)
+      : DistAlgorithm(AlgorithmKind::SparseShift15D, p, c, options),
+        grid_(p, c) {}
+
+  bool supports(Elision elision) const override {
+    return elision != Elision::LocalKernelFusion;
+  }
+
+ protected:
+  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                             const DenseMatrix& a,
+                             const DenseMatrix& b) const override;
+  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+                             const CooMatrix& s, const DenseMatrix& a,
+                             const DenseMatrix& b,
+                             int repetitions) const override;
+
+ private:
+  struct Setup {
+    Index m = 0, n = 0, r = 0;
+    Index mc = 0;  ///< canonical A row-block height m / c
+    Index mL = 0;  ///< piece row-block height m / L
+    Index ncg = 0; ///< layer column-group width n / c
+    Index rL = 0;  ///< width slice r / L
+    /// Piece (v, j): layer v's S block of piece-row j (rows global,
+    /// columns rebased to the layer's column group).
+    std::vector<SparseShard> pieces;
+  };
+
+  Setup make_setup(const CooMatrix& s, Index r) const {
+    const int L = grid_.layer_size();
+    Setup su;
+    su.m = s.rows();
+    su.n = s.cols();
+    su.r = r;
+    su.mc = su.m / c();
+    su.mL = su.m / L;
+    su.ncg = su.n / c();
+    su.rL = su.r / L;
+    su.pieces = shard_coo(
+        s, c() * L,
+        [&](Index row, Index col) {
+          const int v = static_cast<int>(col / su.ncg);
+          const int j = static_cast<int>(row / su.mL);
+          return v * L + j;
+        },
+        [&](Index row, Index col) {
+          return std::pair<Index, Index>(row, col % su.ncg);
+        },
+        [&](int) { return std::pair<Index, Index>(su.m, su.ncg); });
+    return su;
+  }
+
+  const SparseShard& piece(const Setup& su, int v, int j) const {
+    return su.pieces[static_cast<std::size_t>(v * grid_.layer_size() + j)];
+  }
+
+  /// The rank's stationary width-slice of the layer's B row block.
+  DenseMatrix local_b(const Setup& su, int u, int v,
+                      const DenseMatrix& b) const {
+    return dense_block(b, static_cast<Index>(v) * (su.n / c()),
+                       su.n / c(), static_cast<Index>(u) * su.rL, su.rL);
+  }
+
+  /// Fiber all-gather of the canonical A blocks into the full-m slice
+  /// A[:, u-th width slice].
+  DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
+                          const DenseMatrix& a) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    auto gathered = fiber.allgather(
+        dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
+                    static_cast<Index>(u) * su.rL, su.rL)
+            .data());
+    return DenseMatrix(su.m, su.rL, std::move(gathered));
+  }
+
+  /// Circulate the layer's S pieces for L steps.
+  void s_loop(Comm& comm, const Setup& su, int u, int v, bool mutates,
+              MessageWords start,
+              const std::function<void(int, MessageWords&)>& body) const {
+    const int L = grid_.layer_size();
+    const auto layer = grid_.layer_members(v);
+    ShiftChannel ch =
+        ring_channel(layer, u, kTagShift, mutates, std::move(start));
+    run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
+      body((u + t) % L, ch.block);
+    });
+  }
+
+  Grid15D grid_;
+};
+
+KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
+                                           const DenseMatrix& a,
+                                           const DenseMatrix& b) const {
+  const Setup su = make_setup(s, a.cols());
+  KernelResult result;
+  if (mode == Mode::SpMMA) {
+    result.dense = DenseMatrix(su.m, su.r);
+  } else if (mode == Mode::SpMMB) {
+    result.dense = DenseMatrix(su.n, su.r);
+  } else {
+    result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
+                               Scalar{0});
+  }
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    const auto b_local = local_b(su, u, v, b);
+    switch (mode) {
+      case Mode::SpMMA: {
+        DenseMatrix partial(su.m, su.rL);
+        s_loop(comm, su, u, v, /*mutates=*/false,
+               pack_triplets(piece(su, v, u).coo),
+               [&](int j, MessageWords&) {
+                 comm.stats().add_flops(
+                     spmm_a(piece(su, v, j).csr, b_local, partial));
+               });
+        PhaseScope scope(comm.stats(), Phase::Replication);
+        Group fiber(comm, grid_.fiber_members(u));
+        auto chunk = fiber.reduce_scatter(partial.data());
+        place_block(result.dense,
+                    DenseMatrix(su.mc, su.rL, std::move(chunk)),
+                    static_cast<Index>(v) * su.mc,
+                    static_cast<Index>(u) * su.rL);
+        return;
+      }
+      case Mode::SDDMM: {
+        const auto a_work = replicate_a(comm, su, u, v, a);
+        Triplets start = piece(su, v, u).coo;
+        start.values.assign(start.size(), Scalar{0});
+        const auto layer = grid_.layer_members(v);
+        ShiftChannel ch = ring_channel(layer, u, kTagShift,
+                                       /*mutates=*/true,
+                                       pack_triplets(start));
+        run_shift_loop(comm, options().schedule, grid_.layer_size(),
+                       {&ch, 1}, [&](int t) {
+                         const int j = (u + t) % grid_.layer_size();
+                         auto payload = unpack_triplets(ch.block);
+                         comm.stats().add_flops(masked_dot_products(
+                             piece(su, v, j).csr, a_work, b_local,
+                             payload.values));
+                         ch.block = pack_triplets(payload);
+                       });
+        // After L shifts the resident payload is the home piece again,
+        // its dot products accumulated over every width slice.
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        const auto dots = unpack_triplets(ch.block);
+        const auto& home = piece(su, v, u);
+        std::vector<Scalar> vals(home.coo.size());
+        hadamard_values(home.coo.values, dots.values, vals);
+        comm.stats().add_flops(home.nnz());
+        scatter_values(vals, home.entries, result.sddmm_values);
+        return;
+      }
+      case Mode::SpMMB: {
+        const auto a_work = replicate_a(comm, su, u, v, a);
+        DenseMatrix b_out(su.n / c(), su.rL);
+        s_loop(comm, su, u, v, /*mutates=*/false,
+               pack_triplets(piece(su, v, u).coo),
+               [&](int j, MessageWords&) {
+                 comm.stats().add_flops(
+                     spmm_b(piece(su, v, j).csr, a_work, b_out));
+               });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.dense, b_out,
+                    static_cast<Index>(v) * (su.n / c()),
+                    static_cast<Index>(u) * su.rL);
+        return;
+      }
+    }
+    fail("1.5D-SparseShift: unknown mode");
+  });
+  return result;
+}
+
+FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
+                                           Elision elision,
+                                           const CooMatrix& s,
+                                           const DenseMatrix& a,
+                                           const DenseMatrix& b,
+                                           int repetitions) const {
+  const Setup su = make_setup(s, a.cols());
+  FusedResult result;
+  result.output = DenseMatrix(
+      orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    const auto b_local = local_b(su, u, v, b);
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto a_work = replicate_a(comm, su, u, v, a);
+      // SDDMM pass: dot products circulate with the pieces.
+      Triplets start = piece(su, v, u).coo;
+      start.values.assign(start.size(), Scalar{0});
+      MessageWords resident = pack_triplets(start);
+      {
+        const auto layer = grid_.layer_members(v);
+        ShiftChannel ch = ring_channel(layer, u, kTagShift,
+                                       /*mutates=*/true,
+                                       std::move(resident));
+        run_shift_loop(comm, options().schedule, grid_.layer_size(),
+                       {&ch, 1}, [&](int t) {
+                         const int j = (u + t) % grid_.layer_size();
+                         auto payload = unpack_triplets(ch.block);
+                         comm.stats().add_flops(masked_dot_products(
+                             piece(su, v, j).csr, a_work, b_local,
+                             payload.values));
+                         ch.block = pack_triplets(payload);
+                       });
+        resident = std::move(ch.block);
+      }
+      std::vector<Scalar> r_values(piece(su, v, u).coo.size());
+      {
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        const auto dots = unpack_triplets(resident);
+        hadamard_values(piece(su, v, u).coo.values, dots.values,
+                        r_values);
+        comm.stats().add_flops(piece(su, v, u).nnz());
+      }
+      if (elision == Elision::None &&
+          orientation == FusedOrientation::B) {
+        // Unelided sequence: the SpMM-B pass replicates A again instead
+        // of reusing the SDDMM pass's copy. (Orientation A's SpMM pass
+        // never reads A — its second fiber operation is the output
+        // reduce-scatter below — so there is nothing to re-replicate.)
+        const auto again = replicate_a(comm, su, u, v, a);
+        (void)again;
+      }
+      // SpMM pass: pieces circulate carrying the SDDMM output values.
+      Triplets r_piece = piece(su, v, u).coo;
+      r_piece.values = r_values;
+      if (orientation == FusedOrientation::A) {
+        DenseMatrix partial(su.m, su.rL);
+        s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
+               [&](int j, MessageWords& block) {
+                 const auto payload = unpack_triplets(block);
+                 comm.stats().add_flops(spmm_a(
+                     csr_with_values(piece(su, v, j).csr, payload.values),
+                     b_local, partial));
+               });
+        PhaseScope scope(comm.stats(), Phase::Replication);
+        Group fiber(comm, grid_.fiber_members(u));
+        auto chunk = fiber.reduce_scatter(partial.data());
+        place_block(result.output,
+                    DenseMatrix(su.mc, su.rL, std::move(chunk)),
+                    static_cast<Index>(v) * su.mc,
+                    static_cast<Index>(u) * su.rL);
+      } else {
+        DenseMatrix b_out(su.n / c(), su.rL);
+        s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
+               [&](int j, MessageWords& block) {
+                 const auto payload = unpack_triplets(block);
+                 comm.stats().add_flops(spmm_b(
+                     csr_with_values(piece(su, v, j).csr, payload.values),
+                     a_work, b_out));
+               });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.output, b_out,
+                    static_cast<Index>(v) * (su.n / c()),
+                    static_cast<Index>(u) * su.rL);
+      }
+    }
+  });
+  return result;
+}
+
+} // namespace
+
+std::unique_ptr<DistAlgorithm> make_dense_shift_15d(
+    int p, int c, const AlgorithmOptions& options) {
+  return std::make_unique<DenseShift15D>(p, c, options);
+}
+
+std::unique_ptr<DistAlgorithm> make_sparse_shift_15d(
+    int p, int c, const AlgorithmOptions& options) {
+  return std::make_unique<SparseShift15D>(p, c, options);
+}
+
+} // namespace dsk::detail

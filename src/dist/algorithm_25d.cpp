@@ -1,0 +1,659 @@
+/// \file algorithm_25d.cpp
+/// The 2.5D algorithm family (paper Algorithm 2 and its
+/// sparse-replicating sibling) on the q x q x c grid of dist/grid.hpp.
+///
+/// Dense replicating: S lives in q x (q*c) blocks and circulates along
+/// row rings together with n/(qc)-row blocks of B along column rings,
+/// Cannon-style, while the dense A side is replicated along fibers
+/// (all-gather in, reduce-scatter out) — both a sparse and a dense block
+/// move on every shift, which is why the propagation term carries both
+/// 3*nnz/p and n*r/p words per step.
+///
+/// Sparse replicating: the q x q cells of S are replicated across the c
+/// fiber ranks (pattern at setup, values by an all-gather each call) and
+/// stay put; both dense matrices circulate as m*r/p slices, skewed
+/// Cannon-style so the A and B slices resident on a rank always cover
+/// the same width range. SDDMM dot products accumulate in a stationary
+/// per-cell buffer and are summed across the fiber with one all-reduce.
+
+#include "common/error.hpp"
+#include "dist/families.hpp"
+#include "dist/grid.hpp"
+#include "local/schedule.hpp"
+#include "local/sddmm.hpp"
+#include "local/spmm.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk::detail {
+namespace {
+
+// --------------------------------------------------------- dense replicate
+
+class DenseRepl25D final : public DistAlgorithm {
+ public:
+  DenseRepl25D(int p, int c, const AlgorithmOptions& options)
+      : DistAlgorithm(AlgorithmKind::DenseRepl25D, p, c, options),
+        grid_(p, c) {}
+
+  bool supports(Elision elision) const override {
+    return elision != Elision::LocalKernelFusion;
+  }
+
+ protected:
+  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                             const DenseMatrix& a,
+                             const DenseMatrix& b) const override;
+  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+                             const CooMatrix& s, const DenseMatrix& a,
+                             const DenseMatrix& b,
+                             int repetitions) const override;
+
+ private:
+  struct Setup {
+    Index m = 0, n = 0, r = 0;
+    Index mq = 0;  ///< S row-block height m / q
+    Index mqc = 0; ///< canonical A chunk height m / (qc)
+    Index nqc = 0; ///< shifting B block height n / (qc)
+    Index rq = 0;  ///< width slice r / q
+    /// Piece (u, k, w): S block of row-block u and column block k*c+w.
+    std::vector<SparseShard> pieces;
+  };
+
+  Setup make_setup(const CooMatrix& s, Index r) const {
+    const int q = grid_.q();
+    Setup su;
+    su.m = s.rows();
+    su.n = s.cols();
+    su.r = r;
+    su.mq = su.m / q;
+    su.mqc = su.mq / c();
+    su.nqc = su.n / (static_cast<Index>(q) * c());
+    su.rq = su.r / q;
+    su.pieces = shard_coo(
+        s, q * q * c(),
+        [&](Index row, Index col) {
+          const int u = static_cast<int>(row / su.mq);
+          const int g = static_cast<int>(col / su.nqc);
+          return (u * q + g / c()) * c() + g % c();
+        },
+        [&](Index row, Index col) {
+          return std::pair<Index, Index>(row % su.mq, col % su.nqc);
+        },
+        [&](int) { return std::pair<Index, Index>(su.mq, su.nqc); });
+    return su;
+  }
+
+  const SparseShard& piece(const Setup& su, int u, int k, int w) const {
+    return su.pieces[static_cast<std::size_t>((u * grid_.q() + k) * c() +
+                                              w)];
+  }
+
+  /// Fiber all-gather of the rank's canonical A chunk into its m/q x r/q
+  /// working block.
+  DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
+                          int w, const DenseMatrix& a) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u, v));
+    auto gathered = fiber.allgather(
+        dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
+                    static_cast<Index>(v) * su.rq, su.rq)
+            .data());
+    return DenseMatrix(su.mq, su.rq, std::move(gathered));
+  }
+
+  /// Fiber reduce-scatter of the rank's m/q x r/q partial; writes its
+  /// canonical chunk of the A-shaped output.
+  void reduce_partial(Comm& comm, const Setup& su, int u, int v, int w,
+                      const DenseMatrix& partial, DenseMatrix& out) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u, v));
+    auto chunk = fiber.reduce_scatter(partial.data());
+    place_block(out, DenseMatrix(su.mqc, su.rq, std::move(chunk)),
+                static_cast<Index>(u) * su.mq + w * su.mqc,
+                static_cast<Index>(v) * su.rq);
+  }
+
+  /// The resident S / B column-block ring index at step t on rank
+  /// (u, v, w): Cannon skew (u + v + t) mod q.
+  int k_at(int u, int v, int t) const { return (u + v + t) % grid_.q(); }
+
+  /// Global row of B column block k (for layer w).
+  Index b_row0(const Setup& su, int k, int w) const {
+    return (static_cast<Index>(k) * c() + w) * su.nqc;
+  }
+
+  Grid25D grid_;
+};
+
+KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
+                                         const DenseMatrix& a,
+                                         const DenseMatrix& b) const {
+  const Setup su = make_setup(s, a.cols());
+  KernelResult result;
+  if (mode == Mode::SpMMA) {
+    result.dense = DenseMatrix(su.m, su.r);
+  } else if (mode == Mode::SpMMB) {
+    result.dense = DenseMatrix(su.n, su.r);
+  } else {
+    result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
+                               Scalar{0});
+  }
+  const int q = grid_.q();
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+              w = grid_.w_of(rank);
+    const int k0 = k_at(u, v, 0);
+    const auto row_ring = grid_.row_members(u, w);
+    const auto col_ring = grid_.col_members(v, w);
+    switch (mode) {
+      case Mode::SpMMA: {
+        // S pieces (with values) and B blocks circulate; the A-shaped
+        // partial stays put and is reduce-scattered along the fiber.
+        ShiftChannel chs =
+            ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
+                         pack_triplets(piece(su, u, k0, w).coo));
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/false,
+            pack_dense(b.row_block(b_row0(su, k0, w),
+                                   b_row0(su, k0, w) + su.nqc)
+                           .col_block(static_cast<Index>(v) * su.rq,
+                                      (v + 1) * static_cast<Index>(su.rq))));
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        DenseMatrix partial(su.mq, su.rq);
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(
+              spmm_a(piece(su, u, k, w).csr, bk, partial));
+        });
+        reduce_partial(comm, su, u, v, w, partial, result.dense);
+        return;
+      }
+      case Mode::SDDMM: {
+        const auto a_work = replicate_a(comm, su, u, v, w, a);
+        Triplets start = piece(su, u, k0, w).coo;
+        start.values.assign(start.size(), Scalar{0});
+        ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/true,
+                                        pack_triplets(start));
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/false,
+            pack_dense(b.row_block(b_row0(su, k0, w),
+                                   b_row0(su, k0, w) + su.nqc)
+                           .col_block(static_cast<Index>(v) * su.rq,
+                                      (v + 1) * static_cast<Index>(su.rq))));
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          auto payload = unpack_triplets(channels[0].block);
+          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(masked_dot_products(
+              piece(su, u, k, w).csr, a_work, bk, payload.values));
+          channels[0].block = pack_triplets(payload);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        const auto dots = unpack_triplets(channels[0].block);
+        const auto& home = piece(su, u, k0, w);
+        std::vector<Scalar> vals(home.coo.size());
+        hadamard_values(home.coo.values, dots.values, vals);
+        comm.stats().add_flops(home.nnz());
+        scatter_values(vals, home.entries, result.sddmm_values);
+        return;
+      }
+      case Mode::SpMMB: {
+        const auto a_work = replicate_a(comm, su, u, v, w, a);
+        ShiftChannel chs =
+            ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
+                         pack_triplets(piece(su, u, k0, w).coo));
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.nqc, su.rq)));
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          auto acc = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(
+              spmm_b(piece(su, u, k, w).csr, a_work, acc));
+          channels[1].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.dense,
+                    unpack_dense(channels[1].block, su.nqc, su.rq),
+                    b_row0(su, k0, w), static_cast<Index>(v) * su.rq);
+        return;
+      }
+    }
+    fail("2.5D-DenseRepl: unknown mode");
+  });
+  return result;
+}
+
+FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
+                                         Elision elision,
+                                         const CooMatrix& s,
+                                         const DenseMatrix& a,
+                                         const DenseMatrix& b,
+                                         int repetitions) const {
+  const Setup su = make_setup(s, a.cols());
+  const int q = grid_.q();
+  FusedResult result;
+  result.output = DenseMatrix(
+      orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+              w = grid_.w_of(rank);
+    const int k0 = k_at(u, v, 0);
+    const auto row_ring = grid_.row_members(u, w);
+    const auto col_ring = grid_.col_members(v, w);
+    const auto b_block = [&] {
+      return pack_dense(
+          b.row_block(b_row0(su, k0, w), b_row0(su, k0, w) + su.nqc)
+              .col_block(static_cast<Index>(v) * su.rq,
+                         (v + 1) * static_cast<Index>(su.rq)));
+    };
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto a_work = replicate_a(comm, su, u, v, w, a);
+      // SDDMM pass: dots circulate with the S pieces, B input blocks
+      // circulate on the column ring.
+      Triplets start = piece(su, u, k0, w).coo;
+      start.values.assign(start.size(), Scalar{0});
+      std::vector<Scalar> r_values;
+      {
+        ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/true,
+                                        pack_triplets(start));
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_block());
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          auto payload = unpack_triplets(channels[0].block);
+          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(masked_dot_products(
+              piece(su, u, k, w).csr, a_work, bk, payload.values));
+          channels[0].block = pack_triplets(payload);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        const auto dots = unpack_triplets(channels[0].block);
+        const auto& home = piece(su, u, k0, w);
+        r_values.resize(home.coo.size());
+        hadamard_values(home.coo.values, dots.values, r_values);
+        comm.stats().add_flops(home.nnz());
+      }
+      if (elision == Elision::None) {
+        // Unelided sequence: the SpMM pass replicates A again.
+        const auto again = replicate_a(comm, su, u, v, w, a);
+        (void)again;
+      }
+      // SpMM pass: the S pieces circulate carrying the SDDMM output.
+      Triplets r_piece = piece(su, u, k0, w).coo;
+      r_piece.values = r_values;
+      ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
+                                      /*mutates=*/false,
+                                      pack_triplets(r_piece));
+      if (orientation == FusedOrientation::A) {
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_block());
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        DenseMatrix partial(su.mq, su.rq);
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          const auto payload = unpack_triplets(channels[0].block);
+          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(
+              spmm_a(csr_with_values(piece(su, u, k, w).csr,
+                                     payload.values),
+                     bk, partial));
+        });
+        reduce_partial(comm, su, u, v, w, partial, result.output);
+      } else {
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.nqc, su.rq)));
+        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const int k = k_at(u, v, t);
+          const auto payload = unpack_triplets(channels[0].block);
+          auto acc = unpack_dense(channels[1].block, su.nqc, su.rq);
+          comm.stats().add_flops(
+              spmm_b(csr_with_values(piece(su, u, k, w).csr,
+                                     payload.values),
+                     a_work, acc));
+          channels[1].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.output,
+                    unpack_dense(channels[1].block, su.nqc, su.rq),
+                    b_row0(su, k0, w), static_cast<Index>(v) * su.rq);
+      }
+    }
+  });
+  return result;
+}
+
+// -------------------------------------------------------- sparse replicate
+
+class SparseRepl25D final : public DistAlgorithm {
+ public:
+  SparseRepl25D(int p, int c, const AlgorithmOptions& options)
+      : DistAlgorithm(AlgorithmKind::SparseRepl25D, p, c, options),
+        grid_(p, c) {}
+
+  bool supports(Elision elision) const override {
+    return elision == Elision::None;
+  }
+
+ protected:
+  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+                             const DenseMatrix& a,
+                             const DenseMatrix& b) const override;
+  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+                             const CooMatrix& s, const DenseMatrix& a,
+                             const DenseMatrix& b,
+                             int repetitions) const override;
+
+ private:
+  struct Setup {
+    Index m = 0, n = 0, r = 0;
+    Index mq = 0;  ///< cell height m / q
+    Index nq = 0;  ///< cell width n / q
+    Index rqc = 0; ///< width slice r / (qc)
+    /// Cell (u, v), shared by its c fiber ranks.
+    std::vector<SparseShard> cells;
+    /// Per cell: value ownership boundaries across the fiber (c + 1
+    /// monotone offsets into the cell's entry range).
+    std::vector<std::vector<Index>> value_split;
+  };
+
+  Setup make_setup(const CooMatrix& s, Index r) const {
+    const int q = grid_.q();
+    Setup su;
+    su.m = s.rows();
+    su.n = s.cols();
+    su.r = r;
+    su.mq = su.m / q;
+    su.nq = su.n / q;
+    su.rqc = su.r / (static_cast<Index>(q) * c());
+    su.cells = shard_coo(
+        s, q * q,
+        [&](Index row, Index col) {
+          return static_cast<int>(row / su.mq) * q +
+                 static_cast<int>(col / su.nq);
+        },
+        [&](Index row, Index col) {
+          return std::pair<Index, Index>(row % su.mq, col % su.nq);
+        },
+        [&](int) { return std::pair<Index, Index>(su.mq, su.nq); });
+    su.value_split.reserve(su.cells.size());
+    for (const auto& cell : su.cells) {
+      su.value_split.push_back(partition_uniform(
+          static_cast<Index>(cell.coo.size()), c()));
+    }
+    return su;
+  }
+
+  const SparseShard& cell(const Setup& su, int u, int v) const {
+    return su.cells[static_cast<std::size_t>(u * grid_.q() + v)];
+  }
+
+  /// The skewed width-slice index resident on rank (u, v, w) at step t.
+  Index slice_at(int u, int v, int w, int t) const {
+    return static_cast<Index>(((u + v + t) % grid_.q()) * c() + w);
+  }
+
+  /// All-gather the cell's canonically split values along the fiber;
+  /// returns the full value vector (cost: (c-1)/c * cell_nnz words).
+  std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
+                                    int v, int w) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u, v));
+    const auto& split = su.value_split[static_cast<std::size_t>(
+        u * grid_.q() + v)];
+    const auto& values = cell(su, u, v).coo.values;
+    const auto begin = static_cast<std::size_t>(
+        split[static_cast<std::size_t>(w)]);
+    const auto end = static_cast<std::size_t>(
+        split[static_cast<std::size_t>(w) + 1]);
+    const auto words = fiber.allgather_words(
+        pack_values(std::span<const Scalar>(values.data() + begin,
+                                            end - begin)));
+    return unpack_values(words);
+  }
+
+  Grid25D grid_;
+};
+
+KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
+                                          const DenseMatrix& a,
+                                          const DenseMatrix& b) const {
+  const Setup su = make_setup(s, a.cols());
+  KernelResult result;
+  if (mode == Mode::SpMMA) {
+    result.dense = DenseMatrix(su.m, su.r);
+  } else if (mode == Mode::SpMMB) {
+    result.dense = DenseMatrix(su.n, su.r);
+  } else {
+    result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
+                               Scalar{0});
+  }
+  const int q = grid_.q();
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+              w = grid_.w_of(rank);
+    const auto row_ring = grid_.row_members(u, w);
+    const auto col_ring = grid_.col_members(v, w);
+    const Index s0 = slice_at(u, v, w, 0);
+    const auto& sc = cell(su, u, v);
+    const auto a_piece = [&] {
+      return pack_dense(dense_block(a, static_cast<Index>(u) * su.mq,
+                                    su.mq, s0 * su.rqc, su.rqc));
+    };
+    const auto b_piece = [&] {
+      return pack_dense(dense_block(b, static_cast<Index>(v) * su.nq,
+                                    su.nq, s0 * su.rqc, su.rqc));
+    };
+    // The cell's values are canonically split across the fiber; every
+    // kernel starts by assembling the full value vector.
+    const auto values_full = gather_values(comm, su, u, v, w);
+    switch (mode) {
+      case Mode::SDDMM: {
+        std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
+        ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/false, a_piece());
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_piece());
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const auto ak =
+              unpack_dense(channels[0].block, su.mq, su.rqc);
+          const auto bk =
+              unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(
+              masked_dot_products(sc.csr, ak, bk, dots));
+        });
+        std::vector<Scalar> dots_full;
+        {
+          PhaseScope scope(comm.stats(), Phase::Replication);
+          Group fiber(comm, grid_.fiber_members(u, v));
+          dots_full = fiber.allreduce(dots);
+        }
+        // Each fiber rank finalizes its canonical value range.
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        const auto& split = su.value_split[static_cast<std::size_t>(
+            u * q + v)];
+        for (Index k = split[static_cast<std::size_t>(w)];
+             k < split[static_cast<std::size_t>(w) + 1]; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          result.sddmm_values[static_cast<std::size_t>(sc.entries[kk])] =
+              values_full[kk] * dots_full[kk];
+        }
+        comm.stats().add_flops(sc.nnz() / std::max(1, c()));
+        return;
+      }
+      case Mode::SpMMA: {
+        const auto cell_csr = csr_with_values(sc.csr, values_full);
+        ShiftChannel cha = ring_channel(
+            row_ring, v, kTagShift, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.mq, su.rqc)));
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_piece());
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
+          const auto bk =
+              unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(spmm_a(cell_csr, bk, acc));
+          channels[0].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.dense,
+                    unpack_dense(channels[0].block, su.mq, su.rqc),
+                    static_cast<Index>(u) * su.mq, s0 * su.rqc);
+        return;
+      }
+      case Mode::SpMMB: {
+        const auto cell_csr = csr_with_values(sc.csr, values_full);
+        ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/false, a_piece());
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.nq, su.rqc)));
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const auto ak =
+              unpack_dense(channels[0].block, su.mq, su.rqc);
+          auto acc = unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(spmm_b(cell_csr, ak, acc));
+          channels[1].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.dense,
+                    unpack_dense(channels[1].block, su.nq, su.rqc),
+                    static_cast<Index>(v) * su.nq, s0 * su.rqc);
+        return;
+      }
+    }
+    fail("2.5D-SparseRepl: unknown mode");
+  });
+  return result;
+}
+
+FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
+                                          Elision, const CooMatrix& s,
+                                          const DenseMatrix& a,
+                                          const DenseMatrix& b,
+                                          int repetitions) const {
+  const Setup su = make_setup(s, a.cols());
+  const int q = grid_.q();
+  FusedResult result;
+  result.output = DenseMatrix(
+      orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  result.stats = run_spmd(p(), [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+              w = grid_.w_of(rank);
+    const auto row_ring = grid_.row_members(u, w);
+    const auto col_ring = grid_.col_members(v, w);
+    const Index s0 = slice_at(u, v, w, 0);
+    const auto& sc = cell(su, u, v);
+    const auto a_piece = [&] {
+      return pack_dense(dense_block(a, static_cast<Index>(u) * su.mq,
+                                    su.mq, s0 * su.rqc, su.rqc));
+    };
+    const auto b_piece = [&] {
+      return pack_dense(dense_block(b, static_cast<Index>(v) * su.nq,
+                                    su.nq, s0 * su.rqc, su.rqc));
+    };
+    for (int rep = 0; rep < repetitions; ++rep) {
+      // SDDMM pass: both dense slices circulate, the dot buffer stays.
+      const auto values_full = gather_values(comm, su, u, v, w);
+      std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
+      {
+        ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/false, a_piece());
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_piece());
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const auto ak =
+              unpack_dense(channels[0].block, su.mq, su.rqc);
+          const auto bk =
+              unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(
+              masked_dot_products(sc.csr, ak, bk, dots));
+        });
+      }
+      std::vector<Scalar> dots_full;
+      {
+        PhaseScope scope(comm.stats(), Phase::Replication);
+        Group fiber(comm, grid_.fiber_members(u, v));
+        dots_full = fiber.allreduce(dots);
+      }
+      std::vector<Scalar> r_values(sc.coo.size());
+      {
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        hadamard_values(values_full, dots_full, r_values);
+        comm.stats().add_flops(sc.nnz());
+      }
+      const auto r_csr = csr_with_values(sc.csr, r_values);
+      // SpMM pass: the input slices circulate again, now alongside the
+      // circulating output accumulators.
+      if (orientation == FusedOrientation::A) {
+        ShiftChannel cha = ring_channel(
+            row_ring, v, kTagShift, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.mq, su.rqc)));
+        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                        /*mutates=*/false, b_piece());
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
+          const auto bk =
+              unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(spmm_a(r_csr, bk, acc));
+          channels[0].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.output,
+                    unpack_dense(channels[0].block, su.mq, su.rqc),
+                    static_cast<Index>(u) * su.mq, s0 * su.rqc);
+      } else {
+        ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
+                                        /*mutates=*/false, a_piece());
+        ShiftChannel chb = ring_channel(
+            col_ring, u, kTagShiftDense, /*mutates=*/true,
+            pack_dense(DenseMatrix(su.nq, su.rqc)));
+        ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+          const auto ak =
+              unpack_dense(channels[0].block, su.mq, su.rqc);
+          auto acc = unpack_dense(channels[1].block, su.nq, su.rqc);
+          comm.stats().add_flops(spmm_b(r_csr, ak, acc));
+          channels[1].block = pack_dense(acc);
+        });
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        place_block(result.output,
+                    unpack_dense(channels[1].block, su.nq, su.rqc),
+                    static_cast<Index>(v) * su.nq, s0 * su.rqc);
+      }
+    }
+  });
+  return result;
+}
+
+} // namespace
+
+std::unique_ptr<DistAlgorithm> make_dense_repl_25d(
+    int p, int c, const AlgorithmOptions& options) {
+  return std::make_unique<DenseRepl25D>(p, c, options);
+}
+
+std::unique_ptr<DistAlgorithm> make_sparse_repl_25d(
+    int p, int c, const AlgorithmOptions& options) {
+  return std::make_unique<SparseRepl25D>(p, c, options);
+}
+
+} // namespace dsk::detail

@@ -1,0 +1,33 @@
+#pragma once
+/// \file families.hpp
+/// Internal: per-family driver factories (implemented in
+/// algorithm_15d.cpp / algorithm_25d.cpp / algorithm.cpp) plus the small
+/// helpers the family drivers share. Not part of the public API.
+
+#include "dist/algorithm.hpp"
+#include "dist/shards.hpp"
+
+namespace dsk::detail {
+
+std::unique_ptr<DistAlgorithm> make_dense_shift_15d(
+    int p, int c, const AlgorithmOptions& options);
+std::unique_ptr<DistAlgorithm> make_sparse_shift_15d(
+    int p, int c, const AlgorithmOptions& options);
+std::unique_ptr<DistAlgorithm> make_dense_repl_25d(
+    int p, int c, const AlgorithmOptions& options);
+std::unique_ptr<DistAlgorithm> make_sparse_repl_25d(
+    int p, int c, const AlgorithmOptions& options);
+std::unique_ptr<DistAlgorithm> make_baseline_1d(
+    int p, int c, const AlgorithmOptions& options);
+
+/// Copy of a shard's CSR with its stored values replaced (the FusedMM
+/// SpMM phases run the SDDMM output values through the same pattern).
+CsrMatrix csr_with_values(const CsrMatrix& pattern,
+                          std::span<const Scalar> values);
+
+/// Scatter per-entry results into the global SDDMM output vector.
+void scatter_values(std::span<const Scalar> local,
+                    std::span<const Index> entries,
+                    std::span<Scalar> global);
+
+} // namespace dsk::detail

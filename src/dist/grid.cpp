@@ -1,0 +1,87 @@
+#include "dist/grid.hpp"
+
+#include <cmath>
+
+namespace dsk {
+
+namespace {
+
+/// Integer square root of n if n is a perfect square, otherwise -1.
+int exact_sqrt(int n) {
+  if (n < 1) return -1;
+  const int root = static_cast<int>(std::lround(std::sqrt(n)));
+  for (int r = std::max(1, root - 1); r <= root + 1; ++r) {
+    if (r * r == n) return r;
+  }
+  return -1;
+}
+
+} // namespace
+
+bool Grid15D::valid(int p, int c) {
+  return p >= 1 && c >= 1 && c <= p && p % c == 0;
+}
+
+Grid15D::Grid15D(int p, int c) : p_(p), c_(c) {
+  check(valid(p, c), "Grid15D: invalid grid p=", p, " c=", c,
+        " (need c | p)");
+  layer_size_ = p / c;
+}
+
+std::vector<int> Grid15D::fiber_members(int u) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(c_));
+  for (int v = 0; v < c_; ++v) {
+    out.push_back(rank_of(u, v));
+  }
+  return out;
+}
+
+std::vector<int> Grid15D::layer_members(int v) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(layer_size_));
+  for (int u = 0; u < layer_size_; ++u) {
+    out.push_back(rank_of(u, v));
+  }
+  return out;
+}
+
+bool Grid25D::valid(int p, int c) {
+  return p >= 1 && c >= 1 && c <= p && p % c == 0 &&
+         exact_sqrt(p / c) > 0;
+}
+
+Grid25D::Grid25D(int p, int c) : p_(p), c_(c) {
+  check(valid(p, c), "Grid25D: invalid grid p=", p, " c=", c,
+        " (need c | p and p/c a perfect square)");
+  q_ = exact_sqrt(p / c);
+}
+
+std::vector<int> Grid25D::row_members(int u, int w) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(q_));
+  for (int v = 0; v < q_; ++v) {
+    out.push_back(rank_of(u, v, w));
+  }
+  return out;
+}
+
+std::vector<int> Grid25D::col_members(int v, int w) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(q_));
+  for (int u = 0; u < q_; ++u) {
+    out.push_back(rank_of(u, v, w));
+  }
+  return out;
+}
+
+std::vector<int> Grid25D::fiber_members(int u, int v) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(c_));
+  for (int w = 0; w < c_; ++w) {
+    out.push_back(rank_of(u, v, w));
+  }
+  return out;
+}
+
+} // namespace dsk

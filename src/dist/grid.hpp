@@ -1,0 +1,92 @@
+#pragma once
+/// \file grid.hpp
+/// Process grids with replication factor c (paper Section V / Figure 2).
+///
+/// Grid15D arranges p ranks as (p/c) x c: "layers" of p/c ranks shift
+/// blocks cyclically among themselves, and "fibers" of c ranks run the
+/// replication collectives (all-gather / reduce-scatter). Grid25D
+/// arranges p ranks as q x q x c with q = sqrt(p/c): each of the c
+/// layers is a q x q Cannon-style grid whose row rings and column rings
+/// carry the propagation shifts, and fibers of c ranks again carry the
+/// replication traffic.
+///
+/// Member lists are returned in ring order (the varying coordinate
+/// ascending), which is also the chunk order the Group collectives
+/// assume, so a fiber all-gather concatenates blocks in fiber-position
+/// order.
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+/// p = L * c grid for the 1.5D algorithms: coordinate (u, v) with
+/// u in [0, L) the position inside layer v, and v in [0, c) the layer
+/// (= fiber position).
+class Grid15D {
+ public:
+  Grid15D(int p, int c);
+
+  /// True when (p, c) forms a valid grid: p >= 1, c >= 1, c | p.
+  static bool valid(int p, int c);
+
+  int p() const { return p_; }
+  int c() const { return c_; }
+  /// Ranks per layer, L = p / c.
+  int layer_size() const { return layer_size_; }
+
+  int rank_of(int u, int v) const { return v * layer_size_ + u; }
+  int u_of(int rank) const { return rank % layer_size_; }
+  int v_of(int rank) const { return rank / layer_size_; }
+
+  /// The c ranks sharing layer position u (one per layer), in v order.
+  std::vector<int> fiber_members(int u) const;
+
+  /// The L ranks of layer v, in u (ring) order.
+  std::vector<int> layer_members(int v) const;
+
+ private:
+  int p_;
+  int c_;
+  int layer_size_;
+};
+
+/// p = q * q * c grid for the 2.5D algorithms: coordinate (u, v, w) with
+/// (u, v) the position in layer w's q x q grid and w in [0, c) the layer
+/// (= fiber position).
+class Grid25D {
+ public:
+  Grid25D(int p, int c);
+
+  /// True when (p, c) forms a valid grid: p >= 1, c >= 1, c | p, and
+  /// p / c a perfect square.
+  static bool valid(int p, int c);
+
+  int p() const { return p_; }
+  int c() const { return c_; }
+  int q() const { return q_; }
+
+  int rank_of(int u, int v, int w) const {
+    return (w * q_ + u) * q_ + v;
+  }
+  int u_of(int rank) const { return (rank / q_) % q_; }
+  int v_of(int rank) const { return rank % q_; }
+  int w_of(int rank) const { return rank / (q_ * q_); }
+
+  /// The q ranks of row u in layer w (v varying), in v (ring) order.
+  std::vector<int> row_members(int u, int w) const;
+
+  /// The q ranks of column v in layer w (u varying), in u (ring) order.
+  std::vector<int> col_members(int v, int w) const;
+
+  /// The c ranks sharing in-layer position (u, v), in w order.
+  std::vector<int> fiber_members(int u, int v) const;
+
+ private:
+  int p_;
+  int c_;
+  int q_;
+};
+
+} // namespace dsk

@@ -1,0 +1,160 @@
+#include "dist/shards.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace dsk {
+
+namespace {
+
+std::uint64_t scalar_bits(Scalar v) {
+  std::uint64_t out;
+  std::memcpy(&out, &v, sizeof out);
+  return out;
+}
+
+Scalar bits_scalar(std::uint64_t w) {
+  Scalar out;
+  std::memcpy(&out, &w, sizeof out);
+  return out;
+}
+
+} // namespace
+
+MessageWords pack_triplets(const Triplets& t) {
+  check(t.rows.size() == t.cols.size() && t.cols.size() == t.values.size(),
+        "pack_triplets: mismatched array lengths (", t.rows.size(), ", ",
+        t.cols.size(), ", ", t.values.size(), ")");
+  const std::size_t n = t.size();
+  MessageWords words;
+  words.reserve(3 * n + 1);
+  words.push_back(static_cast<std::uint64_t>(n));
+  for (const Index r : t.rows) words.push_back(static_cast<std::uint64_t>(r));
+  for (const Index c : t.cols) words.push_back(static_cast<std::uint64_t>(c));
+  for (const Scalar v : t.values) words.push_back(scalar_bits(v));
+  return words;
+}
+
+Triplets unpack_triplets(const MessageWords& words) {
+  check(!words.empty(), "unpack_triplets: empty message");
+  const auto n = static_cast<std::size_t>(words[0]);
+  check(words.size() == 3 * n + 1, "unpack_triplets: message has ",
+        words.size(), " words, expected ", 3 * n + 1, " for ", n,
+        " triplets");
+  Triplets t;
+  t.rows.reserve(n);
+  t.cols.reserve(n);
+  t.values.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    t.rows.push_back(static_cast<Index>(words[1 + k]));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    t.cols.push_back(static_cast<Index>(words[1 + n + k]));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    t.values.push_back(bits_scalar(words[1 + 2 * n + k]));
+  }
+  return t;
+}
+
+MessageWords pack_dense(const DenseMatrix& m) {
+  const auto data = m.data();
+  MessageWords words(data.size());
+  if (!data.empty()) {
+    std::memcpy(words.data(), data.data(), data.size() * sizeof(Scalar));
+  }
+  return words;
+}
+
+DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols) {
+  check(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) ==
+            words.size(),
+        "unpack_dense: ", words.size(), " words do not form a ", rows, " x ",
+        cols, " matrix");
+  std::vector<Scalar> values(words.size());
+  if (!words.empty()) {
+    std::memcpy(values.data(), words.data(), words.size() * sizeof(Scalar));
+  }
+  return DenseMatrix(rows, cols, std::move(values));
+}
+
+MessageWords pack_values(std::span<const Scalar> values) {
+  MessageWords words(values.size());
+  if (!values.empty()) {
+    std::memcpy(words.data(), values.data(), values.size() * sizeof(Scalar));
+  }
+  return words;
+}
+
+std::vector<Scalar> unpack_values(const MessageWords& words) {
+  std::vector<Scalar> values(words.size());
+  if (!words.empty()) {
+    std::memcpy(values.data(), words.data(), words.size() * sizeof(Scalar));
+  }
+  return values;
+}
+
+std::vector<SparseShard> shard_coo(
+    const CooMatrix& s, int buckets,
+    const std::function<int(Index, Index)>& bucket_of,
+    const std::function<std::pair<Index, Index>(Index, Index)>& rebase,
+    const std::function<std::pair<Index, Index>(int)>& shape) {
+  check(buckets >= 1, "shard_coo: need at least one bucket");
+  std::vector<SparseShard> shards(static_cast<std::size_t>(buckets));
+  const auto rows = s.row_idx();
+  const auto cols = s.col_idx();
+  const auto values = s.values();
+  for (Index k = 0; k < s.nnz(); ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    const int b = bucket_of(rows[kk], cols[kk]);
+    check(0 <= b && b < buckets, "shard_coo: entry (", rows[kk], ", ",
+          cols[kk], ") mapped to bucket ", b, " of ", buckets);
+    auto& shard = shards[static_cast<std::size_t>(b)];
+    const auto [r, c] = rebase(rows[kk], cols[kk]);
+    shard.coo.rows.push_back(r);
+    shard.coo.cols.push_back(c);
+    shard.coo.values.push_back(values[kk]);
+    shard.entries.push_back(k);
+  }
+  for (int b = 0; b < buckets; ++b) {
+    auto& shard = shards[static_cast<std::size_t>(b)];
+    const auto [nrows, ncols] = shape(b);
+    CooMatrix block(nrows, ncols, shard.coo.rows, shard.coo.cols,
+                    shard.coo.values);
+    check(block.is_sorted_unique(),
+          "shard_coo: bucket ", b, " lost the global entry order");
+    shard.csr = coo_to_csr(block);
+  }
+  return shards;
+}
+
+DenseMatrix dense_block(const DenseMatrix& src, Index row0, Index rows,
+                        Index col0, Index cols) {
+  check(row0 >= 0 && col0 >= 0 && row0 + rows <= src.rows() &&
+            col0 + cols <= src.cols(),
+        "dense_block: block [", row0, "+", rows, ", ", col0, "+", cols,
+        ") exceeds ", src.rows(), " x ", src.cols());
+  DenseMatrix out(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    const auto src_row = src.row(row0 + i);
+    std::memcpy(out.row(i).data(), src_row.data() + col0,
+                static_cast<std::size_t>(cols) * sizeof(Scalar));
+  }
+  return out;
+}
+
+void place_block(DenseMatrix& dst, const DenseMatrix& src, Index row0,
+                 Index col0) {
+  check(row0 >= 0 && col0 >= 0 && row0 + src.rows() <= dst.rows() &&
+            col0 + src.cols() <= dst.cols(),
+        "place_block: block [", row0, "+", src.rows(), ", ", col0, "+",
+        src.cols(), ") exceeds ", dst.rows(), " x ", dst.cols());
+  for (Index i = 0; i < src.rows(); ++i) {
+    std::memcpy(dst.row(row0 + i).data() + col0, src.row(i).data(),
+                static_cast<std::size_t>(src.cols()) * sizeof(Scalar));
+  }
+}
+
+} // namespace dsk

@@ -1,0 +1,82 @@
+#pragma once
+/// \file shards.hpp
+/// Block shards and wire formats for the distributed algorithms.
+///
+/// Two concerns live here:
+///   * Wire (de)serialization of the payloads the propagation phases
+///     move: COO triplet blocks (3 words per nonzero plus a one-word
+///     count header — exactly the paper's sparse-shift cost), dense
+///     blocks (values only, shapes travel out of band), and bare value
+///     vectors (the 2.5D sparse-replicating fiber collectives).
+///   * Shard extraction: single-pass bucketing of a sorted CooMatrix
+///     into the per-rank / per-piece blocks of a distribution, keeping
+///     each nonzero's position in the global entry order so SDDMM
+///     results can be scattered back without communication.
+
+#include <functional>
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+#include "runtime/mailbox.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsk {
+
+/// A COO block as three parallel arrays (the sparse-shift wire layout).
+struct Triplets {
+  std::vector<Index> rows;
+  std::vector<Index> cols;
+  std::vector<Scalar> values;
+
+  std::size_t size() const { return values.size(); }
+};
+
+/// Serialize: [count, rows..., cols..., values...] = 3*nnz + 1 words.
+MessageWords pack_triplets(const Triplets& t);
+
+/// Deserialize; throws on truncated or trailing-garbage messages.
+Triplets unpack_triplets(const MessageWords& words);
+
+/// Serialize a dense matrix's values (row-major, no header).
+MessageWords pack_dense(const DenseMatrix& m);
+
+/// Deserialize into a rows x cols matrix; throws on size mismatch.
+DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols);
+
+/// Serialize a bare value vector (no header; length known out of band).
+MessageWords pack_values(std::span<const Scalar> values);
+
+std::vector<Scalar> unpack_values(const MessageWords& words);
+
+/// One piece of a sparse-matrix distribution: the re-based block in both
+/// formats plus, per stored nonzero, its index in the global sorted
+/// entry order (CSR and COO orders coincide because buckets preserve the
+/// global (row, col) sort).
+struct SparseShard {
+  Triplets coo;                    ///< re-based triplets, global order
+  CsrMatrix csr;                   ///< same entries as CSR
+  std::vector<Index> entries;      ///< global entry index per nonzero
+  std::uint64_t nnz() const { return coo.values.size(); }
+};
+
+/// Bucket a sorted CooMatrix into `buckets` shards in one pass.
+/// bucket_of maps a global (row, col) to its bucket; rebase maps it to
+/// the block-local (row, col). shapes[b] gives shard b's block shape.
+std::vector<SparseShard> shard_coo(
+    const CooMatrix& s, int buckets,
+    const std::function<int(Index, Index)>& bucket_of,
+    const std::function<std::pair<Index, Index>(Index, Index)>& rebase,
+    const std::function<std::pair<Index, Index>(int)>& shape);
+
+/// The rows x cols sub-block of src starting at (row0, col0), copied.
+DenseMatrix dense_block(const DenseMatrix& src, Index row0, Index rows,
+                        Index col0, Index cols);
+
+/// Copy src into dst starting at (row0, col0). Writers of disjoint
+/// regions may call this concurrently (the distributed drivers assemble
+/// global outputs this way).
+void place_block(DenseMatrix& dst, const DenseMatrix& src, Index row0,
+                 Index col0);
+
+} // namespace dsk

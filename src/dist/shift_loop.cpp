@@ -1,0 +1,73 @@
+#include "dist/shift_loop.hpp"
+
+#include "common/error.hpp"
+#include "runtime/stats.hpp"
+
+namespace dsk {
+
+namespace {
+
+bool is_self(const Comm& comm, const ShiftChannel& ch) {
+  return ch.send_to == comm.rank() && ch.recv_from == comm.rank();
+}
+
+} // namespace
+
+void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
+                    std::span<ShiftChannel> channels,
+                    const std::function<void(int)>& compute) {
+  for (const auto& ch : channels) {
+    check(is_self(comm, ch) || (ch.send_to != comm.rank() &&
+                                ch.recv_from != comm.rank()),
+          "run_shift_loop: channel is half-self (send_to ", ch.send_to,
+          ", recv_from ", ch.recv_from, " on rank ", comm.rank(), ")");
+  }
+  for (int step = 0; step < steps; ++step) {
+    if (schedule == ShiftSchedule::DoubleBuffered) {
+      // Forward read-only blocks before computing: the copy in flight is
+      // what the receiver's post-compute receive will find waiting.
+      PhaseScope scope(comm.stats(), Phase::Propagation);
+      for (auto& ch : channels) {
+        if (!ch.mutates && !is_self(comm, ch)) {
+          comm.send_words(ch.send_to, ch.tag, MessageWords(ch.block));
+        }
+      }
+    }
+    {
+      PhaseScope scope(comm.stats(), Phase::Computation);
+      compute(step);
+    }
+    {
+      PhaseScope scope(comm.stats(), Phase::Propagation);
+      for (auto& ch : channels) {
+        if (is_self(comm, ch)) continue;
+        const bool sent_early = schedule == ShiftSchedule::DoubleBuffered &&
+                                !ch.mutates;
+        if (!sent_early) {
+          comm.send_words(ch.send_to, ch.tag, std::move(ch.block));
+        }
+        ch.block = comm.recv_words(ch.recv_from, ch.tag);
+      }
+    }
+    if (schedule == ShiftSchedule::BulkSynchronous) {
+      PhaseScope scope(comm.stats(), Phase::Propagation);
+      comm.barrier();
+    }
+  }
+}
+
+ShiftChannel ring_channel(std::span<const int> members, int pos, int tag,
+                          bool mutates, MessageWords block) {
+  const auto g = static_cast<int>(members.size());
+  check(g >= 1 && 0 <= pos && pos < g, "ring_channel: position ", pos,
+        " outside ring of ", g);
+  ShiftChannel ch;
+  ch.send_to = members[static_cast<std::size_t>((pos - 1 + g) % g)];
+  ch.recv_from = members[static_cast<std::size_t>((pos + 1) % g)];
+  ch.tag = tag;
+  ch.mutates = mutates;
+  ch.block = std::move(block);
+  return ch;
+}
+
+} // namespace dsk

@@ -1,0 +1,71 @@
+#pragma once
+/// \file shift_loop.hpp
+/// The cyclic-shift propagation engine shared by every distributed
+/// algorithm, with a selectable schedule:
+///
+///   BulkSynchronous — the BSP structure the paper measures: compute on
+///     the resident block, exchange, barrier. Every rank advances in
+///     lockstep; a receive waits until its peer has finished computing.
+///
+///   DoubleBuffered — comm/compute overlap (the paper's future-work
+///     direction): for read-only payloads the block is forwarded BEFORE
+///     the local kernel runs (the simulated analogue of MPI_Isend +
+///     posting the receive for shift k+1 early), so the transfer for
+///     step k+1 is in flight while step k computes and the trailing
+///     receive finds its message already delivered. Payloads the kernel
+///     mutates (circulating SDDMM dot accumulators) are forwarded right
+///     after their compute instead, and no barrier closes the step.
+///
+/// Both schedules execute the identical compute sequence on identical
+/// data, so their outputs are bit-identical; only waiting time moves.
+/// Word/message counts are identical too (same blocks over the same
+/// ring), so the exact cost accounting is schedule-independent.
+///
+/// A ring of one rank (the degenerate c = p or q = 1 grids, and p = 1)
+/// is a self-shift: the block stays put and nothing is charged, matching
+/// the cost model's "self-shifts are free".
+
+#include <functional>
+#include <span>
+
+#include "runtime/comm.hpp"
+
+namespace dsk {
+
+/// How the propagation loop schedules its sends and receives relative to
+/// the local kernels.
+enum class ShiftSchedule {
+  BulkSynchronous,
+  DoubleBuffered,
+};
+
+/// One circulating payload stream. The loop replaces `block` with the
+/// incoming block after each step.
+struct ShiftChannel {
+  int send_to = -1;
+  int recv_from = -1;
+  int tag = kTagShift;
+  /// True when compute(step) rewrites the resident block (accumulating
+  /// payloads); such blocks can only be forwarded after the kernel.
+  bool mutates = false;
+  MessageWords block;
+};
+
+/// Run `steps` propagation rounds. compute(step) reads (and for mutating
+/// channels rewrites) the resident blocks; communication is charged to
+/// Phase::Propagation and compute to Phase::Computation, so the
+/// per-phase counters and measured spans line up with the paper's
+/// breakdown. With steps equal to the ring length every block ends up
+/// back home.
+void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
+                    std::span<ShiftChannel> channels,
+                    const std::function<void(int)>& compute);
+
+/// Channel over a ring given in member order: receive from the next
+/// member, send to the previous, so the resident block index advances by
+/// one each step and a ring of `members.size()` steps brings every block
+/// home.
+ShiftChannel ring_channel(std::span<const int> members, int pos, int tag,
+                          bool mutates, MessageWords block);
+
+} // namespace dsk

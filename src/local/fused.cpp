@@ -52,9 +52,9 @@ void run_fused(const CsrMatrix& s, const DenseMatrix& a_in,
   dispatch_width(b.cols(), [&](auto w) {
     constexpr int W = decltype(w)::value;
     if (pool != nullptr) {
-      const auto bounds = partition_rows_by_nnz(s.row_ptr(),
-                                                pool->num_threads());
-      pool->parallel_for_balanced(bounds, [&](Index begin, Index end) {
+      const auto bounds = partition_rows_by_nnz(
+          s.row_ptr(), pool->num_threads() * over_decomposition());
+      pool->parallel_for_dynamic(bounds, [&](Index begin, Index end) {
         fused_rows<W>(s, a_in, b, a_out, r_values, begin, end);
       });
     } else {

@@ -1,6 +1,8 @@
 #include "local/schedule.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -30,6 +32,30 @@ std::vector<Index> partition_rows_by_nnz(std::span<const Index> row_ptr,
         std::clamp(row, bounds[static_cast<std::size_t>(p) - 1], rows);
   }
   return bounds;
+}
+
+namespace {
+
+int initial_over_decomposition() {
+  const char* env = std::getenv("DSK_OVERDECOMP");
+  const int k = env != nullptr ? std::atoi(env) : 1;
+  return k >= 1 ? k : 1;
+}
+
+std::atomic<int>& over_decomposition_slot() {
+  static std::atomic<int> factor{initial_over_decomposition()};
+  return factor;
+}
+
+} // namespace
+
+int over_decomposition() {
+  return over_decomposition_slot().load(std::memory_order_relaxed);
+}
+
+int set_over_decomposition(int k) {
+  return over_decomposition_slot().exchange(std::max(1, k),
+                                            std::memory_order_relaxed);
 }
 
 std::vector<Index> partition_uniform(Index count, int num_parts) {

@@ -34,4 +34,20 @@ std::vector<Index> partition_rows_by_nnz(std::span<const Index> row_ptr,
 /// reduction in the parallel SpMM-B.
 std::vector<Index> partition_uniform(Index count, int num_parts);
 
+/// Over-decomposition factor k for the row-parallel local kernels: the
+/// gather-style kernels (SpMM-A, SDDMM, FusedMM) split their row loops
+/// into k * threads nnz-balanced parts and let idle threads steal the
+/// excess. With k = 1 (the default) a single hub row — common in the
+/// power-law shards the distributed layer hands out — bounds one part
+/// and serializes its thread; k > 1 caps that part at roughly 1/k of a
+/// thread's share. The scatter-style SpMM-B keeps one part per thread
+/// because its private-buffer scratch scales with the part count.
+///
+/// The process-wide default is 1, overridable by the DSK_OVERDECOMP
+/// environment variable (read once) or set_over_decomposition.
+int over_decomposition();
+
+/// Set the factor (clamped to >= 1). Returns the previous value.
+int set_over_decomposition(int k);
+
 } // namespace dsk

@@ -44,9 +44,9 @@ std::uint64_t masked_dot_products(const CsrMatrix& pattern,
   dispatch_width(a.cols(), [&](auto w) {
     constexpr int W = decltype(w)::value;
     if (pool != nullptr) {
-      const auto bounds = partition_rows_by_nnz(pattern.row_ptr(),
-                                                pool->num_threads());
-      pool->parallel_for_balanced(bounds, [&](Index begin, Index end) {
+      const auto bounds = partition_rows_by_nnz(
+          pattern.row_ptr(), pool->num_threads() * over_decomposition());
+      pool->parallel_for_dynamic(bounds, [&](Index begin, Index end) {
         sddmm_rows<W>(pattern, a, b, dots, begin, end);
       });
     } else {

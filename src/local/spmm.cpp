@@ -115,9 +115,11 @@ std::uint64_t spmm_a(const CsrMatrix& s, const DenseMatrix& b,
   dispatch_width(b.cols(), [&](auto w) {
     constexpr int W = decltype(w)::value;
     if (pool != nullptr) {
-      const auto bounds = partition_rows_by_nnz(s.row_ptr(),
-                                                pool->num_threads());
-      pool->parallel_for_balanced(bounds, [&](Index begin, Index end) {
+      // Over-decomposition (schedule.hpp): more parts than threads caps
+      // the damage a hub-dominated part can do to the schedule.
+      const auto bounds = partition_rows_by_nnz(
+          s.row_ptr(), pool->num_threads() * over_decomposition());
+      pool->parallel_for_dynamic(bounds, [&](Index begin, Index end) {
         spmm_a_rows<W>(s, b, a_out, begin, end);
       });
     } else {

@@ -1,6 +1,7 @@
 #include "local/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 #include "local/schedule.hpp"
@@ -129,6 +130,33 @@ void ThreadPool::parallel_for_balanced(
   parallel_for_parts(bounds, [&fn](int, Index begin, Index end) {
     fn(begin, end);
   });
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::span<const Index> bounds,
+    const std::function<void(Index, Index)>& fn) {
+  const auto parts = static_cast<int>(bounds.size()) - 1;
+  check(parts >= 1, "parallel_for_dynamic: need at least one part");
+  if (parts <= num_threads()) {
+    parallel_for_balanced(bounds, fn);
+    return;
+  }
+  std::atomic<int> cursor{0};
+  const std::function<void(int, Index, Index)> drain =
+      [&](int, Index, Index) {
+        for (int part = cursor.fetch_add(1, std::memory_order_relaxed);
+             part < parts;
+             part = cursor.fetch_add(1, std::memory_order_relaxed)) {
+          const Index begin = bounds[static_cast<std::size_t>(part)];
+          const Index end = bounds[static_cast<std::size_t>(part) + 1];
+          if (begin < end) {
+            fn(begin, end);
+          }
+        }
+      };
+  // One meta-task per thread; each drains the shared part queue.
+  const auto meta = partition_uniform(num_threads(), num_threads());
+  parallel_for_parts(meta, drain);
 }
 
 void ThreadPool::parallel_for(Index begin, Index end,

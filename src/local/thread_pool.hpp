@@ -54,6 +54,17 @@ class ThreadPool {
   void parallel_for_balanced(std::span<const Index> bounds,
                              const std::function<void(Index, Index)>& fn);
 
+  /// Run fn(bounds[p], bounds[p+1]) for every nonempty part, allowing
+  /// MORE parts than threads: each thread drains parts from a shared
+  /// atomic cursor, so a part that turns out heavy (a hub row that
+  /// partition_rows_by_nnz could not split) occupies one thread while
+  /// the rest keep stealing the remainder. This is the execution engine
+  /// behind the over-decomposition knob (schedule.hpp): callers pass
+  /// k * num_threads() parts. With parts <= threads it degenerates to
+  /// parallel_for_balanced's one-part-per-thread dispatch.
+  void parallel_for_dynamic(std::span<const Index> bounds,
+                            const std::function<void(Index, Index)>& fn);
+
   /// As parallel_for_balanced, but fn also receives the part index p.
   /// Kernels that keep per-thread private state (the SpMM-B scatter
   /// buffers) use the part index to address their slot without atomics.

@@ -32,6 +32,10 @@ enum CommTag : int {
   kTagGather = 5,
   kTagFetch = 6,
   kTagFetchReply = 7,
+  /// Second shift channel: the 2.5D loops circulate a sparse block and a
+  /// dense block concurrently (along different rings); separate tag
+  /// spaces keep the two streams from matching each other's receives.
+  kTagShiftDense = 8,
 };
 
 class Comm {

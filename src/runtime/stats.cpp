@@ -88,6 +88,24 @@ double phase_seconds(const PhaseCounters& c, const MachineModel& m) {
 
 } // namespace
 
+double WorldStats::measured_phase_seconds(Phase phase) const {
+  double worst = 0;
+  for (const auto& r : ranks_) {
+    worst = std::max(worst, r.seconds(phase));
+  }
+  return worst;
+}
+
+double WorldStats::measured_kernel_seconds() const {
+  double worst = 0;
+  for (const auto& r : ranks_) {
+    worst = std::max(worst, r.seconds(Phase::Replication) +
+                                r.seconds(Phase::Propagation) +
+                                r.seconds(Phase::Computation));
+  }
+  return worst;
+}
+
 double WorldStats::modeled_overlap_seconds(const MachineModel& m) const {
   double worst = 0;
   for (const auto& r : ranks_) {

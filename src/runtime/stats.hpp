@@ -9,6 +9,7 @@
 /// WorldStats::modeled_time.
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,18 @@ class RankStats {
     counters_[index(current_)].flops += flops;
   }
 
+  /// Accumulate measured wall-clock seconds against a phase. PhaseScope
+  /// does this automatically, so per-phase comm/compute spans come for
+  /// free wherever the algorithms already declare their phases. Spans
+  /// include time blocked in receives and barriers — which is exactly
+  /// what makes the double-buffered and bulk-synchronous shift schedules
+  /// distinguishable in the measured (not just modeled) breakdown.
+  void add_seconds(Phase phase, double seconds) {
+    seconds_[index(phase)] += seconds;
+  }
+
+  double seconds(Phase phase) const { return seconds_[index(phase)]; }
+
   const PhaseCounters& phase(Phase phase) const {
     return counters_[index(phase)];
   }
@@ -74,23 +87,35 @@ class RankStats {
   }
   Phase current_ = Phase::Other;
   std::array<PhaseCounters, kNumPhases> counters_{};
+  std::array<double, kNumPhases> seconds_{};
 };
 
-/// RAII phase marker: sets the rank's phase for the enclosed scope and
-/// restores the previous phase on exit.
+/// RAII phase marker: sets the rank's phase for the enclosed scope,
+/// restores the previous phase on exit, and charges the scope's measured
+/// wall-clock span to its phase. Scopes are expected to be sequential,
+/// not nested, inside algorithm code: a nested scope's span would be
+/// counted against both phases.
 class PhaseScope {
  public:
   PhaseScope(RankStats& stats, Phase phase)
-      : stats_(stats), previous_(stats.current_phase()) {
+      : stats_(stats), phase_(phase), previous_(stats.current_phase()),
+        start_(Clock::now()) {
     stats_.set_phase(phase);
   }
-  ~PhaseScope() { stats_.set_phase(previous_); }
+  ~PhaseScope() {
+    stats_.add_seconds(
+        phase_, std::chrono::duration<double>(Clock::now() - start_).count());
+    stats_.set_phase(previous_);
+  }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
+  using Clock = std::chrono::steady_clock;
   RankStats& stats_;
+  Phase phase_;
   Phase previous_;
+  Clock::time_point start_;
 };
 
 /// Aggregated statistics for a finished world run.
@@ -136,6 +161,17 @@ class WorldStats {
   /// e.g. via one-sided MPI/RDMA): per rank, replication + max(prop,
   /// comp) instead of their sum; max over ranks.
   double modeled_overlap_seconds(const MachineModel& m) const;
+
+  /// Max over ranks of measured wall-clock seconds spent in a phase
+  /// (PhaseScope spans, including time blocked in receives/barriers).
+  /// Unlike the modeled times these reflect the actual shift schedule:
+  /// a double-buffered propagation loop shows smaller propagation spans
+  /// than a bulk-synchronous one because receives stop waiting.
+  double measured_phase_seconds(Phase phase) const;
+
+  /// Max over ranks of the rank's total measured span across the three
+  /// kernel phases — the per-rank critical path of one kernel run.
+  double measured_kernel_seconds() const;
 
  private:
   std::vector<RankStats> ranks_;

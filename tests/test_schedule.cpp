@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -324,6 +326,69 @@ TEST(BalancedKernels, EmptyMatrix) {
   p.b.fill_random(rng);
   ThreadPool pool(4);
   expect_kernels_match_reference(p, &pool);
+}
+
+TEST(ThreadPoolDynamic, DrainsMorePartsThanThreads) {
+  ThreadPool pool(3);
+  const auto bounds = partition_uniform(1000, 24); // 8x over-decomposed
+  std::atomic<Index> covered{0};
+  std::mutex mutex;
+  std::vector<std::pair<Index, Index>> ranges;
+  pool.parallel_for_dynamic(bounds, [&](Index begin, Index end) {
+    covered += end - begin;
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(begin, end);
+  });
+  EXPECT_EQ(covered.load(), 1000);
+  EXPECT_EQ(ranges.size(), 24u);
+  std::sort(ranges.begin(), ranges.end());
+  Index expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    expected_begin = end;
+  }
+}
+
+TEST(ThreadPoolDynamic, FewPartsFallBackToBalancedDispatch) {
+  ThreadPool pool(4);
+  const auto bounds = partition_uniform(10, 2);
+  std::atomic<Index> covered{0};
+  pool.parallel_for_dynamic(bounds, [&](Index begin, Index end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 10);
+}
+
+/// Restores the process-global over-decomposition factor even when a
+/// test fails mid-way, so later tests never inherit a stale knob.
+class ScopedOverDecomposition {
+ public:
+  explicit ScopedOverDecomposition(int k)
+      : original_(set_over_decomposition(k)) {}
+  ~ScopedOverDecomposition() { set_over_decomposition(original_); }
+  int original() const { return original_; }
+
+ private:
+  int original_;
+};
+
+TEST(OverDecomposition, KnobRoundTripsAndClamps) {
+  ScopedOverDecomposition scope(4);
+  EXPECT_GE(scope.original(), 1);
+  EXPECT_EQ(over_decomposition(), 4);
+  set_over_decomposition(0); // clamped to the minimum
+  EXPECT_EQ(over_decomposition(), 1);
+}
+
+TEST(OverDecomposition, KernelsMatchReferenceWhenOverDecomposed) {
+  // A hub matrix is exactly the case the knob exists for: one row holds
+  // most of the nonzeros, so with k = 1 one part is a single mega-row.
+  ScopedOverDecomposition scope(4);
+  const auto p = make_one_hot_row(128, 32, 11);
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    expect_kernels_match_reference(p, &pool);
+  }
 }
 
 } // namespace

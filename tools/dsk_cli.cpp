@@ -14,7 +14,8 @@
 ///     --n N       square matrix side         (default 8192)
 ///     --d N       nonzeros per row           (default 8)
 ///     --r N       embedding width            (default 32)
-///     --matrix F  load a Matrix Market file instead of generating
+///     --mtx F     load a Matrix Market file instead of generating
+///                 (SuiteSparse inputs, paper Table V; --matrix works too)
 ///     --rmat      generate R-MAT instead of Erdos-Renyi
 ///     --seed N    RNG seed                   (default 1)
 ///     --reps N    FusedMM repetitions        (default 1)
@@ -22,7 +23,7 @@
 ///
 /// Examples:
 ///   dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 --c 4
-///   dsk_cli --matrix graph.mtx --algo sparse-shift --elision reuse
+///   dsk_cli --mtx graph.mtx --algo sparse-shift --elision reuse
 
 #include <cstdio>
 #include <cstdlib>
@@ -78,7 +79,7 @@ Options parse(int argc, char** argv) {
     if (arg == "--op") opt.op = next();
     else if (arg == "--algo") opt.algo = next();
     else if (arg == "--elision") opt.elision = next();
-    else if (arg == "--matrix") opt.matrix_path = next();
+    else if (arg == "--mtx" || arg == "--matrix") opt.matrix_path = next();
     else if (arg == "--rmat") opt.use_rmat = true;
     else if (arg == "--no-verify") opt.verify = false;
     else if (arg == "--p") opt.p = std::atoi(next());
