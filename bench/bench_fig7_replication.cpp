@@ -4,6 +4,14 @@
 /// fused algorithms save communication by CHANGING the optimal
 /// replication factor — reuse raises it (c* = sqrt(2p)), fusion lowers
 /// it (c* = sqrt(p/2)) — not merely by dropping a phase.
+///
+/// Section 2 measures the SpComm3D-style replication collectives: for
+/// each family with dense fiber collectives, max-per-rank replication
+/// words under the Dense / SparseRows / Auto modes on a power-law
+/// (R-MAT) instance. `--out <path>` writes every measurement as JSON
+/// records for the perf-trajectory baseline (BENCH_replication.json);
+/// the process exits nonzero if any mode moves more words than Dense
+/// under Auto, so CI catches replication-word regressions.
 
 #include <cmath>
 
@@ -33,9 +41,79 @@ int observed_best_c(Elision elision, int p, const Workload& w, int c_max) {
   return best_c;
 }
 
+std::uint64_t replication_words(AlgorithmKind kind, int p, int c,
+                                const Workload& w, ReplicationMode mode) {
+  AlgorithmOptions options;
+  options.replication = mode;
+  auto algo = make_algorithm(kind, p, c, options);
+  const auto result = algo->run_fusedmm(FusedOrientation::A,
+                                        Elision::None, w.s, w.a, w.b, 1);
+  return result.stats.max_words(Phase::Replication);
+}
+
+/// Section 2: sparse vs dense replication collectives on a power-law
+/// instance. Returns false if Auto ever moves more words than Dense.
+bool run_mode_comparison(JsonRecords& records) {
+  print_header("Replication collectives: dense vs sparse-rows (R-MAT)");
+  const Index n = 512 * env_scale();
+  const Index d = 4;
+  const Index r = 32;
+  const auto w = make_rmat_workload(n, d, r, /*seed=*/777);
+  struct GridCase {
+    AlgorithmKind kind;
+    int p;
+    int c;
+  };
+  const std::vector<GridCase> cases = {
+      {AlgorithmKind::DenseShift15D, 16, 4},
+      {AlgorithmKind::SparseShift15D, 16, 4},
+      {AlgorithmKind::DenseRepl25D, 16, 4},
+      {AlgorithmKind::SparseRepl25D, 16, 4},
+  };
+  std::printf("%-18s %4s %3s | %12s %12s %12s | %8s\n", "algorithm", "p",
+              "c", "dense", "sparse-rows", "auto", "saving");
+  bool auto_bounded = true;
+  for (const auto& gc : cases) {
+    std::uint64_t words[3] = {0, 0, 0};
+    const ReplicationMode modes[] = {ReplicationMode::Dense,
+                                     ReplicationMode::SparseRows,
+                                     ReplicationMode::Auto};
+    for (int i = 0; i < 3; ++i) {
+      words[i] = replication_words(gc.kind, gc.p, gc.c, w, modes[i]);
+      records.add()
+          .field("bench", "fig7_replication")
+          .field("setup", "rmat")
+          .field("algorithm", to_string(gc.kind))
+          .field("elision", to_string(Elision::None))
+          .field("mode", to_string(modes[i]))
+          .field("p", gc.p)
+          .field("c", gc.c)
+          .field("n", static_cast<std::int64_t>(w.s.rows()))
+          .field("nnz", static_cast<std::int64_t>(w.s.nnz()))
+          .field("r", static_cast<std::int64_t>(w.r))
+          .field("replication_words", words[i]);
+    }
+    const double saving =
+        words[0] > 0
+            ? 100.0 * (1.0 - static_cast<double>(words[2]) / words[0])
+            : 0.0;
+    std::printf("%-18s %4d %3d | %12llu %12llu %12llu | %7.1f%%\n",
+                to_string(gc.kind).c_str(), gc.p, gc.c,
+                static_cast<unsigned long long>(words[0]),
+                static_cast<unsigned long long>(words[1]),
+                static_cast<unsigned long long>(words[2]), saving);
+    auto_bounded &= words[2] <= words[0];
+  }
+  std::printf("\nInvariant: auto <= dense on every instance — %s.\n",
+              auto_bounded ? "HOLDS" : "VIOLATED");
+  return auto_bounded;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = out_path_from_args(argc, argv);
+  JsonRecords records;
   const Index n0 = 1024 * env_scale();
   const Index d0 = 4;
   const Index r = 32;
@@ -68,10 +146,34 @@ int main() {
     std::printf("%6d | %9.2f %9d | %9.2f %9d | %9.2f %9d\n", p, pred_none,
                 obs_none, pred_reuse, obs_reuse, pred_fusion, obs_fusion);
     ordering_holds &= obs_reuse >= obs_none && obs_none >= obs_fusion;
+    const struct {
+      Elision elision;
+      double predicted;
+      int observed;
+    } rows[] = {{Elision::None, pred_none, obs_none},
+                {Elision::ReplicationReuse, pred_reuse, obs_reuse},
+                {Elision::LocalKernelFusion, pred_fusion, obs_fusion}};
+    for (const auto& row : rows) {
+      records.add()
+          .field("bench", "fig7_optimal_c")
+          .field("setup", "weak1")
+          .field("algorithm", to_string(AlgorithmKind::DenseShift15D))
+          .field("elision", to_string(row.elision))
+          .field("p", p)
+          .field("n", static_cast<std::int64_t>(w.s.rows()))
+          .field("nnz", static_cast<std::int64_t>(w.s.nnz()))
+          .field("r", static_cast<std::int64_t>(r))
+          .field("predicted_c", row.predicted)
+          .field("observed_c", row.observed);
+    }
   }
 
   std::printf("\nPaper check: c*(reuse) >= c*(none) >= c*(fusion) at every "
               "node count — %s.\n",
               ordering_holds ? "HOLDS" : "VIOLATED");
-  return 0;
+
+  const bool auto_bounded = run_mode_comparison(records);
+  const int write_status = finish_records(records, out_path);
+  if (write_status != 0) return write_status;
+  return auto_bounded ? 0 : 1;
 }

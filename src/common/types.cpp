@@ -46,4 +46,13 @@ std::string to_string(FusedOrientation o) {
   return o == FusedOrientation::A ? "FusedMMA" : "FusedMMB";
 }
 
+std::string to_string(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::Dense: return "Dense";
+    case ReplicationMode::SparseRows: return "SparseRows";
+    case ReplicationMode::Auto: return "Auto";
+  }
+  return "?";
+}
+
 } // namespace dsk

@@ -49,6 +49,17 @@ enum class AlgorithmKind {
   Baseline1D,      ///< PETSc-like 1D block-row baseline (Section VI-A)
 };
 
+/// How the replication-phase fiber collectives move dense row blocks
+/// (SpComm3D / SparCML direction): Dense ships whole blocks through the
+/// ring collectives; SparseRows ships only the rows in the local sparse
+/// block's support, plus an index header, point to point; Auto compares
+/// the two word counts for the group at hand and picks the cheaper.
+enum class ReplicationMode {
+  Dense,
+  SparseRows,
+  Auto,
+};
+
 /// Cost phases used in the paper's time breakdowns (Figures 5 and 9).
 enum class Phase {
   Replication, ///< all-gather / reduce-scatter along the fiber axis
@@ -65,5 +76,6 @@ std::string to_string(Elision elision);
 std::string to_string(AlgorithmKind kind);
 std::string to_string(Phase phase);
 std::string to_string(FusedOrientation o);
+std::string to_string(ReplicationMode mode);
 
 } // namespace dsk

@@ -19,13 +19,13 @@ void DistAlgorithm::validate_dims(Index m, Index n, Index r) const {
   const auto req = dims_requirement(kind_, p_, c_);
   check(m % req.m_multiple == 0, to_string(kind_), ": m = ", m,
         " is not a multiple of ", req.m_multiple, " (p=", p_, " c=", c_,
-        ")");
+        "); call pad_problem first");
   check(n % req.n_multiple == 0, to_string(kind_), ": n = ", n,
         " is not a multiple of ", req.n_multiple, " (p=", p_, " c=", c_,
-        ")");
+        "); call pad_problem first");
   check(r % req.r_multiple == 0, to_string(kind_), ": r = ", r,
         " is not a multiple of ", req.r_multiple, " (p=", p_, " c=", c_,
-        ")");
+        "); call pad_problem first");
 }
 
 namespace {
@@ -184,6 +184,10 @@ class Baseline1D final : public DistAlgorithm {
     su.m = s.rows();
     su.n = s.cols();
     su.r = r;
+    check(su.m % p() == 0 && su.n % p() == 0,
+          "1D-Baseline: m = ", su.m, ", n = ", su.n,
+          " must be multiples of p = ", p(),
+          "; call pad_problem first");
     su.row_blk = su.m / p();
     su.col_blk = su.n / p();
     su.cols.resize(static_cast<std::size_t>(p()));

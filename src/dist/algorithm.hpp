@@ -27,8 +27,19 @@ namespace dsk {
 /// the propagation engine (see shift_loop.hpp); both schedules produce
 /// bit-identical outputs and identical word counts, so the default is
 /// the overlapping one.
+///
+/// `replication` selects how the replication-phase fiber collectives
+/// move the A-side row blocks (SpComm3D direction): Dense ships whole
+/// blocks through the ring collectives — the paper's Table III cost,
+/// kept as the default so the exact cost-model tests stay exact;
+/// SparseRows ships only the rows in the local sparse block's support
+/// plus an index header; Auto picks whichever moves fewer words for the
+/// fiber at hand. All three modes produce bit-identical outputs. The
+/// knob is a no-op for families whose replication traffic is already
+/// sparsity-sized (2.5D sparse replicating) or absent (1D baseline).
 struct AlgorithmOptions {
   ShiftSchedule schedule = ShiftSchedule::DoubleBuffered;
+  ReplicationMode replication = ReplicationMode::Dense;
 };
 
 /// Result of one unified kernel call. `dense` holds the global SpMM

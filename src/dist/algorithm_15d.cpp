@@ -54,6 +54,10 @@ class DenseShift15D final : public DistAlgorithm {
     Index ncg = 0;   ///< layer column-group width n / c
     /// Piece (rank, j): rank's S sub-block meeting shifted B block j.
     std::vector<SparseShard> pieces;
+    /// Row support of rank (u, v)'s mL-row working block (union over its
+    /// L pieces), stored at u*c + v so each fiber's c member supports are
+    /// contiguous — the wants table of the row-sparse collectives.
+    std::vector<std::vector<Index>> support;
   };
 
   Setup make_setup(const CooMatrix& s, Index r) const {
@@ -62,6 +66,10 @@ class DenseShift15D final : public DistAlgorithm {
     su.m = s.rows();
     su.n = s.cols();
     su.r = r;
+    check(su.m % p() == 0 && su.n % p() == 0,
+          "1.5D-DenseShift: m = ", su.m, ", n = ", su.n,
+          " must be multiples of p = ", p(),
+          "; call pad_problem first");
     su.mL = su.m / L;
     su.a_blk = su.m / p();
     su.b_blk = su.n / p();
@@ -81,7 +89,31 @@ class DenseShift15D final : public DistAlgorithm {
               row % su.mL, col - v * su.ncg - j * su.b_blk);
         },
         [&](int) { return std::pair<Index, Index>(su.mL, su.b_blk); });
+    // Sized even in Dense mode (fiber_wants hands out spans into it);
+    // the unions are only needed — and only computed — when the
+    // row-sparse collectives may run.
+    su.support.assign(static_cast<std::size_t>(p()), {});
+    if (options().replication != ReplicationMode::Dense) {
+      for (int u = 0; u < L; ++u) {
+        for (int v = 0; v < c(); ++v) {
+          std::vector<const SparseShard*> mine;
+          for (int j = 0; j < L; ++j) {
+            mine.push_back(&piece(su, grid_.rank_of(u, v), j));
+          }
+          su.support[static_cast<std::size_t>(u * c() + v)] =
+              union_row_support(mine, su.mL);
+        }
+      }
+    }
     return su;
+  }
+
+  /// The c member supports of fiber u, in fiber-position (v) order.
+  std::span<const std::vector<Index>> fiber_wants(const Setup& su,
+                                                 int u) const {
+    return {su.support.data() + static_cast<std::size_t>(u) *
+                                    static_cast<std::size_t>(c()),
+            static_cast<std::size_t>(c())};
   }
 
   const SparseShard& piece(const Setup& su, int rank, int j) const {
@@ -95,15 +127,16 @@ class DenseShift15D final : public DistAlgorithm {
   }
 
   /// Fiber all-gather of the rank's canonical A block into its full
-  /// layer-row of A.
+  /// layer-row of A (row-sparse per options().replication: only rows the
+  /// fiber members' pieces touch need to travel).
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
                           const DenseMatrix& a) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
-    auto gathered =
-        fiber.allgather(a.row_block(row0, row0 + su.a_blk).data());
-    return DenseMatrix(su.mL, su.r, std::move(gathered));
+    return fiber.allgatherv_rows(a.row_block(row0, row0 + su.a_blk),
+                                 fiber_wants(su, u),
+                                 options().replication);
   }
 
   /// Fiber reduce-scatter of the rank's layer-row partial; writes the
@@ -112,9 +145,9 @@ class DenseShift15D final : public DistAlgorithm {
                       const DenseMatrix& partial, DenseMatrix& out) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
-    auto chunk = fiber.reduce_scatter(partial.data());
-    place_block(out,
-                DenseMatrix(su.a_blk, su.r, std::move(chunk)),
+    auto chunk = fiber.reduce_scatter_rows(partial, fiber_wants(su, u),
+                                           options().replication);
+    place_block(out, chunk,
                 static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
   }
 
@@ -365,6 +398,11 @@ class SparseShift15D final : public DistAlgorithm {
     /// Piece (v, j): layer v's S block of piece-row j (rows global,
     /// columns rebased to the layer's column group).
     std::vector<SparseShard> pieces;
+    /// Global row support of layer v's column group (union over its L
+    /// pieces) — every rank of layer v reads/writes exactly these rows
+    /// of the replicated full-m slice, so entry v doubles as fiber
+    /// position v's wants in the row-sparse collectives.
+    std::vector<std::vector<Index>> layer_support;
   };
 
   Setup make_setup(const CooMatrix& s, Index r) const {
@@ -373,6 +411,10 @@ class SparseShift15D final : public DistAlgorithm {
     su.m = s.rows();
     su.n = s.cols();
     su.r = r;
+    check(su.m % p() == 0 && su.n % p() == 0 && su.r % L == 0,
+          "1.5D-SparseShift: m = ", su.m, ", n = ", su.n,
+          " must be multiples of p = ", p(), " and r = ", su.r,
+          " a multiple of p/c = ", L, "; call pad_problem first");
     su.mc = su.m / c();
     su.mL = su.m / L;
     su.ncg = su.n / c();
@@ -388,6 +430,15 @@ class SparseShift15D final : public DistAlgorithm {
           return std::pair<Index, Index>(row, col % su.ncg);
         },
         [&](int) { return std::pair<Index, Index>(su.m, su.ncg); });
+    su.layer_support.assign(static_cast<std::size_t>(c()), {});
+    if (options().replication != ReplicationMode::Dense) {
+      for (int v = 0; v < c(); ++v) {
+        std::vector<const SparseShard*> mine;
+        for (int j = 0; j < L; ++j) mine.push_back(&piece(su, v, j));
+        su.layer_support[static_cast<std::size_t>(v)] =
+            union_row_support(mine, su.m);
+      }
+    }
     return su;
   }
 
@@ -403,16 +454,27 @@ class SparseShift15D final : public DistAlgorithm {
   }
 
   /// Fiber all-gather of the canonical A blocks into the full-m slice
-  /// A[:, u-th width slice].
+  /// A[:, u-th width slice] (row-sparse per options().replication).
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
                           const DenseMatrix& a) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
-    auto gathered = fiber.allgather(
+    return fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
-                    static_cast<Index>(u) * su.rL, su.rL)
-            .data());
-    return DenseMatrix(su.m, su.rL, std::move(gathered));
+                    static_cast<Index>(u) * su.rL, su.rL),
+        su.layer_support, options().replication);
+  }
+
+  /// Fiber reduce-scatter of the full-m SpMM-A partial slice; writes the
+  /// rank's mc x rL chunk of the output.
+  void reduce_partial(Comm& comm, const Setup& su, int u, int v,
+                      const DenseMatrix& partial, DenseMatrix& out) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    auto chunk = fiber.reduce_scatter_rows(partial, su.layer_support,
+                                           options().replication);
+    place_block(out, chunk, static_cast<Index>(v) * su.mc,
+                static_cast<Index>(u) * su.rL);
   }
 
   /// Circulate the layer's S pieces for L steps.
@@ -457,13 +519,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
                  comm.stats().add_flops(
                      spmm_a(piece(su, v, j).csr, b_local, partial));
                });
-        PhaseScope scope(comm.stats(), Phase::Replication);
-        Group fiber(comm, grid_.fiber_members(u));
-        auto chunk = fiber.reduce_scatter(partial.data());
-        place_block(result.dense,
-                    DenseMatrix(su.mc, su.rL, std::move(chunk)),
-                    static_cast<Index>(v) * su.mc,
-                    static_cast<Index>(u) * su.rL);
+        reduce_partial(comm, su, u, v, partial, result.dense);
         return;
       }
       case Mode::SDDMM: {
@@ -580,13 +636,7 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      b_local, partial));
                });
-        PhaseScope scope(comm.stats(), Phase::Replication);
-        Group fiber(comm, grid_.fiber_members(u));
-        auto chunk = fiber.reduce_scatter(partial.data());
-        place_block(result.output,
-                    DenseMatrix(su.mc, su.rL, std::move(chunk)),
-                    static_cast<Index>(v) * su.mc,
-                    static_cast<Index>(u) * su.rL);
+        reduce_partial(comm, su, u, v, partial, result.output);
       } else {
         DenseMatrix b_out(su.n / c(), su.rL);
         s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),

@@ -58,6 +58,10 @@ class DenseRepl25D final : public DistAlgorithm {
     Index rq = 0;  ///< width slice r / q
     /// Piece (u, k, w): S block of row-block u and column block k*c+w.
     std::vector<SparseShard> pieces;
+    /// Row support of rank (u, *, w)'s mq-row working block (union over
+    /// its q pieces — independent of v), stored at u*c + w so each
+    /// fiber's c member supports are contiguous in fiber (w) order.
+    std::vector<std::vector<Index>> support;
   };
 
   Setup make_setup(const CooMatrix& s, Index r) const {
@@ -66,9 +70,14 @@ class DenseRepl25D final : public DistAlgorithm {
     su.m = s.rows();
     su.n = s.cols();
     su.r = r;
+    const Index qc = static_cast<Index>(q) * c();
+    check(su.m % qc == 0 && su.n % qc == 0 && su.r % q == 0,
+          "2.5D-DenseRepl: m = ", su.m, ", n = ", su.n,
+          " must be multiples of q*c = ", qc, " and r = ", su.r,
+          " a multiple of q = ", q, "; call pad_problem first");
     su.mq = su.m / q;
     su.mqc = su.mq / c();
-    su.nqc = su.n / (static_cast<Index>(q) * c());
+    su.nqc = su.n / qc;
     su.rq = su.r / q;
     su.pieces = shard_coo(
         s, q * q * c(),
@@ -81,7 +90,26 @@ class DenseRepl25D final : public DistAlgorithm {
           return std::pair<Index, Index>(row % su.mq, col % su.nqc);
         },
         [&](int) { return std::pair<Index, Index>(su.mq, su.nqc); });
+    su.support.assign(static_cast<std::size_t>(q * c()), {});
+    if (options().replication != ReplicationMode::Dense) {
+      for (int u = 0; u < q; ++u) {
+        for (int w = 0; w < c(); ++w) {
+          std::vector<const SparseShard*> mine;
+          for (int k = 0; k < q; ++k) mine.push_back(&piece(su, u, k, w));
+          su.support[static_cast<std::size_t>(u * c() + w)] =
+              union_row_support(mine, su.mq);
+        }
+      }
+    }
     return su;
+  }
+
+  /// The c member supports of fiber (u, *), in fiber-position (w) order.
+  std::span<const std::vector<Index>> fiber_wants(const Setup& su,
+                                                 int u) const {
+    return {su.support.data() + static_cast<std::size_t>(u) *
+                                    static_cast<std::size_t>(c()),
+            static_cast<std::size_t>(c())};
   }
 
   const SparseShard& piece(const Setup& su, int u, int k, int w) const {
@@ -90,16 +118,15 @@ class DenseRepl25D final : public DistAlgorithm {
   }
 
   /// Fiber all-gather of the rank's canonical A chunk into its m/q x r/q
-  /// working block.
+  /// working block (row-sparse per options().replication).
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
                           int w, const DenseMatrix& a) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
-    auto gathered = fiber.allgather(
+    return fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
-                    static_cast<Index>(v) * su.rq, su.rq)
-            .data());
-    return DenseMatrix(su.mq, su.rq, std::move(gathered));
+                    static_cast<Index>(v) * su.rq, su.rq),
+        fiber_wants(su, u), options().replication);
   }
 
   /// Fiber reduce-scatter of the rank's m/q x r/q partial; writes its
@@ -108,8 +135,9 @@ class DenseRepl25D final : public DistAlgorithm {
                       const DenseMatrix& partial, DenseMatrix& out) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
-    auto chunk = fiber.reduce_scatter(partial.data());
-    place_block(out, DenseMatrix(su.mqc, su.rq, std::move(chunk)),
+    auto chunk = fiber.reduce_scatter_rows(partial, fiber_wants(su, u),
+                                           options().replication);
+    place_block(out, chunk,
                 static_cast<Index>(u) * su.mq + w * su.mqc,
                 static_cast<Index>(v) * su.rq);
   }
@@ -374,6 +402,12 @@ class SparseRepl25D final : public DistAlgorithm {
     su.m = s.rows();
     su.n = s.cols();
     su.r = r;
+    check(su.m % q == 0 && su.n % q == 0 &&
+              su.r % (static_cast<Index>(q) * c()) == 0,
+          "2.5D-SparseRepl: m = ", su.m, ", n = ", su.n,
+          " must be multiples of q = ", q, " and r = ", su.r,
+          " a multiple of q*c = ",
+          static_cast<Index>(q) * c(), "; call pad_problem first");
     su.mq = su.m / q;
     su.nq = su.n / q;
     su.rqc = su.r / (static_cast<Index>(q) * c());
@@ -406,6 +440,10 @@ class SparseRepl25D final : public DistAlgorithm {
 
   /// All-gather the cell's canonically split values along the fiber;
   /// returns the full value vector (cost: (c-1)/c * cell_nnz words).
+  /// The replication traffic of this family is already sparsity-sized
+  /// (values and dot buffers, no dense row blocks), so the
+  /// options().replication knob has nothing to elide here: SparseRows
+  /// and Auto behave exactly like Dense.
   std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
                                     int v, int w) const {
     PhaseScope scope(comm.stats(), Phase::Replication);

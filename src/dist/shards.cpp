@@ -126,8 +126,32 @@ std::vector<SparseShard> shard_coo(
     check(block.is_sorted_unique(),
           "shard_coo: bucket ", b, " lost the global entry order");
     shard.csr = coo_to_csr(block);
+    const auto row_ptr = shard.csr.row_ptr();
+    for (Index i = 0; i < nrows; ++i) {
+      if (row_ptr[static_cast<std::size_t>(i + 1)] >
+          row_ptr[static_cast<std::size_t>(i)]) {
+        shard.row_support.push_back(i);
+      }
+    }
   }
   return shards;
+}
+
+std::vector<Index> union_row_support(
+    const std::vector<const SparseShard*>& shards, Index rows) {
+  std::vector<char> touched(static_cast<std::size_t>(rows), 0);
+  for (const SparseShard* shard : shards) {
+    for (const Index row : shard->row_support) {
+      check(0 <= row && row < rows, "union_row_support: row ", row,
+            " outside [0, ", rows, ")");
+      touched[static_cast<std::size_t>(row)] = 1;
+    }
+  }
+  std::vector<Index> support;
+  for (Index i = 0; i < rows; ++i) {
+    if (touched[static_cast<std::size_t>(i)] != 0) support.push_back(i);
+  }
+  return support;
 }
 
 DenseMatrix dense_block(const DenseMatrix& src, Index row0, Index rows,

@@ -57,6 +57,12 @@ struct SparseShard {
   Triplets coo;                    ///< re-based triplets, global order
   CsrMatrix csr;                   ///< same entries as CSR
   std::vector<Index> entries;      ///< global entry index per nonzero
+  /// Sorted distinct block-local rows with at least one stored nonzero —
+  /// the only rows of a replicated A-side block this shard's kernels
+  /// ever read or write. Computed once per shard by shard_coo and fed to
+  /// the row-sparse replication collectives (Group::allgatherv_rows /
+  /// reduce_scatter_rows).
+  std::vector<Index> row_support;
   std::uint64_t nnz() const { return coo.values.size(); }
 };
 
@@ -68,6 +74,12 @@ std::vector<SparseShard> shard_coo(
     const std::function<int(Index, Index)>& bucket_of,
     const std::function<std::pair<Index, Index>(Index, Index)>& rebase,
     const std::function<std::pair<Index, Index>(int)>& shape);
+
+/// Sorted union of the given shards' row supports (each support must lie
+/// in [0, rows)). The drivers use this to build a rank's support over a
+/// replicated working block that feeds several pieces.
+std::vector<Index> union_row_support(
+    const std::vector<const SparseShard*>& shards, Index rows);
 
 /// The rows x cols sub-block of src starting at (row0, col0), copied.
 DenseMatrix dense_block(const DenseMatrix& src, Index row0, Index rows,

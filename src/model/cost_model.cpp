@@ -1,5 +1,6 @@
 #include "model/cost_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -19,10 +20,78 @@ double fiber_words(const CostInputs& in) {
   return (in.c - 1) * in.m * in.r / in.p;
 }
 
+/// How many dense fiber collectives one FusedMM call runs (the factor
+/// multiplying fiber_words in the Table III replication terms).
+double fiber_ops(Elision elision) {
+  return elision == Elision::ReplicationReuse ? 1.0 : 2.0;
+}
+
+/// Expected per-rank words of ONE row-sparse fiber collective whose
+/// working block has `block_rows` rows holding `block_nnz` uniform
+/// nonzeros, with width `width`: each of the c-1 peers receives the
+/// expected support restricted to one 1/c slice of the block — support/c
+/// rows of width+1 words (values plus the row index) — behind a one-word
+/// count header.
+double sparse_fiber_words(double block_nnz, double block_rows,
+                          double width, int c) {
+  if (c <= 1) return 0;
+  const double support = expected_distinct(block_nnz, block_rows);
+  return (c - 1) * (support / c * (width + 1) + 1);
+}
+
 } // namespace
 
+double expected_distinct(double draws, double bins) {
+  if (bins <= 0 || draws <= 0) return 0;
+  return bins * (1.0 - std::pow(1.0 - 1.0 / bins, draws));
+}
+
+double expected_sparse_replication_words(AlgorithmKind kind,
+                                         Elision elision,
+                                         const CostInputs& in) {
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D: {
+      // Working block m*c/p rows, nnz/p local nonzeros, full width r.
+      return fiber_ops(elision) *
+             sparse_fiber_words(in.nnz / in.p, in.m * in.c / in.p, in.r,
+                                in.c);
+    }
+    case AlgorithmKind::SparseShift15D: {
+      // Full-m slice of width r*c/p; the layer's column group holds
+      // nnz/c nonzeros.
+      return fiber_ops(elision) *
+             sparse_fiber_words(in.nnz / in.c, in.m, in.r * in.c / in.p,
+                                in.c);
+    }
+    case AlgorithmKind::DenseRepl25D: {
+      // Working block m/q rows and width r/q; the rank's q pieces hold
+      // nnz/(q*c) nonzeros.
+      const Grid25D grid(in.p, in.c);
+      const double q = grid.q();
+      return fiber_ops(elision) *
+             sparse_fiber_words(in.nnz / (q * in.c), in.m / q, in.r / q,
+                                in.c);
+    }
+    case AlgorithmKind::SparseRepl25D:
+    case AlgorithmKind::Baseline1D:
+      // Replication is already sparsity-sized (value vectors) or absent;
+      // the row-sparse mode changes nothing.
+      return fusedmm_cost(kind, elision, in).replication_words;
+  }
+  fail("expected_sparse_replication_words: unknown algorithm kind");
+}
+
 CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
-                      const CostInputs& in) {
+                      const CostInputs& in, ReplicationMode mode) {
+  if (mode != ReplicationMode::Dense) {
+    CommCost cost = fusedmm_cost(kind, elision, in);
+    const double sparse =
+        expected_sparse_replication_words(kind, elision, in);
+    cost.replication_words = mode == ReplicationMode::SparseRows
+                                 ? sparse
+                                 : std::min(cost.replication_words, sparse);
+    return cost;
+  }
   check(in.p >= 1 && in.c >= 1, "fusedmm_cost: bad processor counts");
   CommCost cost;
   switch (kind) {

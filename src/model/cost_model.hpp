@@ -37,8 +37,29 @@ struct CommCost {
 /// Words/messages for ONE FusedMM call (the paper's Table III rows).
 /// Throws when the (kind, elision) pair is unsupported (e.g. local kernel
 /// fusion outside 1.5D dense shifting) or the grid is invalid.
+///
+/// `mode` selects the replication-collective cost: Dense reproduces the
+/// exact Table III fiber terms; SparseRows replaces them with the
+/// EXPECTED supported-row traffic of the row-sparse collectives under a
+/// uniform sparsity pattern (support * (r + 1) scalars-plus-index words
+/// per fiber peer, plus one header word per message); Auto takes the
+/// smaller of the two, mirroring Group::allgatherv_rows' decision.
+/// Families whose replication traffic is already sparsity-sized (2.5D
+/// sparse replicating) or absent (1D baseline) are mode-independent.
 CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
-                      const CostInputs& in);
+                      const CostInputs& in,
+                      ReplicationMode mode = ReplicationMode::Dense);
+
+/// Expected number of distinct bins hit by `draws` uniform draws over
+/// `bins` bins: bins * (1 - (1 - 1/bins)^draws) — the expected row
+/// support of a block holding `draws` nonzeros over `bins` rows.
+double expected_distinct(double draws, double bins);
+
+/// The expected per-rank replication words fusedmm_cost uses for
+/// SparseRows mode, exposed for tests and the predictor.
+double expected_sparse_replication_words(AlgorithmKind kind,
+                                         Elision elision,
+                                         const CostInputs& in);
 
 /// Words/messages for one unified kernel call (SDDMM or either SpMM —
 /// identical by the paper's Section IV-A equivalence).

@@ -1,5 +1,6 @@
 #include "runtime/collectives.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -44,7 +45,7 @@ std::vector<Scalar> Group::allgather(std::span<const Scalar> local) {
   std::vector<std::size_t> offsets;
   const MessageWords local_words = to_words(local);
   const auto words = allgather_words(local_words, &offsets);
-  for (std::size_t b = 1; b + 1 < offsets.size(); ++b) {
+  for (std::size_t b = 1; b < offsets.size(); ++b) {
     check(offsets[b] - offsets[b - 1] == local.size(),
           "Group::allgather: unequal block sizes; use allgather_words");
   }
@@ -116,6 +117,234 @@ std::vector<Scalar> Group::reduce_scatter(std::span<const Scalar> local) {
 
   const auto mine = chunk_span(pos_);
   return std::vector<Scalar>(mine.begin(), mine.end());
+}
+
+namespace {
+
+/// The slice of a sorted support list falling in [row0, row0 + rows).
+std::span<const Index> support_in_range(const std::vector<Index>& support,
+                                        Index row0, Index rows) {
+  const auto lo = std::lower_bound(support.begin(), support.end(), row0);
+  const auto hi = std::lower_bound(lo, support.end(), row0 + rows);
+  return {support.data() + (lo - support.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+/// Table shape is checked in every mode; the per-list invariants only
+/// when the table will actually drive a plan (explicit Dense never
+/// reads it, and the drivers leave the lists empty in that mode).
+void validate_support_table(std::span<const std::vector<Index>> wants,
+                            int g, Index total_rows, ReplicationMode mode) {
+  check(static_cast<int>(wants.size()) == g,
+        "sparse collective: support table has ", wants.size(),
+        " entries for a group of ", g);
+  if (mode == ReplicationMode::Dense) return;
+  for (const auto& w : wants) {
+    check(std::adjacent_find(w.begin(), w.end(),
+                             [](Index a, Index b) { return a >= b; }) ==
+              w.end(),
+          "sparse collective: support list is not sorted and distinct");
+    check(w.empty() || (w.front() >= 0 && w.back() < total_rows),
+          "sparse collective: support row out of range [0, ", total_rows,
+          ")");
+  }
+}
+
+} // namespace
+
+namespace {
+
+/// One walk over the (receiver t, sender q) plan matrix: group-total
+/// words and the worst member's sent/received words. Both the public
+/// total and Auto's per-rank crossover derive from this single pass, so
+/// a wire-format change cannot drift them apart.
+struct PlanTraffic {
+  std::uint64_t total = 0;
+  std::uint64_t worst_rank = 0;
+};
+
+PlanTraffic plan_traffic(std::span<const std::vector<Index>> wants,
+                         Index block_rows, Index width) {
+  const auto g = wants.size();
+  std::vector<std::uint64_t> sent(g, 0), received(g, 0);
+  PlanTraffic plan;
+  for (std::size_t t = 0; t < g; ++t) {
+    for (std::size_t q = 0; q < g; ++q) {
+      if (q == t) continue;
+      const auto rows = support_in_range(
+          wants[t], static_cast<Index>(q) * block_rows, block_rows);
+      if (rows.empty()) continue;
+      // The wire layout of one row message: count header + per row the
+      // index word and `width` values (see the packers below).
+      const std::uint64_t message =
+          1 + static_cast<std::uint64_t>(rows.size()) *
+                  (1 + static_cast<std::uint64_t>(width));
+      plan.total += message;
+      sent[q] += message;
+      received[t] += message;
+    }
+  }
+  for (std::size_t q = 0; q < g; ++q) {
+    plan.worst_rank = std::max({plan.worst_rank, sent[q], received[q]});
+  }
+  return plan;
+}
+
+} // namespace
+
+std::uint64_t Group::sparse_plan_words(
+    std::span<const std::vector<Index>> wants, Index block_rows,
+    Index width) {
+  return plan_traffic(wants, block_rows, width).total;
+}
+
+namespace {
+
+/// Resolve Auto into the plan the whole group agrees on: the inputs are
+/// identical on every member, so so is the choice. Shared by both
+/// collectives so the two directions of a fiber exchange can never
+/// disagree on the crossover rule. The comparison is per-rank, not
+/// group-total: the sparse plan is taken only when its WORST member
+/// (max of sent and received words — the reduce-scatter direction is
+/// the transpose, covered by taking both axes) moves fewer words than
+/// the uniform dense ring cost, so the max-over-ranks replication words
+/// under Auto can never exceed Dense — even for skewed supports
+/// concentrated in one member's row slice.
+ReplicationMode resolve_mode(ReplicationMode mode,
+                             std::span<const std::vector<Index>> wants,
+                             Index block_rows, Index width, int g) {
+  if (mode != ReplicationMode::Auto) return mode;
+  const std::uint64_t dense_rank_words =
+      static_cast<std::uint64_t>(g - 1) *
+      static_cast<std::uint64_t>(block_rows) *
+      static_cast<std::uint64_t>(width);
+  return plan_traffic(wants, block_rows, width).worst_rank <
+                 dense_rank_words
+             ? ReplicationMode::SparseRows
+             : ReplicationMode::Dense;
+}
+
+} // namespace
+
+DenseMatrix Group::allgatherv_rows(const DenseMatrix& local,
+                                   std::span<const std::vector<Index>> wants,
+                                   ReplicationMode mode) {
+  const int g = size();
+  const Index block_rows = local.rows();
+  const Index width = local.cols();
+  validate_support_table(wants, g, static_cast<Index>(g) * block_rows,
+                         mode);
+  mode = resolve_mode(mode, wants, block_rows, width, g);
+  if (mode == ReplicationMode::Dense) {
+    auto gathered = allgather(local.data());
+    return DenseMatrix(static_cast<Index>(g) * block_rows, width,
+                       std::move(gathered));
+  }
+  DenseMatrix out(static_cast<Index>(g) * block_rows, width);
+  out.place(local, static_cast<Index>(pos_) * block_rows, 0);
+  // Buffered sends first (deadlock-free, like the 1D fetch protocol),
+  // then blocking receives in member order.
+  for (int t = 0; t < g; ++t) {
+    if (t == pos_) continue;
+    const auto rows = support_in_range(
+        wants[static_cast<std::size_t>(t)],
+        static_cast<Index>(pos_) * block_rows, block_rows);
+    if (rows.empty()) continue;
+    WordPacker packer;
+    packer.put_count(rows.size());
+    packer.put(rows);
+    for (const Index row : rows) {
+      packer.put(std::span<const Scalar>(
+          local.row(row - static_cast<Index>(pos_) * block_rows)));
+    }
+    comm_.send_words(member(t), kTagSparseGather, packer.take());
+  }
+  for (int q = 0; q < g; ++q) {
+    if (q == pos_) continue;
+    const auto expected = support_in_range(
+        wants[static_cast<std::size_t>(pos_)],
+        static_cast<Index>(q) * block_rows, block_rows);
+    if (expected.empty()) continue;
+    const MessageWords words =
+        comm_.recv_words(member(q), kTagSparseGather);
+    WordReader reader(words);
+    const auto count = reader.take_count();
+    check(count == expected.size(), "allgatherv_rows: peer sent ", count,
+          " rows, support expects ", expected.size());
+    const auto rows = reader.take<Index>(count);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      check(rows[k] == expected[k],
+            "allgatherv_rows: row mismatch against the support table");
+      const auto values =
+          reader.take<Scalar>(static_cast<std::size_t>(width));
+      std::copy(values.begin(), values.end(), out.row(rows[k]).begin());
+    }
+    check(reader.exhausted(), "allgatherv_rows: oversized row message");
+  }
+  return out;
+}
+
+DenseMatrix Group::reduce_scatter_rows(
+    const DenseMatrix& partial, std::span<const std::vector<Index>> wants,
+    ReplicationMode mode) {
+  const int g = size();
+  check(partial.rows() % g == 0, "reduce_scatter_rows: ", partial.rows(),
+        " rows do not split into ", g, " chunks");
+  const Index chunk_rows = partial.rows() / g;
+  const Index width = partial.cols();
+  validate_support_table(wants, g, partial.rows(), mode);
+  mode = resolve_mode(mode, wants, chunk_rows, width, g);
+  if (mode == ReplicationMode::Dense) {
+    auto chunk = reduce_scatter(partial.data());
+    return DenseMatrix(chunk_rows, width, std::move(chunk));
+  }
+  const Index chunk0 = static_cast<Index>(pos_) * chunk_rows;
+  const auto& mine = wants[static_cast<std::size_t>(pos_)];
+  for (int t = 0; t < g; ++t) {
+    if (t == pos_) continue;
+    const auto rows = support_in_range(
+        mine, static_cast<Index>(t) * chunk_rows, chunk_rows);
+    if (rows.empty()) continue;
+    WordPacker packer;
+    packer.put_count(rows.size());
+    packer.put(rows);
+    for (const Index row : rows) {
+      packer.put(std::span<const Scalar>(partial.row(row)));
+    }
+    comm_.send_words(member(t), kTagSparseReduce, packer.take());
+  }
+  // Fold contributions in the ring reduce-scatter's order — members
+  // pos+1, pos+2, ..., pos+g-1, then this member's own block last — so
+  // every row's sum is grouped exactly as in the dense path.
+  DenseMatrix acc(chunk_rows, width);
+  for (int s = 1; s < g; ++s) {
+    const int q = (pos_ + s) % g;
+    const auto expected = support_in_range(
+        wants[static_cast<std::size_t>(q)], chunk0, chunk_rows);
+    if (expected.empty()) continue;
+    const MessageWords words =
+        comm_.recv_words(member(q), kTagSparseReduce);
+    WordReader reader(words);
+    const auto count = reader.take_count();
+    check(count == expected.size(), "reduce_scatter_rows: peer sent ",
+          count, " rows, support expects ", expected.size());
+    const auto rows = reader.take<Index>(count);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      check(rows[k] == expected[k],
+            "reduce_scatter_rows: row mismatch against the support table");
+      const auto values =
+          reader.take<Scalar>(static_cast<std::size_t>(width));
+      auto dst = acc.row(rows[k] - chunk0);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += values[j];
+    }
+    check(reader.exhausted(), "reduce_scatter_rows: oversized row message");
+  }
+  for (Index i = 0; i < chunk_rows; ++i) {
+    auto dst = acc.row(i);
+    const auto own = partial.row(chunk0 + i);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += own[j];
+  }
+  return acc;
 }
 
 std::vector<Scalar> Group::allreduce(std::span<const Scalar> local) {

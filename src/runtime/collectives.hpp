@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "dense/dense_matrix.hpp"
 #include "runtime/comm.hpp"
 
 namespace dsk {
@@ -45,6 +46,47 @@ class Group {
   /// g chunks in group-position order; returns this rank's chunk summed
   /// over all ranks.
   std::vector<Scalar> reduce_scatter(std::span<const Scalar> local);
+
+  /// SpComm3D-style row-sparse all-gather of dense row blocks. Every
+  /// member contributes a block_rows x width block; member q's rows are
+  /// rows [q*block_rows, (q+1)*block_rows) of the concatenated
+  /// size()*block_rows x width result. wants[t] lists, sorted and
+  /// distinct, the result rows member t's local kernels ever read (its
+  /// sparse block's row support); the table is identical on every member
+  /// (setup state, like the grids and shard maps).
+  ///
+  /// SparseRows mails each peer exactly its supported rows from this
+  /// member's block — [count, rows..., values...] = 1 + k*(1 + width)
+  /// words per non-empty pair — and leaves unsupported remote rows zero.
+  /// Dense is the ring all-gather of the full blocks. Auto compares the
+  /// sparse plan's WORST-member traffic against the uniform dense ring
+  /// cost (identically on every member, so the choice agrees) and takes
+  /// the sparse plan only when it wins, so the max-over-ranks words
+  /// under Auto never exceed Dense — even for skewed supports.
+  /// Supported rows are bit-identical across all modes.
+  DenseMatrix allgatherv_rows(const DenseMatrix& local,
+                              std::span<const std::vector<Index>> wants,
+                              ReplicationMode mode);
+
+  /// Row-sparse reduce-scatter, the inverse: partial is a
+  /// size()*chunk_rows x width accumulator whose nonzero rows are
+  /// confined to wants[pos()] (this member's own support — its kernels
+  /// wrote nothing else); returns this member's chunk_rows x width chunk
+  /// summed over all members. The sparse path folds contributions in the
+  /// same ring order as the dense reduce-scatter (members pos+1, pos+2,
+  /// ..., own block last), so the result is bit-identical in every mode.
+  DenseMatrix reduce_scatter_rows(const DenseMatrix& partial,
+                                  std::span<const std::vector<Index>> wants,
+                                  ReplicationMode mode);
+
+  /// Total words the whole group would move for one row-sparse plan
+  /// (either direction — the ordered-pair sums coincide): per non-empty
+  /// (sender, receiver) intersection, 1 header + k*(1 + width) words.
+  /// The dense ring moves g*(g-1)*block_rows*width; Auto compares the
+  /// two. Exposed for the cost accounting and tests.
+  static std::uint64_t sparse_plan_words(
+      std::span<const std::vector<Index>> wants, Index block_rows,
+      Index width);
 
   /// reduce-scatter followed by all-gather (both ring): every rank gets
   /// the full elementwise sum. local must have the same length everywhere

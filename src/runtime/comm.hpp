@@ -36,6 +36,11 @@ enum CommTag : int {
   /// dense block concurrently (along different rings); separate tag
   /// spaces keep the two streams from matching each other's receives.
   kTagShiftDense = 8,
+  /// Row-sparse replication collectives (allgatherv_rows /
+  /// reduce_scatter_rows): point-to-point row subsets, distinct from the
+  /// ring tags so a dense fallback and a sparse call never interleave.
+  kTagSparseGather = 9,
+  kTagSparseReduce = 10,
 };
 
 class Comm {

@@ -60,7 +60,13 @@ CooMatrix read_matrix_market(std::istream& in) {
     entry >> i >> j;
     if (field != "pattern") entry >> v;
     check(!entry.fail(), "matrix market: malformed entry '", line, "'");
-    out.push_back(i - 1, j - 1, v); // 1-based on disk
+    // 1-based on disk; out-of-range indices would flow negative or
+    // overflowing 0-based indices into CooMatrix (UB downstream).
+    check(1 <= i && i <= rows, "matrix market: row index ", i,
+          " outside [1, ", rows, "] in entry '", line, "'");
+    check(1 <= j && j <= cols, "matrix market: column index ", j,
+          " outside [1, ", cols, "] in entry '", line, "'");
+    out.push_back(i - 1, j - 1, v);
     if (symmetry == "symmetric" && i != j) {
       out.push_back(j - 1, i - 1, v);
     }

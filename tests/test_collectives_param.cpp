@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/rng.hpp"
@@ -104,6 +105,209 @@ TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
       group.broadcast(data, root);
       for (const auto x : data) EXPECT_EQ(x, 3.75);
     });
+  }
+}
+
+TEST_P(CollectiveSweep, RejectsRaggedLastBlock) {
+  // Regression: the equal-block-size check used to stop one block short
+  // (b + 1 < offsets.size()), so a ragged FINAL block was silently
+  // concatenated into a misshapen result. The last member smuggles an
+  // oversized block through the header-free word API (so its own call
+  // performs no size check); every other member's Scalar allgather must
+  // reject the ragged final block.
+  const int g = GetParam();
+  if (g < 2) return; // a single member has no peers to validate
+  EXPECT_THROW(
+      run_spmd(g,
+               [&](Comm& comm) {
+                 Group group(comm, all_ranks(g));
+                 if (comm.rank() == g - 1) {
+                   group.allgather_words(MessageWords(6, 0));
+                 } else {
+                   group.allgather(std::vector<Scalar>(5, 1.0));
+                 }
+               }),
+      Error);
+}
+
+/// Support regimes for the row-sparse replication collectives: nobody
+/// needs anything, each member needs one row, every member needs the
+/// whole block (the density crossover's far side).
+enum class Support { Empty, SingleRow, Full };
+
+std::vector<std::vector<Index>> make_wants(Support regime, int g,
+                                           Index total_rows) {
+  std::vector<std::vector<Index>> wants(static_cast<std::size_t>(g));
+  Rng rng(600 + static_cast<unsigned>(g));
+  for (int t = 0; t < g; ++t) {
+    auto& w = wants[static_cast<std::size_t>(t)];
+    switch (regime) {
+      case Support::Empty:
+        break;
+      case Support::SingleRow:
+        w.push_back(rng.next_index(0, total_rows));
+        break;
+      case Support::Full:
+        w.resize(static_cast<std::size_t>(total_rows));
+        std::iota(w.begin(), w.end(), Index{0});
+        break;
+    }
+  }
+  return wants;
+}
+
+constexpr Index kBlockRows = 6;
+constexpr Index kWidth = 3;
+
+DenseMatrix member_block(int member) {
+  DenseMatrix block(kBlockRows, kWidth);
+  Rng rng(700 + static_cast<unsigned>(member));
+  block.fill_random(rng);
+  return block;
+}
+
+TEST_P(CollectiveSweep, AllgathervRowsDeliversSupportedRowsExactly) {
+  const int g = GetParam();
+  const Index total_rows = static_cast<Index>(g) * kBlockRows;
+  DenseMatrix expected(total_rows, kWidth);
+  for (int q = 0; q < g; ++q) {
+    expected.place(member_block(q), static_cast<Index>(q) * kBlockRows, 0);
+  }
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto wants = make_wants(regime, g, total_rows);
+    for (const ReplicationMode mode :
+         {ReplicationMode::Dense, ReplicationMode::SparseRows,
+          ReplicationMode::Auto}) {
+      run_spmd(g, [&](Comm& comm) {
+        Group group(comm, all_ranks(g));
+        const auto out =
+            group.allgatherv_rows(member_block(comm.rank()), wants, mode);
+        ASSERT_EQ(out.rows(), total_rows);
+        const auto& mine =
+            wants[static_cast<std::size_t>(comm.rank())];
+        for (const Index row : mine) {
+          for (Index j = 0; j < kWidth; ++j) {
+            EXPECT_EQ(out(row, j), expected(row, j))
+                << to_string(mode) << " row " << row;
+          }
+        }
+        // The member's own block always arrives whole, free of charge.
+        for (Index i = 0; i < kBlockRows; ++i) {
+          const Index row = comm.rank() * kBlockRows + i;
+          for (Index j = 0; j < kWidth; ++j) {
+            EXPECT_EQ(out(row, j), expected(row, j));
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, AllgathervRowsWordCountsMatchThePlan) {
+  const int g = GetParam();
+  const Index total_rows = static_cast<Index>(g) * kBlockRows;
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto wants = make_wants(regime, g, total_rows);
+    const auto total_words = [&](ReplicationMode mode) {
+      auto stats = run_spmd(g, [&](Comm& comm) {
+        PhaseScope scope(comm.stats(), Phase::Replication);
+        Group group(comm, all_ranks(g));
+        group.allgatherv_rows(member_block(comm.rank()), wants, mode);
+      });
+      std::uint64_t total = 0;
+      for (int rank = 0; rank < g; ++rank) {
+        total += stats.rank(rank).phase(Phase::Replication).words_sent;
+      }
+      return total;
+    };
+    const std::uint64_t dense_words =
+        static_cast<std::uint64_t>(g) * static_cast<std::uint64_t>(g - 1) *
+        kBlockRows * kWidth;
+    const std::uint64_t plan_words =
+        Group::sparse_plan_words(wants, kBlockRows, kWidth);
+    EXPECT_EQ(total_words(ReplicationMode::Dense), dense_words);
+    EXPECT_EQ(total_words(ReplicationMode::SparseRows), plan_words);
+    // Auto decides on the plan's worst member, not group totals (see
+    // AutoDecidesPerRankNotOnGroupTotals); the guaranteed property is
+    // that it never moves more words than the dense ring.
+    EXPECT_LE(total_words(ReplicationMode::Auto), dense_words);
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceScatterRowsBitIdenticalToDense) {
+  const int g = GetParam();
+  const Index total_rows = static_cast<Index>(g) * kBlockRows;
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto wants = make_wants(regime, g, total_rows);
+    // Partials with nonzero rows confined to the member's own support —
+    // exactly the contract the SpMM-A drivers satisfy.
+    const auto member_partial = [&](int member) {
+      DenseMatrix partial(total_rows, kWidth);
+      Rng rng(800 + static_cast<unsigned>(member));
+      for (const Index row : wants[static_cast<std::size_t>(member)]) {
+        for (Index j = 0; j < kWidth; ++j) {
+          partial(row, j) = rng.next_in(-1, 1);
+        }
+      }
+      return partial;
+    };
+    const auto run_mode = [&](ReplicationMode mode) {
+      std::vector<DenseMatrix> chunks(static_cast<std::size_t>(g));
+      run_spmd(g, [&](Comm& comm) {
+        Group group(comm, all_ranks(g));
+        chunks[static_cast<std::size_t>(comm.rank())] =
+            group.reduce_scatter_rows(member_partial(comm.rank()), wants,
+                                      mode);
+      });
+      return chunks;
+    };
+    const auto dense = run_mode(ReplicationMode::Dense);
+    for (const ReplicationMode mode :
+         {ReplicationMode::SparseRows, ReplicationMode::Auto}) {
+      const auto got = run_mode(mode);
+      for (int rank = 0; rank < g; ++rank) {
+        const auto& want = dense[static_cast<std::size_t>(rank)];
+        const auto& have = got[static_cast<std::size_t>(rank)];
+        ASSERT_EQ(have.rows(), want.rows());
+        for (Index i = 0; i < want.rows(); ++i) {
+          for (Index j = 0; j < want.cols(); ++j) {
+            // Bit-identical, not merely close: the sparse fold follows
+            // the dense ring's accumulation order.
+            EXPECT_EQ(have(i, j), want(i, j))
+                << to_string(mode) << " rank " << rank;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseCollectives, AutoDecidesPerRankNotOnGroupTotals) {
+  // Skewed supports: member 0 wants EVERY row, member 1 wants nothing.
+  // The group-total sparse words (1 + 6*(3+1) = 25) undercut the dense
+  // ring total (2 * 6*3 = 36), but member 1 alone would send 25 > its
+  // 18-word dense share. Auto must therefore stay dense — the enforced
+  // invariant is max-PER-RANK words <= Dense, and a total-words
+  // crossover would violate it exactly here.
+  const int g = 2;
+  std::vector<std::vector<Index>> wants(2);
+  wants[0].resize(static_cast<std::size_t>(g) * kBlockRows);
+  std::iota(wants[0].begin(), wants[0].end(), Index{0});
+  for (const ReplicationMode mode :
+       {ReplicationMode::Dense, ReplicationMode::Auto}) {
+    auto stats = run_spmd(g, [&](Comm& comm) {
+      PhaseScope scope(comm.stats(), Phase::Replication);
+      Group group(comm, all_ranks(g));
+      group.allgatherv_rows(member_block(comm.rank()), wants, mode);
+    });
+    for (int rank = 0; rank < g; ++rank) {
+      EXPECT_EQ(stats.rank(rank).phase(Phase::Replication).words_sent,
+                static_cast<std::uint64_t>(kBlockRows) * kWidth)
+          << to_string(mode) << " rank " << rank;
+    }
   }
 }
 

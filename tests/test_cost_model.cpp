@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -194,6 +195,92 @@ TEST(CostModel, SparseRepl25DExact) {
     EXPECT_EQ(got.propagation,
               static_cast<std::uint64_t>(expect.propagation_words))
         << "p=" << p << " c=" << c;
+  }
+}
+
+TEST(CostModel, ExpectedDistinctSanity) {
+  EXPECT_DOUBLE_EQ(expected_distinct(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(expected_distinct(10, 0), 0.0);
+  EXPECT_NEAR(expected_distinct(1, 100), 1.0, 1e-12);
+  // Monotone in draws, bounded by both draws and bins.
+  EXPECT_LT(expected_distinct(10, 100), expected_distinct(20, 100));
+  EXPECT_LE(expected_distinct(50, 100), 50.0);
+  EXPECT_NEAR(expected_distinct(1e6, 100), 100.0, 1e-6);
+}
+
+TEST(CostModel, SparseReplicationTermsBelowDenseOnSparseInputs) {
+  // nnz/p far below the working-block row count: the expected support is
+  // a fraction of the block, so shipping support*(r+1) words beats the
+  // dense (c-1)*m*r/p fiber term. Propagation is untouched by the knob.
+  const CostInputs in{1 << 16, 1 << 16, 64, 2.0 * (1 << 16), 16, 4};
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D}) {
+    const auto dense = fusedmm_cost(kind, Elision::None, in);
+    const auto sparse = fusedmm_cost(kind, Elision::None, in,
+                                     ReplicationMode::SparseRows);
+    const auto autod =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Auto);
+    EXPECT_LT(sparse.replication_words, dense.replication_words)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(autod.replication_words,
+                     std::min(dense.replication_words,
+                              sparse.replication_words))
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(sparse.propagation_words, dense.propagation_words)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(
+        sparse.replication_words,
+        expected_sparse_replication_words(kind, Elision::None, in))
+        << to_string(kind);
+    // Replication reuse halves the fiber-operation count in every mode.
+    const auto reuse = fusedmm_cost(kind, Elision::ReplicationReuse, in,
+                                    ReplicationMode::SparseRows);
+    EXPECT_DOUBLE_EQ(reuse.replication_words,
+                     sparse.replication_words / 2)
+        << to_string(kind);
+  }
+}
+
+TEST(CostModel, AutoFallsBackToDenseOnDenseSupports) {
+  // nnz so large every block row is expected to be supported: the sparse
+  // plan pays the extra index word per row and loses; Auto must take the
+  // dense term.
+  const CostInputs in{1 << 12, 1 << 12, 64, 600.0 * (1 << 12), 16, 4};
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D}) {
+    const auto dense = fusedmm_cost(kind, Elision::None, in);
+    const auto sparse = fusedmm_cost(kind, Elision::None, in,
+                                     ReplicationMode::SparseRows);
+    const auto autod =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Auto);
+    EXPECT_GT(sparse.replication_words, dense.replication_words)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(autod.replication_words, dense.replication_words)
+        << to_string(kind);
+  }
+}
+
+TEST(CostModel, ReplicationModeIsANoOpForSparseSizedFamilies) {
+  // 2.5D sparse replication moves value vectors, the baseline moves
+  // nothing in the replication phase: the mode cannot change either.
+  const CostInputs repl{1 << 16, 1 << 16, 64, 8.0 * (1 << 16), 16, 4};
+  const CostInputs base{1 << 16, 1 << 16, 64, 8.0 * (1 << 16), 16, 1};
+  for (const auto mode :
+       {ReplicationMode::Dense, ReplicationMode::SparseRows,
+        ReplicationMode::Auto}) {
+    EXPECT_DOUBLE_EQ(
+        fusedmm_cost(AlgorithmKind::SparseRepl25D, Elision::None, repl,
+                     mode)
+            .replication_words,
+        fusedmm_cost(AlgorithmKind::SparseRepl25D, Elision::None, repl)
+            .replication_words);
+    EXPECT_DOUBLE_EQ(
+        fusedmm_cost(AlgorithmKind::Baseline1D, Elision::None, base, mode)
+            .replication_words,
+        fusedmm_cost(AlgorithmKind::Baseline1D, Elision::None, base)
+            .replication_words);
   }
 }
 

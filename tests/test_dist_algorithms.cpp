@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hpp"
 #include "dist/algorithm.hpp"
 #include "local/reference.hpp"
@@ -244,6 +246,180 @@ TEST(DistBaseline, FusedSurrogateCostsTwoSpmms) {
                         problem.a, problem.b);
   EXPECT_EQ(fused.stats.max_words(Phase::Propagation),
             2 * kernel.stats.max_words(Phase::Propagation));
+}
+
+// ------------------------------------------------- replication modes
+
+bool bit_identical(const DenseMatrix& x, const DenseMatrix& y) {
+  if (!x.same_shape(y)) return false;
+  const auto xs = x.data();
+  const auto ys = y.data();
+  return std::memcmp(xs.data(), ys.data(),
+                     xs.size() * sizeof(Scalar)) == 0;
+}
+
+/// A power-law (R-MAT) instance: hub columns concentrate the support,
+/// which is exactly where the sparse collectives beat the dense fiber
+/// terms.
+Problem make_rmat_problem(Index m, Index n, Index r, Index nnz,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Problem problem{rmat(m, n, nnz, rng), DenseMatrix(m, r),
+                  DenseMatrix(n, r)};
+  problem.a.fill_random(rng);
+  problem.b.fill_random(rng);
+  return problem;
+}
+
+TEST(ReplicationModes, BitIdenticalOutputsAcrossAllDrivers) {
+  const auto problem = make_rmat_problem(128, 128, 32, 256, 2026);
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 2},
+      {AlgorithmKind::DenseShift15D, 16, 4},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 8, 2},
+      {AlgorithmKind::SparseRepl25D, 8, 2},
+      {AlgorithmKind::Baseline1D, 4, 1},
+  };
+  for (const auto& cfg : configs) {
+    const auto run_mode = [&](ReplicationMode mode) {
+      AlgorithmOptions options;
+      options.replication = mode;
+      auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+      std::vector<KernelResult> kernels;
+      std::vector<FusedResult> fused;
+      if (cfg.kind == AlgorithmKind::Baseline1D) {
+        kernels.push_back(algo->run_kernel(Mode::SpMMA, problem.s,
+                                           problem.a, problem.b));
+        fused.push_back(algo->run_fusedmm(FusedOrientation::A,
+                                          Elision::None, problem.s,
+                                          problem.a, problem.b));
+        return std::pair(std::move(kernels), std::move(fused));
+      }
+      for (const Mode mode_k : {Mode::SpMMA, Mode::SpMMB, Mode::SDDMM}) {
+        kernels.push_back(algo->run_kernel(mode_k, problem.s, problem.a,
+                                           problem.b));
+      }
+      // Every supported (orientation, elision) pair: orientation B and
+      // the elisions exercise distinct replicate/reduce call sites.
+      for (const auto orientation :
+           {FusedOrientation::A, FusedOrientation::B}) {
+        for (const auto elision :
+             {Elision::None, Elision::ReplicationReuse,
+              Elision::LocalKernelFusion}) {
+          if (!algo->supports(elision)) continue;
+          fused.push_back(algo->run_fusedmm(orientation, elision,
+                                            problem.s, problem.a,
+                                            problem.b));
+        }
+      }
+      return std::pair(std::move(kernels), std::move(fused));
+    };
+    const auto dense = run_mode(ReplicationMode::Dense);
+    for (const ReplicationMode mode :
+         {ReplicationMode::SparseRows, ReplicationMode::Auto}) {
+      const auto got = run_mode(mode);
+      ASSERT_EQ(got.first.size(), dense.first.size());
+      for (std::size_t k = 0; k < dense.first.size(); ++k) {
+        EXPECT_TRUE(
+            bit_identical(got.first[k].dense, dense.first[k].dense))
+            << to_string(cfg.kind) << " " << to_string(mode);
+        EXPECT_EQ(got.first[k].sddmm_values, dense.first[k].sddmm_values)
+            << to_string(cfg.kind) << " " << to_string(mode);
+      }
+      ASSERT_EQ(got.second.size(), dense.second.size());
+      for (std::size_t k = 0; k < dense.second.size(); ++k) {
+        EXPECT_TRUE(
+            bit_identical(got.second[k].output, dense.second[k].output))
+            << to_string(cfg.kind) << " " << to_string(mode)
+            << " fused case " << k;
+      }
+    }
+  }
+}
+
+TEST(ReplicationModes, AutoNeverMovesMoreReplicationWordsThanDense) {
+  const auto er = make_problem(64, 128, 16, 55);
+  const auto rm = make_rmat_problem(128, 128, 32, 256, 2027);
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 2},
+      {AlgorithmKind::DenseShift15D, 16, 4},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::SparseShift15D, 16, 4},
+      {AlgorithmKind::DenseRepl25D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 16, 4},
+      {AlgorithmKind::SparseRepl25D, 8, 2},
+  };
+  for (const Problem* problem : {&er, &rm}) {
+    for (const auto& cfg : configs) {
+      const auto words = [&](ReplicationMode mode) {
+        AlgorithmOptions options;
+        options.replication = mode;
+        auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+        const auto result = algo->run_fusedmm(
+            FusedOrientation::A, Elision::None, problem->s, problem->a,
+            problem->b);
+        return result.stats.max_words(Phase::Replication);
+      };
+      EXPECT_LE(words(ReplicationMode::Auto),
+                words(ReplicationMode::Dense))
+          << to_string(cfg.kind) << " p=" << cfg.p << " c=" << cfg.c;
+    }
+  }
+}
+
+TEST(ReplicationModes, SparseRowsStrictlyCheaperOnPowerLawInstance) {
+  // The acceptance instance: an R-MAT pattern leaves a large fraction of
+  // each working block's rows untouched, so shipping only the support
+  // must move strictly fewer replication words than the dense fibers —
+  // for every family with dense fiber collectives.
+  const auto problem = make_rmat_problem(128, 128, 32, 256, 2028);
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 2},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 8, 2},
+  };
+  for (const auto& cfg : configs) {
+    const auto words = [&](ReplicationMode mode) {
+      AlgorithmOptions options;
+      options.replication = mode;
+      auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+      const auto result =
+          algo->run_fusedmm(FusedOrientation::A, Elision::None, problem.s,
+                            problem.a, problem.b);
+      return result.stats.max_words(Phase::Replication);
+    };
+    EXPECT_LT(words(ReplicationMode::SparseRows),
+              words(ReplicationMode::Dense))
+        << to_string(cfg.kind);
+  }
+}
+
+TEST(DistSetupGuards, UnpaddedProblemsFailWithActionableMessage) {
+  // n < p (and m < the layer count): the shard functors would divide by
+  // a zero block size; the families must reject the shape up front and
+  // point at pad_problem.
+  Rng rng(9);
+  auto s = erdos_renyi_fixed_row(6, 6, 2, rng);
+  DenseMatrix a(6, 4), b(6, 4);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D,
+        AlgorithmKind::Baseline1D}) {
+    const int p = kind == AlgorithmKind::Baseline1D ? 8 : 16;
+    const int c = kind == AlgorithmKind::Baseline1D ? 1 : 4;
+    auto algo = make_algorithm(kind, p, c);
+    try {
+      algo->run_kernel(Mode::SpMMA, s, a, b);
+      FAIL() << to_string(kind) << ": undersized problem was accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("pad_problem"),
+                std::string::npos)
+          << to_string(kind) << ": " << e.what();
+    }
+  }
 }
 
 TEST(DistValidation, RejectsUnsupportedElision) {

@@ -63,5 +63,26 @@ TEST(Shards, MismatchedTripletArraysRejected) {
   EXPECT_THROW(pack_triplets(t), Error);
 }
 
+TEST(Shards, RowSupportListsExactlyTheNonEmptyRows) {
+  // 2 buckets by column parity over a 4 x 4 matrix.
+  CooMatrix coo(4, 4);
+  coo.push_back(0, 0, 1.0);
+  coo.push_back(0, 2, 2.0);
+  coo.push_back(1, 1, 3.0);
+  coo.push_back(3, 0, 4.0);
+  coo.sort_and_combine();
+  const auto shards = shard_coo(
+      coo, 2, [](Index, Index col) { return static_cast<int>(col % 2); },
+      [](Index row, Index col) {
+        return std::pair<Index, Index>(row, col / 2);
+      },
+      [](int) { return std::pair<Index, Index>(4, 2); });
+  EXPECT_EQ(shards[0].row_support, (std::vector<Index>{0, 3}));
+  EXPECT_EQ(shards[1].row_support, (std::vector<Index>{1}));
+  EXPECT_EQ(union_row_support({&shards[0], &shards[1]}, 4),
+            (std::vector<Index>{0, 1, 3}));
+  EXPECT_TRUE(union_row_support({}, 4).empty());
+}
+
 } // namespace
 } // namespace dsk

@@ -155,6 +155,37 @@ TEST(MatrixMarket, RejectsMalformedInput) {
   EXPECT_THROW(read_matrix_market(truncated), Error);
 }
 
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  // A corrupt file with i > rows (or i < 1) used to flow 0-based
+  // negative/overflowing indices straight into CooMatrix.
+  const auto with_entry = [](const std::string& entry) {
+    return "%%MatrixMarket matrix coordinate real general\n3 4 1\n" +
+           entry + "\n";
+  };
+  for (const char* entry :
+       {"0 1 5.0", "4 1 5.0", "-1 1 5.0", "1 0 5.0", "1 5 5.0",
+        "1 -2 5.0"}) {
+    std::stringstream stream(with_entry(entry));
+    EXPECT_THROW(read_matrix_market(stream), Error) << entry;
+  }
+  // Boundary indices (1-based, inclusive) are valid.
+  std::stringstream ok(with_entry("3 4 5.0"));
+  const auto coo = read_matrix_market(ok);
+  ASSERT_EQ(coo.nnz(), 1);
+  EXPECT_EQ(coo.entry(0).row, 2);
+  EXPECT_EQ(coo.entry(0).col, 3);
+}
+
+TEST(MatrixMarket, RejectsBlankEntryLines) {
+  std::stringstream blank_middle(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n"
+      "1 1 5.0\n\n2 2 1.0\n");
+  EXPECT_THROW(read_matrix_market(blank_middle), Error);
+  std::stringstream blank_only(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n \n");
+  EXPECT_THROW(read_matrix_market(blank_only), Error);
+}
+
 TEST(Permute, PermutationIsBijection) {
   Rng rng(3);
   const auto perm = random_permutation(100, rng);

@@ -19,11 +19,19 @@
 ///     --rmat      generate R-MAT instead of Erdos-Renyi
 ///     --seed N    RNG seed                   (default 1)
 ///     --reps N    FusedMM repetitions        (default 1)
+///     --replication dense | sparse | auto    (default dense)
+///                 how the fiber collectives move A-side row blocks:
+///                 sparse ships only supported rows (SpComm3D-style),
+///                 auto picks the cheaper plan per fiber
+///     --schedule  db | bsp                   (default db)
+///                 propagation engine: double-buffered overlap or
+///                 bulk-synchronous
 ///     --no-verify skip the serial reference check (large inputs)
 ///
 /// Examples:
 ///   dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 --c 4
 ///   dsk_cli --mtx graph.mtx --algo sparse-shift --elision reuse
+///   dsk_cli --rmat --c 4 --replication auto --schedule bsp
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +57,8 @@ struct Options {
   std::string op = "fusedmm-a";
   std::string algo = "dense-shift";
   std::string elision = "none";
+  std::string replication = "dense";
+  std::string schedule = "db";
   std::string matrix_path;
   bool use_rmat = false;
   bool verify = true;
@@ -79,6 +89,8 @@ Options parse(int argc, char** argv) {
     if (arg == "--op") opt.op = next();
     else if (arg == "--algo") opt.algo = next();
     else if (arg == "--elision") opt.elision = next();
+    else if (arg == "--replication") opt.replication = next();
+    else if (arg == "--schedule") opt.schedule = next();
     else if (arg == "--mtx" || arg == "--matrix") opt.matrix_path = next();
     else if (arg == "--rmat") opt.use_rmat = true;
     else if (arg == "--no-verify") opt.verify = false;
@@ -111,12 +123,32 @@ Elision parse_elision(const std::string& name) {
   usage_and_exit(("unknown elision " + name).c_str());
 }
 
+ReplicationMode parse_replication(const std::string& name) {
+  if (name == "dense") return ReplicationMode::Dense;
+  if (name == "sparse") return ReplicationMode::SparseRows;
+  if (name == "auto") return ReplicationMode::Auto;
+  usage_and_exit(("unknown replication mode " + name).c_str());
+}
+
+ShiftSchedule parse_schedule(const std::string& name) {
+  if (name == "db" || name == "double-buffered") {
+    return ShiftSchedule::DoubleBuffered;
+  }
+  if (name == "bsp" || name == "bulk-synchronous") {
+    return ShiftSchedule::BulkSynchronous;
+  }
+  usage_and_exit(("unknown schedule " + name).c_str());
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const AlgorithmKind kind = parse_algo(opt.algo);
   const Elision elision = parse_elision(opt.elision);
+  AlgorithmOptions algo_options;
+  algo_options.replication = parse_replication(opt.replication);
+  algo_options.schedule = parse_schedule(opt.schedule);
 
   try {
     Rng rng(opt.seed);
@@ -146,10 +178,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(padded.s.rows()),
                 static_cast<long long>(padded.s.cols()),
                 phi_ratio(s, opt.r));
-    std::printf("config: %s, %s, p = %d, c = %d\n", opt.algo.c_str(),
-                opt.op.c_str(), opt.p, opt.c);
+    std::printf("config: %s, %s, p = %d, c = %d, replication = %s, "
+                "schedule = %s\n",
+                opt.algo.c_str(), opt.op.c_str(), opt.p, opt.c,
+                to_string(algo_options.replication).c_str(),
+                opt.schedule.c_str());
 
-    auto algo = make_algorithm(kind, opt.p, opt.c);
+    auto algo = make_algorithm(kind, opt.p, opt.c, algo_options);
     Timer timer;
     WorldStats stats;
     double max_err = -1;
