@@ -24,9 +24,15 @@
 namespace dsk {
 
 /// Tuning knobs shared by every algorithm family. The schedule selects
-/// the propagation engine (see shift_loop.hpp); both schedules produce
+/// the propagation engine (see shift_loop.hpp); all schedules produce
 /// bit-identical outputs and identical word counts, so the default is
-/// the overlapping one.
+/// the overlapping one. Pipelined additionally streams the replication
+/// all-gather into the first shift step in `chunk_rows`-row pieces
+/// (0 = auto: quarter blocks); the knob is rejected by run_shift_loop's
+/// callers only through the CLI — programmatically it is simply unused
+/// outside the Pipelined schedule. Families with no fiber replication
+/// of dense row blocks (2.5D sparse replicating, 1D baseline) treat
+/// Pipelined exactly as DoubleBuffered.
 ///
 /// `replication` selects how the replication-phase fiber collectives
 /// move the A-side row blocks (SpComm3D direction): Dense ships whole
@@ -40,6 +46,8 @@ namespace dsk {
 struct AlgorithmOptions {
   ShiftSchedule schedule = ShiftSchedule::DoubleBuffered;
   ReplicationMode replication = ReplicationMode::Dense;
+  /// Pipelined schedule only: rows per replication chunk (0 = auto).
+  Index chunk_rows = 0;
 };
 
 /// Result of one unified kernel call. `dense` holds the global SpMM

@@ -139,6 +139,24 @@ class DenseShift15D final : public DistAlgorithm {
                                  options().replication);
   }
 
+  /// Pipelined replicate_a: same words and result, streamed in
+  /// chunk-row pieces with `deliver` fired per finalized working-block
+  /// row range. The deliver callbacks (which run computation) nest
+  /// inside this Replication scope; PhaseScope nesting is exclusive, so
+  /// the interleaved spans attribute correctly.
+  void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
+                             const DenseMatrix& a, DenseMatrix& dest,
+                             const ChunkFn& deliver) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
+    fiber.allgatherv_rows_pipelined(
+        a.row_block(row0, row0 + su.a_blk), fiber_wants(su, u),
+        options().replication,
+        pipeline_chunk_rows(options().chunk_rows, su.a_blk), deliver,
+        dest);
+  }
+
   /// Fiber reduce-scatter of the rank's layer-row partial; writes the
   /// rank's m/p output chunk.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v,
@@ -158,38 +176,83 @@ class DenseShift15D final : public DistAlgorithm {
   /// which the accumulator (mutating) loops write to the output.
   MessageWords b_loop(Comm& comm, const Setup& su, int u, int v,
                       bool mutates, MessageWords start,
-                      const std::function<void(int, MessageWords&)>& body)
-      const {
+                      const std::function<void(int, MessageWords&)>& body,
+                      const ShiftPrologue* prologue = nullptr) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
         ring_channel(layer, u, kTagShift, mutates, std::move(start));
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
-    });
+    }, prologue);
     return std::move(ch.block);
   }
 
-  /// SDDMM dot products for every local piece; B input blocks circulate.
-  /// Returns dots[j] for the rank's L pieces.
-  std::vector<std::vector<Scalar>> dots_loop(Comm& comm, const Setup& su,
-                                             int rank, int u, int v,
-                                             const DenseMatrix& a_work,
-                                             const DenseMatrix& b) const {
-    std::vector<std::vector<Scalar>> dots(
-        static_cast<std::size_t>(grid_.layer_size()));
-    b_loop(comm, su, u, v, /*mutates=*/false,
-           pack_dense(b.row_block(b_row0(su, v, u),
-                                  b_row0(su, v, u) + su.b_blk)),
-           [&](int j, MessageWords& block) {
-             const auto bj = unpack_dense(block, su.b_blk, su.r);
-             const auto& pc = piece(su, rank, j);
-             auto& d = dots[static_cast<std::size_t>(j)];
-             d.assign(pc.coo.size(), Scalar{0});
-             comm.stats().add_flops(
-                 masked_dot_products(pc.csr, a_work, bj, d));
-           });
-    return dots;
+  bool pipelined() const {
+    return options().schedule == ShiftSchedule::Pipelined;
+  }
+
+  /// Replicate A into dest: blocking under BSP/DB; under Pipelined the
+  /// returned prologue streams it into the following loop's step 0
+  /// instead (monolithic step-0 compute — pass the prologue to the loop
+  /// unconditionally, an unarmed one is ignored).
+  ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
+                                     int v, const DenseMatrix& a,
+                                     DenseMatrix& dest) const {
+    ShiftPrologue pro;
+    if (pipelined()) {
+      pro.replicate = [this, &comm, &su, u, v, &a,
+                       &dest](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
+      };
+    } else {
+      dest = replicate_a(comm, su, u, v, a);
+    }
+    return pro;
+  }
+
+  /// Replicate A into the rank's working layer-row and run the SDDMM dot
+  /// loop (B input blocks circulate). Under the Pipelined schedule the
+  /// fiber all-gather streams as the loop's prologue: the step-0 B block
+  /// is forwarded before replication starts and the step-0 dots
+  /// accumulate chunk by chunk as working-block rows arrive (bit
+  /// identical — each entry's dot lives wholly in its row's chunk).
+  /// Returns the working block and dots[j] for the rank's L pieces.
+  std::pair<DenseMatrix, std::vector<std::vector<Scalar>>>
+  replicate_and_dots(Comm& comm, const Setup& su, int rank, int u, int v,
+                     const DenseMatrix& a, const DenseMatrix& b) const {
+    const int L = grid_.layer_size();
+    DenseMatrix a_work;
+    std::vector<std::vector<Scalar>> dots(static_cast<std::size_t>(L));
+    const DenseMatrix b0 =
+        b.row_block(b_row0(su, v, u), b_row0(su, v, u) + su.b_blk);
+    const auto body = [&](int j, MessageWords& block) {
+      const auto bj = unpack_dense(block, su.b_blk, su.r);
+      const auto& pc = piece(su, rank, j);
+      auto& d = dots[static_cast<std::size_t>(j)];
+      d.assign(pc.coo.size(), Scalar{0});
+      comm.stats().add_flops(masked_dot_products(pc.csr, a_work, bj, d));
+    };
+    if (pipelined()) {
+      const int j0 = u % L;
+      const auto& p0 = piece(su, rank, j0);
+      auto& d0 = dots[static_cast<std::size_t>(j0)];
+      d0.assign(p0.coo.size(), Scalar{0});
+      ShiftPrologue pro;
+      pro.replicate = [&](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver);
+      };
+      pro.compute_chunk = [&](Index row0, Index row1) {
+        comm.stats().add_flops(masked_dot_products_rows(
+            p0.csr, a_work, b0, d0, row0, row1));
+      };
+      b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body,
+             &pro);
+    } else {
+      a_work = replicate_a(comm, su, u, v, a);
+      b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body);
+    }
+    return {std::move(a_work), std::move(dots)};
   }
 
   /// SpMMA propagation: accumulate the layer-row partial from
@@ -245,8 +308,9 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SDDMM: {
-        const auto a_work = replicate_a(comm, su, u, v, a);
-        const auto dots = dots_loop(comm, su, rank, u, v, a_work, b);
+        const auto [a_work, dots] =
+            replicate_and_dots(comm, su, rank, u, v, a, b);
+        (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         for (int j = 0; j < L; ++j) {
           const auto& pc = piece(su, rank, j);
@@ -259,7 +323,12 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SpMMB: {
-        const auto a_work = replicate_a(comm, su, u, v, a);
+        // spmm_b accumulates across rows of the working block, so the
+        // step-0 kernel runs monolithically once the stream completes;
+        // the Pipelined gain here is the chunked fiber stream itself.
+        DenseMatrix a_work;
+        const ShiftPrologue pro =
+            replication_prologue(comm, su, u, v, a, a_work);
         const auto home = b_loop(
             comm, su, u, v, /*mutates=*/true,
             pack_dense(DenseMatrix(su.b_blk, su.r)),
@@ -268,7 +337,8 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
               comm.stats().add_flops(
                   spmm_b(piece(su, rank, j).csr, a_work, acc));
               block = pack_dense(acc);
-            });
+            },
+            &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.dense, unpack_dense(home, su.b_blk, su.r),
                     b_row0(su, v, u), 0);
@@ -305,9 +375,15 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     for (int rep = 0; rep < repetitions; ++rep) {
-      const auto a_work = replicate_a(comm, su, u, v, a);
       if (elision == Elision::LocalKernelFusion) {
-        // Single propagation loop with the fused local kernel.
+        // Single propagation loop with the fused local kernel. The fused
+        // kernel accumulates into the layer-row partial, so under the
+        // Pipelined schedule step 0 runs monolithically after the
+        // replication stream (the overlap is the early B forward plus
+        // the chunked fiber messages).
+        DenseMatrix fused_a;
+        const ShiftPrologue pro =
+            replication_prologue(comm, su, u, v, a, fused_a);
         DenseMatrix partial(su.mL, su.r);
         b_loop(comm, su, u, v, /*mutates=*/false,
                pack_dense(b.row_block(b_row0(su, v, u),
@@ -315,13 +391,15 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
                [&](int j, MessageWords& block) {
                  const auto bj = unpack_dense(block, su.b_blk, su.r);
                  comm.stats().add_flops(fusedmm_a(
-                     piece(su, rank, j).csr, a_work, bj, partial));
-               });
+                     piece(su, rank, j).csr, fused_a, bj, partial));
+               },
+               &pro);
         reduce_partial(comm, su, u, v, partial, result.output);
         continue;
       }
       // SDDMM pass.
-      const auto dots = dots_loop(comm, su, rank, u, v, a_work, b);
+      const auto [a_work, dots] =
+          replicate_and_dots(comm, su, rank, u, v, a, b);
       std::vector<std::vector<Scalar>> r_values(
           static_cast<std::size_t>(L));
       {
@@ -341,11 +419,14 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
             spmma_loop(comm, su, rank, u, v, b, &r_values);
         reduce_partial(comm, su, u, v, partial, result.output);
       } else {
+        // Unelided sequence: the SpMM pass replicates A again instead
+        // of reusing the SDDMM pass's copy (the gathered bits are the
+        // same, so the repeat's result is discarded). Pipelined streams
+        // the repeat into the SpMM-B loop's step 0 too.
+        DenseMatrix discard;
+        ShiftPrologue pro;
         if (elision == Elision::None) {
-          // Unelided sequence: the SpMM pass replicates A again instead
-          // of reusing the SDDMM pass's copy.
-          const auto again = replicate_a(comm, su, u, v, a);
-          (void)again;
+          pro = replication_prologue(comm, su, u, v, a, discard);
         }
         const auto home = b_loop(
             comm, su, u, v, /*mutates=*/true,
@@ -357,7 +438,8 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
                                   r_values[static_cast<std::size_t>(j)]),
                   a_work, acc));
               block = pack_dense(acc);
-            });
+            },
+            &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.output, unpack_dense(home, su.b_blk, su.r),
                     b_row0(su, v, u), 0);
@@ -465,6 +547,43 @@ class SparseShift15D final : public DistAlgorithm {
         su.layer_support, options().replication);
   }
 
+  /// Pipelined replicate_a: same words and result, streamed in chunk-row
+  /// pieces with `deliver` fired per finalized slice row range.
+  void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
+                             const DenseMatrix& a, DenseMatrix& dest,
+                             const ChunkFn& deliver) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    fiber.allgatherv_rows_pipelined(
+        dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
+                    static_cast<Index>(u) * su.rL, su.rL),
+        su.layer_support, options().replication,
+        pipeline_chunk_rows(options().chunk_rows, su.mc), deliver, dest);
+  }
+
+  bool pipelined() const {
+    return options().schedule == ShiftSchedule::Pipelined;
+  }
+
+  /// Replicate A into dest: blocking under BSP/DB; under Pipelined the
+  /// returned prologue streams it into the following loop's step 0
+  /// instead (monolithic step-0 compute — pass the prologue to the loop
+  /// unconditionally, an unarmed one is ignored).
+  ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
+                                     int v, const DenseMatrix& a,
+                                     DenseMatrix& dest) const {
+    ShiftPrologue pro;
+    if (pipelined()) {
+      pro.replicate = [this, &comm, &su, u, v, &a,
+                       &dest](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
+      };
+    } else {
+      dest = replicate_a(comm, su, u, v, a);
+    }
+    return pro;
+  }
+
   /// Fiber reduce-scatter of the full-m SpMM-A partial slice; writes the
   /// rank's mc x rL chunk of the output.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v,
@@ -480,14 +599,63 @@ class SparseShift15D final : public DistAlgorithm {
   /// Circulate the layer's S pieces for L steps.
   void s_loop(Comm& comm, const Setup& su, int u, int v, bool mutates,
               MessageWords start,
-              const std::function<void(int, MessageWords&)>& body) const {
+              const std::function<void(int, MessageWords&)>& body,
+              const ShiftPrologue* prologue = nullptr) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
         ring_channel(layer, u, kTagShift, mutates, std::move(start));
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
-    });
+    }, prologue);
+  }
+
+  /// Replicate A and circulate the home piece's dot payload for L steps
+  /// (the SDDMM pass shared by the kernel and FusedMM). Under Pipelined
+  /// the fiber all-gather streams as the loop prologue: the step-0 dots
+  /// accumulate chunk by chunk as slice rows arrive, then the payload is
+  /// repacked — bit-identical to the monolithic step (dots start at
+  /// zero and every entry's additions are unchanged). Returns the
+  /// replicated slice and the home piece's accumulated dot payload.
+  std::pair<DenseMatrix, Triplets> sddmm_pass(
+      Comm& comm, const Setup& su, int u, int v, const DenseMatrix& a,
+      const DenseMatrix& b_local) const {
+    const int L = grid_.layer_size();
+    DenseMatrix a_work;
+    Triplets start = piece(su, v, u).coo;
+    start.values.assign(start.size(), Scalar{0});
+    const auto layer = grid_.layer_members(v);
+    ShiftChannel ch = ring_channel(layer, u, kTagShift, /*mutates=*/true,
+                                   pack_triplets(start));
+    const auto body = [&](int t) {
+      const int j = (u + t) % L;
+      auto payload = unpack_triplets(ch.block);
+      comm.stats().add_flops(masked_dot_products(
+          piece(su, v, j).csr, a_work, b_local, payload.values));
+      ch.block = pack_triplets(payload);
+    };
+    if (pipelined()) {
+      const auto& home = piece(su, v, u);
+      std::vector<Scalar> d0(home.coo.size(), Scalar{0});
+      ShiftPrologue pro;
+      pro.replicate = [&](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver);
+      };
+      pro.compute_chunk = [&](Index row0, Index row1) {
+        comm.stats().add_flops(masked_dot_products_rows(
+            home.csr, a_work, b_local, d0, row0, row1));
+      };
+      pro.finish_step0 = [&] {
+        auto payload = unpack_triplets(ch.block);
+        payload.values = std::move(d0);
+        ch.block = pack_triplets(payload);
+      };
+      run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, &pro);
+    } else {
+      a_work = replicate_a(comm, su, u, v, a);
+      run_shift_loop(comm, options().schedule, L, {&ch, 1}, body);
+    }
+    return {std::move(a_work), unpack_triplets(ch.block)};
   }
 
   Grid15D grid_;
@@ -523,26 +691,11 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SDDMM: {
-        const auto a_work = replicate_a(comm, su, u, v, a);
-        Triplets start = piece(su, v, u).coo;
-        start.values.assign(start.size(), Scalar{0});
-        const auto layer = grid_.layer_members(v);
-        ShiftChannel ch = ring_channel(layer, u, kTagShift,
-                                       /*mutates=*/true,
-                                       pack_triplets(start));
-        run_shift_loop(comm, options().schedule, grid_.layer_size(),
-                       {&ch, 1}, [&](int t) {
-                         const int j = (u + t) % grid_.layer_size();
-                         auto payload = unpack_triplets(ch.block);
-                         comm.stats().add_flops(masked_dot_products(
-                             piece(su, v, j).csr, a_work, b_local,
-                             payload.values));
-                         ch.block = pack_triplets(payload);
-                       });
         // After L shifts the resident payload is the home piece again,
         // its dot products accumulated over every width slice.
+        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, a, b_local);
+        (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
-        const auto dots = unpack_triplets(ch.block);
         const auto& home = piece(su, v, u);
         std::vector<Scalar> vals(home.coo.size());
         hadamard_values(home.coo.values, dots.values, vals);
@@ -551,14 +704,20 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SpMMB: {
-        const auto a_work = replicate_a(comm, su, u, v, a);
+        // spmm_b accumulates across slice rows, so step 0 runs
+        // monolithically after the stream; the read-only S piece is
+        // still forwarded before replication starts.
+        DenseMatrix a_work;
+        const ShiftPrologue pro =
+            replication_prologue(comm, su, u, v, a, a_work);
         DenseMatrix b_out(su.n / c(), su.rL);
         s_loop(comm, su, u, v, /*mutates=*/false,
                pack_triplets(piece(su, v, u).coo),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
                      spmm_b(piece(su, v, j).csr, a_work, b_out));
-               });
+               },
+               &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.dense, b_out,
                     static_cast<Index>(v) * (su.n / c()),
@@ -586,43 +745,15 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     const auto b_local = local_b(su, u, v, b);
     for (int rep = 0; rep < repetitions; ++rep) {
-      const auto a_work = replicate_a(comm, su, u, v, a);
-      // SDDMM pass: dot products circulate with the pieces.
-      Triplets start = piece(su, v, u).coo;
-      start.values.assign(start.size(), Scalar{0});
-      MessageWords resident = pack_triplets(start);
-      {
-        const auto layer = grid_.layer_members(v);
-        ShiftChannel ch = ring_channel(layer, u, kTagShift,
-                                       /*mutates=*/true,
-                                       std::move(resident));
-        run_shift_loop(comm, options().schedule, grid_.layer_size(),
-                       {&ch, 1}, [&](int t) {
-                         const int j = (u + t) % grid_.layer_size();
-                         auto payload = unpack_triplets(ch.block);
-                         comm.stats().add_flops(masked_dot_products(
-                             piece(su, v, j).csr, a_work, b_local,
-                             payload.values));
-                         ch.block = pack_triplets(payload);
-                       });
-        resident = std::move(ch.block);
-      }
+      // SDDMM pass: dot products circulate with the pieces (streamed
+      // replication prologue under Pipelined).
+      const auto [a_work, dots] = sddmm_pass(comm, su, u, v, a, b_local);
       std::vector<Scalar> r_values(piece(su, v, u).coo.size());
       {
         PhaseScope scope(comm.stats(), Phase::Computation);
-        const auto dots = unpack_triplets(resident);
         hadamard_values(piece(su, v, u).coo.values, dots.values,
                         r_values);
         comm.stats().add_flops(piece(su, v, u).nnz());
-      }
-      if (elision == Elision::None &&
-          orientation == FusedOrientation::B) {
-        // Unelided sequence: the SpMM-B pass replicates A again instead
-        // of reusing the SDDMM pass's copy. (Orientation A's SpMM pass
-        // never reads A — its second fiber operation is the output
-        // reduce-scatter below — so there is nothing to re-replicate.)
-        const auto again = replicate_a(comm, su, u, v, a);
-        (void)again;
       }
       // SpMM pass: pieces circulate carrying the SDDMM output values.
       Triplets r_piece = piece(su, v, u).coo;
@@ -638,6 +769,16 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
                });
         reduce_partial(comm, su, u, v, partial, result.output);
       } else {
+        // Unelided sequence: the SpMM-B pass replicates A again instead
+        // of reusing the SDDMM pass's copy (result discarded; orientation
+        // A's SpMM pass never reads A, so it has nothing to
+        // re-replicate). Pipelined streams the repeat into this loop's
+        // step 0.
+        DenseMatrix discard;
+        ShiftPrologue pro;
+        if (elision == Elision::None) {
+          pro = replication_prologue(comm, su, u, v, a, discard);
+        }
         DenseMatrix b_out(su.n / c(), su.rL);
         s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
                [&](int j, MessageWords& block) {
@@ -645,7 +786,8 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
                  comm.stats().add_flops(spmm_b(
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      a_work, b_out));
-               });
+               },
+               &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.output, b_out,
                     static_cast<Index>(v) * (su.n / c()),

@@ -129,6 +129,44 @@ class DenseRepl25D final : public DistAlgorithm {
         fiber_wants(su, u), options().replication);
   }
 
+  /// Pipelined replicate_a: same words and result, streamed in chunk-row
+  /// pieces with `deliver` fired per finalized working-block row range.
+  void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
+                             int w, const DenseMatrix& a,
+                             DenseMatrix& dest,
+                             const ChunkFn& deliver) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u, v));
+    fiber.allgatherv_rows_pipelined(
+        dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
+                    static_cast<Index>(v) * su.rq, su.rq),
+        fiber_wants(su, u), options().replication,
+        pipeline_chunk_rows(options().chunk_rows, su.mqc), deliver, dest);
+  }
+
+  bool pipelined() const {
+    return options().schedule == ShiftSchedule::Pipelined;
+  }
+
+  /// Replicate A into dest: blocking under BSP/DB; under Pipelined the
+  /// returned prologue streams it into the following loop's step 0
+  /// instead (monolithic step-0 compute — pass the prologue to the loop
+  /// unconditionally, an unarmed one is ignored).
+  ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
+                                     int v, int w, const DenseMatrix& a,
+                                     DenseMatrix& dest) const {
+    ShiftPrologue pro;
+    if (pipelined()) {
+      pro.replicate = [this, &comm, &su, u, v, w, &a,
+                       &dest](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, w, a, dest, deliver);
+      };
+    } else {
+      dest = replicate_a(comm, su, u, v, w, a);
+    }
+    return pro;
+  }
+
   /// Fiber reduce-scatter of the rank's m/q x r/q partial; writes its
   /// canonical chunk of the A-shaped output.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v, int w,
@@ -149,6 +187,73 @@ class DenseRepl25D final : public DistAlgorithm {
   /// Global row of B column block k (for layer w).
   Index b_row0(const Setup& su, int k, int w) const {
     return (static_cast<Index>(k) * c() + w) * su.nqc;
+  }
+
+  /// The v-th width slice of B column block k0 — the B payload resident
+  /// on rank (u, v, w) at step 0.
+  DenseMatrix b0_block(const Setup& su, int k0, int v, int w,
+                       const DenseMatrix& b) const {
+    return b.row_block(b_row0(su, k0, w), b_row0(su, k0, w) + su.nqc)
+        .col_block(static_cast<Index>(v) * su.rq,
+                   (v + 1) * static_cast<Index>(su.rq));
+  }
+
+  /// Replicate A and run the SDDMM dot loop (S dots circulate on the row
+  /// ring, B blocks on the column ring) — shared by the SDDMM kernel and
+  /// the FusedMM SDDMM pass. Under Pipelined the fiber all-gather
+  /// streams as the loop prologue: step-0 dots accumulate chunk by chunk
+  /// as working-block rows arrive, then the circulating payload is
+  /// repacked (bit-identical — dots start at zero and every entry's
+  /// additions are unchanged). Returns the working block and the home
+  /// piece's accumulated dot payload.
+  std::pair<DenseMatrix, Triplets> sddmm_pass(Comm& comm, const Setup& su,
+                                              int u, int v, int w,
+                                              const DenseMatrix& a,
+                                              const DenseMatrix& b) const {
+    const int q = grid_.q();
+    const int k0 = k_at(u, v, 0);
+    const auto row_ring = grid_.row_members(u, w);
+    const auto col_ring = grid_.col_members(v, w);
+    const DenseMatrix b0 = b0_block(su, k0, v, w, b);
+    DenseMatrix a_work;
+    Triplets start = piece(su, u, k0, w).coo;
+    start.values.assign(start.size(), Scalar{0});
+    ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
+                                    /*mutates=*/true,
+                                    pack_triplets(start));
+    ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
+                                    /*mutates=*/false, pack_dense(b0));
+    ShiftChannel channels[] = {std::move(chs), std::move(chb)};
+    const auto body = [&](int t) {
+      const int k = k_at(u, v, t);
+      auto payload = unpack_triplets(channels[0].block);
+      const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
+      comm.stats().add_flops(masked_dot_products(
+          piece(su, u, k, w).csr, a_work, bk, payload.values));
+      channels[0].block = pack_triplets(payload);
+    };
+    if (pipelined()) {
+      const auto& home = piece(su, u, k0, w);
+      std::vector<Scalar> d0(home.coo.size(), Scalar{0});
+      ShiftPrologue pro;
+      pro.replicate = [&](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, w, a, a_work, deliver);
+      };
+      pro.compute_chunk = [&](Index row0, Index row1) {
+        comm.stats().add_flops(masked_dot_products_rows(
+            home.csr, a_work, b0, d0, row0, row1));
+      };
+      pro.finish_step0 = [&] {
+        auto payload = unpack_triplets(channels[0].block);
+        payload.values = std::move(d0);
+        channels[0].block = pack_triplets(payload);
+      };
+      run_shift_loop(comm, options().schedule, q, channels, body, &pro);
+    } else {
+      a_work = replicate_a(comm, su, u, v, w, a);
+      run_shift_loop(comm, options().schedule, q, channels, body);
+    }
+    return {std::move(a_work), unpack_triplets(channels[0].block)};
   }
 
   Grid25D grid_;
@@ -200,29 +305,9 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SDDMM: {
-        const auto a_work = replicate_a(comm, su, u, v, w, a);
-        Triplets start = piece(su, u, k0, w).coo;
-        start.values.assign(start.size(), Scalar{0});
-        ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
-                                        /*mutates=*/true,
-                                        pack_triplets(start));
-        ShiftChannel chb = ring_channel(
-            col_ring, u, kTagShiftDense, /*mutates=*/false,
-            pack_dense(b.row_block(b_row0(su, k0, w),
-                                   b_row0(su, k0, w) + su.nqc)
-                           .col_block(static_cast<Index>(v) * su.rq,
-                                      (v + 1) * static_cast<Index>(su.rq))));
-        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
-          const int k = k_at(u, v, t);
-          auto payload = unpack_triplets(channels[0].block);
-          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
-          comm.stats().add_flops(masked_dot_products(
-              piece(su, u, k, w).csr, a_work, bk, payload.values));
-          channels[0].block = pack_triplets(payload);
-        });
+        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b);
+        (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
-        const auto dots = unpack_triplets(channels[0].block);
         const auto& home = piece(su, u, k0, w);
         std::vector<Scalar> vals(home.coo.size());
         hadamard_values(home.coo.values, dots.values, vals);
@@ -231,7 +316,12 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SpMMB: {
-        const auto a_work = replicate_a(comm, su, u, v, w, a);
+        // spmm_b accumulates across working-block rows, so step 0 runs
+        // monolithically after the stream; the read-only S piece is
+        // still forwarded before replication starts.
+        DenseMatrix a_work;
+        const ShiftPrologue pro =
+            replication_prologue(comm, su, u, v, w, a, a_work);
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
                          pack_triplets(piece(su, u, k0, w).coo));
@@ -245,7 +335,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
           comm.stats().add_flops(
               spmm_b(piece(su, u, k, w).csr, a_work, acc));
           channels[1].block = pack_dense(acc);
-        });
+        }, &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.dense,
                     unpack_dense(channels[1].block, su.nqc, su.rq),
@@ -277,44 +367,28 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
     const auto row_ring = grid_.row_members(u, w);
     const auto col_ring = grid_.col_members(v, w);
     const auto b_block = [&] {
-      return pack_dense(
-          b.row_block(b_row0(su, k0, w), b_row0(su, k0, w) + su.nqc)
-              .col_block(static_cast<Index>(v) * su.rq,
-                         (v + 1) * static_cast<Index>(su.rq)));
+      return pack_dense(b0_block(su, k0, v, w, b));
     };
     for (int rep = 0; rep < repetitions; ++rep) {
-      const auto a_work = replicate_a(comm, su, u, v, w, a);
       // SDDMM pass: dots circulate with the S pieces, B input blocks
-      // circulate on the column ring.
-      Triplets start = piece(su, u, k0, w).coo;
-      start.values.assign(start.size(), Scalar{0});
+      // circulate on the column ring (streamed replication prologue
+      // under Pipelined).
+      const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b);
       std::vector<Scalar> r_values;
       {
-        ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
-                                        /*mutates=*/true,
-                                        pack_triplets(start));
-        ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
-                                        /*mutates=*/false, b_block());
-        ShiftChannel channels[] = {std::move(chs), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
-          const int k = k_at(u, v, t);
-          auto payload = unpack_triplets(channels[0].block);
-          const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
-          comm.stats().add_flops(masked_dot_products(
-              piece(su, u, k, w).csr, a_work, bk, payload.values));
-          channels[0].block = pack_triplets(payload);
-        });
         PhaseScope scope(comm.stats(), Phase::Computation);
-        const auto dots = unpack_triplets(channels[0].block);
         const auto& home = piece(su, u, k0, w);
         r_values.resize(home.coo.size());
         hadamard_values(home.coo.values, dots.values, r_values);
         comm.stats().add_flops(home.nnz());
       }
+      // Unelided sequence: the SpMM pass replicates A again (result
+      // discarded — the gathered bits are unchanged). Pipelined streams
+      // the repeat into the SpMM pass's step 0.
+      DenseMatrix discard;
+      ShiftPrologue pro;
       if (elision == Elision::None) {
-        // Unelided sequence: the SpMM pass replicates A again.
-        const auto again = replicate_a(comm, su, u, v, w, a);
-        (void)again;
+        pro = replication_prologue(comm, su, u, v, w, a, discard);
       }
       // SpMM pass: the S pieces circulate carrying the SDDMM output.
       Triplets r_piece = piece(su, u, k0, w).coo;
@@ -335,7 +409,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
               spmm_a(csr_with_values(piece(su, u, k, w).csr,
                                      payload.values),
                      bk, partial));
-        });
+        }, &pro);
         reduce_partial(comm, su, u, v, w, partial, result.output);
       } else {
         ShiftChannel chb = ring_channel(
@@ -351,7 +425,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
                                      payload.values),
                      a_work, acc));
           channels[1].block = pack_dense(acc);
-        });
+        }, &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.output,
                     unpack_dense(channels[1].block, su.nqc, su.rq),
@@ -443,7 +517,9 @@ class SparseRepl25D final : public DistAlgorithm {
   /// The replication traffic of this family is already sparsity-sized
   /// (values and dot buffers, no dense row blocks), so the
   /// options().replication knob has nothing to elide here: SparseRows
-  /// and Auto behave exactly like Dense.
+  /// and Auto behave exactly like Dense. The same goes for the Pipelined
+  /// schedule — there is no dense row stream to chunk, so it runs as
+  /// DoubleBuffered.
   std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
                                     int v, int w) const {
     PhaseScope scope(comm.stats(), Phase::Replication);

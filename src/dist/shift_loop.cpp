@@ -15,17 +15,33 @@ bool is_self(const Comm& comm, const ShiftChannel& ch) {
 
 void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
-                    const std::function<void(int)>& compute) {
+                    const std::function<void(int)>& compute,
+                    const ShiftPrologue* prologue) {
   for (const auto& ch : channels) {
     check(is_self(comm, ch) || (ch.send_to != comm.rank() &&
                                 ch.recv_from != comm.rank()),
           "run_shift_loop: channel is half-self (send_to ", ch.send_to,
           ", recv_from ", ch.recv_from, " on rank ", comm.rank(), ")");
   }
+  // A prologue with no replicate stage is "absent" — drivers build one
+  // unconditionally and only arm it under the Pipelined schedule.
+  if (prologue != nullptr && !prologue->replicate) prologue = nullptr;
+  check(prologue == nullptr || schedule == ShiftSchedule::Pipelined,
+        "run_shift_loop: a replication prologue requires the Pipelined "
+        "schedule");
+  check(prologue == nullptr || steps >= 1,
+        "run_shift_loop: a replication prologue needs at least one step "
+        "to stream into");
+  // DoubleBuffered and Pipelined share the early-forward structure; the
+  // Pipelined extras live entirely in step 0's prologue handling.
+  const bool overlap = schedule != ShiftSchedule::BulkSynchronous;
   for (int step = 0; step < steps; ++step) {
-    if (schedule == ShiftSchedule::DoubleBuffered) {
+    if (overlap) {
       // Forward read-only blocks before computing: the copy in flight is
-      // what the receiver's post-compute receive will find waiting.
+      // what the receiver's post-compute receive will find waiting. With
+      // a prologue this happens BEFORE the replication collective even
+      // starts, so a peer's step-0 receive never waits on our
+      // replication finishing.
       PhaseScope scope(comm.stats(), Phase::Propagation);
       for (auto& ch : channels) {
         if (!ch.mutates && !is_self(comm, ch)) {
@@ -33,7 +49,22 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
         }
       }
     }
-    {
+    if (step == 0 && prologue != nullptr) {
+      // Stream the replication collective; each delivered chunk runs the
+      // incremental step-0 kernel (when the kernel admits row slicing).
+      prologue->replicate([&](Index row0, Index row1) {
+        if (prologue->compute_chunk) {
+          PhaseScope scope(comm.stats(), Phase::Computation);
+          prologue->compute_chunk(row0, row1);
+        }
+      });
+      PhaseScope scope(comm.stats(), Phase::Computation);
+      if (prologue->compute_chunk) {
+        if (prologue->finish_step0) prologue->finish_step0();
+      } else {
+        compute(0);
+      }
+    } else {
       PhaseScope scope(comm.stats(), Phase::Computation);
       compute(step);
     }
@@ -41,8 +72,7 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
       PhaseScope scope(comm.stats(), Phase::Propagation);
       for (auto& ch : channels) {
         if (is_self(comm, ch)) continue;
-        const bool sent_early = schedule == ShiftSchedule::DoubleBuffered &&
-                                !ch.mutates;
+        const bool sent_early = overlap && !ch.mutates;
         if (!sent_early) {
           comm.send_words(ch.send_to, ch.tag, std::move(ch.block));
         }

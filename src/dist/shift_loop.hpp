@@ -16,10 +16,21 @@
 ///     mutates (circulating SDDMM dot accumulators) are forwarded right
 ///     after their compute instead, and no barrier closes the step.
 ///
-/// Both schedules execute the identical compute sequence on identical
+///   Pipelined — a superset of DoubleBuffered that additionally streams
+///     the replication collective preceding the loop INTO shift step 0
+///     (SpComm3D/SparCML direction): the step-0 read-only forwards are
+///     posted before replication even starts, the all-gather runs
+///     chunked (ChunkFn deliveries), and — when the step-0 kernel can be
+///     row-sliced bit-identically — compute starts on delivered chunks
+///     while later ones are still in flight. Without a ShiftPrologue the
+///     schedule degenerates to DoubleBuffered (nothing to stream).
+///
+/// All schedules execute the identical compute sequence on identical
 /// data, so their outputs are bit-identical; only waiting time moves.
-/// Word/message counts are identical too (same blocks over the same
-/// ring), so the exact cost accounting is schedule-independent.
+/// Word counts are identical too (same blocks over the same ring —
+/// chunking merely splits messages), so the exact word accounting is
+/// schedule-independent; only Pipelined's replication MESSAGE count
+/// grows, by the chunks-per-block factor.
 ///
 /// A ring of one rank (the degenerate c = p or q = 1 grids, and p = 1)
 /// is a self-shift: the block stays put and nothing is charged, matching
@@ -28,6 +39,7 @@
 #include <functional>
 #include <span>
 
+#include "runtime/collectives.hpp"
 #include "runtime/comm.hpp"
 
 namespace dsk {
@@ -37,6 +49,7 @@ namespace dsk {
 enum class ShiftSchedule {
   BulkSynchronous,
   DoubleBuffered,
+  Pipelined,
 };
 
 /// One circulating payload stream. The loop replaces `block` with the
@@ -51,15 +64,47 @@ struct ShiftChannel {
   MessageWords block;
 };
 
+/// Replication stage interleaved ahead of shift step 0 under the
+/// Pipelined schedule. The loop posts the step-0 read-only forwards,
+/// then runs `replicate`, routing every chunk delivery into
+/// `compute_chunk` under Phase::Computation (the driver's replicate
+/// closure keeps its own Phase::Replication scope — PhaseScope nesting
+/// is exclusive, so interleaved spans attribute exactly).
+struct ShiftPrologue {
+  /// Runs the pipelined replication collective, invoking its argument
+  /// once per finalized row range of the gathered working block, and
+  /// returns only when the block is fully materialized. Null marks the
+  /// whole prologue absent (run_shift_loop ignores it), so drivers can
+  /// build one unconditionally and arm it only under Pipelined.
+  std::function<void(const ChunkFn&)> replicate;
+  /// Incremental step-0 kernel over finalized working-block rows
+  /// [row0, row1). Non-null -> compute(0) is skipped: the chunk calls
+  /// plus finish_step0 must together perform exactly step 0's compute.
+  /// Null -> compute(0) runs monolithically once replicate returns (the
+  /// right choice for accumulating kernels whose within-step summation
+  /// order a row-sliced execution would reorder).
+  ChunkFn compute_chunk;
+  /// Runs after replicate returns when compute_chunk is set — payload
+  /// repacks and other step-0 epilogue work. May be null.
+  std::function<void()> finish_step0;
+};
+
 /// Run `steps` propagation rounds. compute(step) reads (and for mutating
 /// channels rewrites) the resident blocks; communication is charged to
 /// Phase::Propagation and compute to Phase::Computation, so the
 /// per-phase counters and measured spans line up with the paper's
 /// breakdown. With steps equal to the ring length every block ends up
 /// back home.
+///
+/// `prologue` (Pipelined schedule only, and only with steps >= 1)
+/// interleaves the preceding replication collective with step 0 as
+/// described above; word and flop totals are unchanged relative to
+/// running the collective before the loop, so the exact cost accounting
+/// stays schedule-independent.
 void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
-                    const std::function<void(int)>& compute);
+                    const std::function<void(int)>& compute,
+                    const ShiftPrologue* prologue = nullptr);
 
 /// Channel over a ring given in member order: receive from the next
 /// member, send to the previous, so the resident block index advances by

@@ -202,4 +202,24 @@ CommCost kernel_cost(AlgorithmKind kind, const CostInputs& in) {
   return pair;
 }
 
+ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
+                               const CostInputs& in, const MachineModel& m,
+                               ReplicationMode mode) {
+  const CommCost cost = fusedmm_cost(kind, elision, in, mode);
+  // FusedMM arithmetic per rank: 2·nnz·r/p for the masked dots, nnz/p
+  // for the Hadamard, 2·nnz·r/p for the SpMM — (4r + 1)·nnz/p.
+  const double flops = (4.0 * in.r + 1.0) * in.nnz / in.p;
+  // Message latency rides with the propagation term (the shift loop
+  // sends most of the messages and is where the schedules differ).
+  const double repl = m.beta_seconds_per_word * cost.replication_words;
+  const double prop = m.beta_seconds_per_word * cost.propagation_words +
+                      m.alpha_seconds_per_message * cost.messages;
+  const double comp = m.gamma_seconds_per_flop * flops;
+  ScheduleBounds bounds;
+  bounds.bulk_synchronous = repl + prop + comp;
+  bounds.double_buffered = repl + std::max(prop, comp);
+  bounds.pipelined = std::max(repl + prop, comp);
+  return bounds;
+}
+
 } // namespace dsk

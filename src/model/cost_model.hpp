@@ -8,6 +8,7 @@
 /// measured == modeled exactly on load-balanced inputs.
 
 #include "common/types.hpp"
+#include "runtime/machine.hpp"
 
 namespace dsk {
 
@@ -64,5 +65,30 @@ double expected_sparse_replication_words(AlgorithmKind kind,
 /// Words/messages for one unified kernel call (SDDMM or either SpMM —
 /// identical by the paper's Section IV-A equivalence).
 CommCost kernel_cost(AlgorithmKind kind, const CostInputs& in);
+
+/// Modeled per-rank seconds for ONE FusedMM call under each shift-loop
+/// schedule, from the Table III closed forms plus the FusedMM flop count
+/// ((4r + 1)·nnz/p per rank):
+///   BulkSynchronous — repl + prop + comp, the serialized BSP sum;
+///   DoubleBuffered  — repl + max(prop, comp): propagation hidden behind
+///                     local kernels, replication still up front;
+///   Pipelined       — max(repl + prop, comp): the replication stream
+///                     joins the overlap, so all communication can hide
+///                     behind compute (the SparCML-style upper bound).
+/// These are upper bounds on the benefit (perfect overlap, zero
+/// scheduling overhead). Word counts are schedule-invariant so the beta
+/// terms are exact; the alpha term uses the unchunked message count,
+/// which understates Pipelined's replication messages by its
+/// chunks-per-block factor (a runtime knob the closed form cannot see).
+/// bench_ablation_overlap prints these next to the measured schedule
+/// walls.
+struct ScheduleBounds {
+  double bulk_synchronous = 0;
+  double double_buffered = 0;
+  double pipelined = 0;
+};
+ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
+                               const CostInputs& in, const MachineModel& m,
+                               ReplicationMode mode = ReplicationMode::Dense);
 
 } // namespace dsk

@@ -229,58 +229,14 @@ ReplicationMode resolve_mode(ReplicationMode mode,
 DenseMatrix Group::allgatherv_rows(const DenseMatrix& local,
                                    std::span<const std::vector<Index>> wants,
                                    ReplicationMode mode) {
-  const int g = size();
-  const Index block_rows = local.rows();
-  const Index width = local.cols();
-  validate_support_table(wants, g, static_cast<Index>(g) * block_rows,
-                         mode);
-  mode = resolve_mode(mode, wants, block_rows, width, g);
-  if (mode == ReplicationMode::Dense) {
-    auto gathered = allgather(local.data());
-    return DenseMatrix(static_cast<Index>(g) * block_rows, width,
-                       std::move(gathered));
-  }
-  DenseMatrix out(static_cast<Index>(g) * block_rows, width);
-  out.place(local, static_cast<Index>(pos_) * block_rows, 0);
-  // Buffered sends first (deadlock-free, like the 1D fetch protocol),
-  // then blocking receives in member order.
-  for (int t = 0; t < g; ++t) {
-    if (t == pos_) continue;
-    const auto rows = support_in_range(
-        wants[static_cast<std::size_t>(t)],
-        static_cast<Index>(pos_) * block_rows, block_rows);
-    if (rows.empty()) continue;
-    WordPacker packer;
-    packer.put_count(rows.size());
-    packer.put(rows);
-    for (const Index row : rows) {
-      packer.put(std::span<const Scalar>(
-          local.row(row - static_cast<Index>(pos_) * block_rows)));
-    }
-    comm_.send_words(member(t), kTagSparseGather, packer.take());
-  }
-  for (int q = 0; q < g; ++q) {
-    if (q == pos_) continue;
-    const auto expected = support_in_range(
-        wants[static_cast<std::size_t>(pos_)],
-        static_cast<Index>(q) * block_rows, block_rows);
-    if (expected.empty()) continue;
-    const MessageWords words =
-        comm_.recv_words(member(q), kTagSparseGather);
-    WordReader reader(words);
-    const auto count = reader.take_count();
-    check(count == expected.size(), "allgatherv_rows: peer sent ", count,
-          " rows, support expects ", expected.size());
-    const auto rows = reader.take<Index>(count);
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      check(rows[k] == expected[k],
-            "allgatherv_rows: row mismatch against the support table");
-      const auto values =
-          reader.take<Scalar>(static_cast<std::size_t>(width));
-      std::copy(values.begin(), values.end(), out.row(rows[k]).begin());
-    }
-    check(reader.exhausted(), "allgatherv_rows: oversized row message");
-  }
+  // One chunk per block reproduces the unchunked plan message for
+  // message (a peer's supported rows within one block never exceed
+  // block_rows), so the wire format lives in exactly one place — the
+  // pipelined implementation below.
+  DenseMatrix out;
+  allgatherv_rows_pipelined(local, wants, mode,
+                            std::max<Index>(local.rows(), 1), nullptr,
+                            out);
   return out;
 }
 
@@ -345,6 +301,158 @@ DenseMatrix Group::reduce_scatter_rows(
     for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += own[j];
   }
   return acc;
+}
+
+void Group::allgatherv_pipelined(const DenseMatrix& local,
+                                 Index chunk_rows, const ChunkFn& on_chunk,
+                                 DenseMatrix& out) {
+  const int g = size();
+  const Index block_rows = local.rows();
+  const Index width = local.cols();
+  check(chunk_rows >= 1, "allgatherv_pipelined: chunk_rows must be >= 1, "
+        "got ", chunk_rows);
+  out = DenseMatrix(static_cast<Index>(g) * block_rows, width);
+  out.place(local, static_cast<Index>(pos_) * block_rows, 0);
+  const auto fire = [&](Index row0, Index row1) {
+    if (on_chunk) on_chunk(row0, row1);
+  };
+  // Resident rows are final before any communication.
+  for (Index c0 = 0; c0 < block_rows; c0 += chunk_rows) {
+    const Index c1 = std::min(block_rows, c0 + chunk_rows);
+    fire(static_cast<Index>(pos_) * block_rows + c0,
+         static_cast<Index>(pos_) * block_rows + c1);
+  }
+  // The dense ring of allgather_words, one chunk at a time: at step s,
+  // forward the chunks of the block that originated at (pos - s) and
+  // stream in the chunks of the block from (pos - s - 1). Sends are
+  // buffered, so interleaving per chunk cannot deadlock; it just lets
+  // the receiver's on_chunk work start while later chunks are in flight.
+  // Chunk rows are contiguous in the row-major result, so each chunk
+  // packs and lands with one flat copy — the per-word cost matches the
+  // unchunked ring's to_words/memcpy path.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_origin = (pos_ - s + g) % g;
+    const int recv_origin = (pos_ - s - 1 + g) % g;
+    for (Index c0 = 0; c0 < block_rows; c0 += chunk_rows) {
+      const Index c1 = std::min(block_rows, c0 + chunk_rows);
+      const auto span_words =
+          static_cast<std::size_t>((c1 - c0) * width);
+      MessageWords outgoing(span_words);
+      std::memcpy(
+          outgoing.data(),
+          out.row(static_cast<Index>(send_origin) * block_rows + c0)
+              .data(),
+          span_words * sizeof(Scalar));
+      comm_.send_words(right(), kTagAllgather, std::move(outgoing));
+      const MessageWords words = comm_.recv_words(left(), kTagAllgather);
+      check(words.size() == span_words,
+            "allgatherv_pipelined: chunk of ", words.size(),
+            " words, expected ", span_words);
+      const Index row0 = static_cast<Index>(recv_origin) * block_rows + c0;
+      std::memcpy(out.row(row0).data(), words.data(),
+                  span_words * sizeof(Scalar));
+      fire(row0, static_cast<Index>(recv_origin) * block_rows + c1);
+    }
+  }
+}
+
+void Group::allgatherv_rows_pipelined(
+    const DenseMatrix& local, std::span<const std::vector<Index>> wants,
+    ReplicationMode mode, Index chunk_rows, const ChunkFn& on_chunk,
+    DenseMatrix& out) {
+  const int g = size();
+  const Index block_rows = local.rows();
+  const Index width = local.cols();
+  check(chunk_rows >= 1, "allgatherv_rows_pipelined: chunk_rows must be "
+        ">= 1, got ", chunk_rows);
+  validate_support_table(wants, g, static_cast<Index>(g) * block_rows,
+                         mode);
+  mode = resolve_mode(mode, wants, block_rows, width, g);
+  if (mode == ReplicationMode::Dense) {
+    allgatherv_pipelined(local, chunk_rows, on_chunk, out);
+    return;
+  }
+  const auto chunk = static_cast<std::size_t>(chunk_rows);
+  out = DenseMatrix(static_cast<Index>(g) * block_rows, width);
+  out.place(local, static_cast<Index>(pos_) * block_rows, 0);
+  // Buffered chunk sends first (deadlock-free), then blocking receives.
+  for (int t = 0; t < g; ++t) {
+    if (t == pos_) continue;
+    const auto rows = support_in_range(
+        wants[static_cast<std::size_t>(t)],
+        static_cast<Index>(pos_) * block_rows, block_rows);
+    if (rows.empty()) continue;
+    for (std::size_t k0 = 0; k0 < rows.size(); k0 += chunk) {
+      const std::size_t k1 = std::min(rows.size(), k0 + chunk);
+      WordPacker packer;
+      if (k0 == 0) packer.put_count(rows.size());
+      packer.put(rows.subspan(k0, k1 - k0));
+      for (std::size_t k = k0; k < k1; ++k) {
+        packer.put(std::span<const Scalar>(local.row(
+            rows[k] - static_cast<Index>(pos_) * block_rows)));
+      }
+      comm_.send_words(member(t), kTagSparseGather, packer.take());
+    }
+  }
+  const auto fire = [&](Index row0, Index row1) {
+    if (on_chunk) on_chunk(row0, row1);
+  };
+  // Rows that never travel are final before any receive: the resident
+  // block, and whole blocks of origins this member needs nothing from
+  // (their unsupported rows stay zero).
+  for (Index c0 = 0; c0 < block_rows; c0 += chunk_rows) {
+    const Index c1 = std::min(block_rows, c0 + chunk_rows);
+    fire(static_cast<Index>(pos_) * block_rows + c0,
+         static_cast<Index>(pos_) * block_rows + c1);
+  }
+  const auto& mine = wants[static_cast<std::size_t>(pos_)];
+  for (int q = 0; q < g; ++q) {
+    if (q == pos_) continue;
+    if (support_in_range(mine, static_cast<Index>(q) * block_rows,
+                         block_rows)
+            .empty()) {
+      fire(static_cast<Index>(q) * block_rows,
+           static_cast<Index>(q + 1) * block_rows);
+    }
+  }
+  for (int q = 0; q < g; ++q) {
+    if (q == pos_) continue;
+    const auto expected = support_in_range(
+        mine, static_cast<Index>(q) * block_rows, block_rows);
+    if (expected.empty()) continue;
+    // Chunk boundaries are derived from the shared support table — both
+    // sides split the same sorted row list the same way, so only the
+    // first chunk needs the count header and the words stay exactly
+    // those of the unchunked plan.
+    Index done = static_cast<Index>(q) * block_rows;
+    for (std::size_t k0 = 0; k0 < expected.size(); k0 += chunk) {
+      const std::size_t k1 = std::min(expected.size(), k0 + chunk);
+      const MessageWords words =
+          comm_.recv_words(member(q), kTagSparseGather);
+      WordReader reader(words);
+      if (k0 == 0) {
+        const auto count = reader.take_count();
+        check(count == expected.size(), "allgatherv_rows_pipelined: peer "
+              "sent ", count, " rows, support expects ", expected.size());
+      }
+      const auto rows = reader.take<Index>(k1 - k0);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        check(rows[k] == expected[k0 + k], "allgatherv_rows_pipelined: "
+              "row mismatch against the support table");
+        const auto values =
+            reader.take<Scalar>(static_cast<std::size_t>(width));
+        std::copy(values.begin(), values.end(),
+                  out.row(rows[k]).begin());
+      }
+      check(reader.exhausted(),
+            "allgatherv_rows_pipelined: oversized row chunk");
+      const Index end = k1 == expected.size()
+                            ? static_cast<Index>(q + 1) * block_rows
+                            : expected[k1 - 1] + 1;
+      fire(done, end);
+      done = end;
+    }
+  }
 }
 
 std::vector<Scalar> Group::allreduce(std::span<const Scalar> local) {

@@ -11,6 +11,8 @@
 /// member passes the same list, the way the grid classes enumerate layer /
 /// fiber / row / column peers), so no registration round is needed.
 
+#include <algorithm>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -19,6 +21,21 @@
 #include "runtime/comm.hpp"
 
 namespace dsk {
+
+/// Completion callback of the pipelined all-gathers: result rows
+/// [row0, row1) are final. Over one collective the delivered ranges tile
+/// the whole result exactly once (no overlap, no gap), but not in global
+/// row order — own rows first, then remote blocks in arrival order.
+using ChunkFn = std::function<void(Index row0, Index row1)>;
+
+/// Resolve the pipelined collectives' chunk size: a requested value wins
+/// (clamped to at least one row); 0 means auto — quarter blocks, coarse
+/// enough that the per-message overhead stays negligible while the first
+/// chunk lands ~4x earlier than the full block would.
+inline Index pipeline_chunk_rows(Index requested, Index block_rows) {
+  if (requested > 0) return requested;
+  return std::max<Index>(1, (block_rows + 3) / 4);
+}
 
 class Group {
  public:
@@ -78,6 +95,35 @@ class Group {
   DenseMatrix reduce_scatter_rows(const DenseMatrix& partial,
                                   std::span<const std::vector<Index>> wants,
                                   ReplicationMode mode);
+
+  /// Chunked, ring-structured all-gather of dense row blocks
+  /// (SparCML-style streaming): bit-identical result and word counts to
+  /// the plain ring all-gather — each origin block is merely split into
+  /// ceil(block_rows/chunk_rows) messages — but on_chunk fires as each
+  /// row range of the result finalizes, so a caller can overlap per-row
+  /// work with the chunks still in flight. Own rows fire first (they
+  /// are resident), then remote blocks in ring arrival order. The
+  /// result builds up IN `out` (resized on entry): when on_chunk(row0,
+  /// row1) fires, out rows [row0, row1) are final and readable even
+  /// though later rows are still streaming.
+  void allgatherv_pipelined(const DenseMatrix& local, Index chunk_rows,
+                            const ChunkFn& on_chunk, DenseMatrix& out);
+
+  /// Row-sparse sibling: the allgatherv_rows plan with every per-peer
+  /// row message split into chunks of at most chunk_rows rows. Word
+  /// counts equal the unchunked plan exactly — the one-word count header
+  /// rides only on the first chunk of each (sender, receiver) pair, and
+  /// later chunk boundaries are derived from the shared support table.
+  /// on_chunk ranges still tile the whole result: unsupported remote
+  /// rows (never shipped, left zero) are attributed to the chunk that
+  /// passes them, and origins with empty support finalize up front.
+  /// Auto resolves exactly as in allgatherv_rows (same words, same
+  /// crossover), falling back to the dense pipelined ring when Dense
+  /// wins. As above, `out` is live during delivery.
+  void allgatherv_rows_pipelined(const DenseMatrix& local,
+                                 std::span<const std::vector<Index>> wants,
+                                 ReplicationMode mode, Index chunk_rows,
+                                 const ChunkFn& on_chunk, DenseMatrix& out);
 
   /// Total words the whole group would move for one row-sparse plan
   /// (either direction — the ordered-pair sums coincide): per non-empty

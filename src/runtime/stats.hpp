@@ -38,6 +38,8 @@ struct PhaseCounters {
   }
 };
 
+class PhaseScope;
+
 /// Accounting for a single simulated rank. Only that rank's thread
 /// touches it while the world runs.
 class RankStats {
@@ -81,40 +83,62 @@ class RankStats {
   /// Sum over all phases.
   PhaseCounters total() const;
 
+  /// Innermost live PhaseScope on this rank (nullptr outside any scope).
+  /// PhaseScope maintains it to make nested spans exclusive.
+  PhaseScope* active_scope() const { return active_; }
+  void set_active_scope(PhaseScope* scope) { active_ = scope; }
+
  private:
   static std::size_t index(Phase phase) {
     return static_cast<std::size_t>(phase);
   }
   Phase current_ = Phase::Other;
+  PhaseScope* active_ = nullptr;
   std::array<PhaseCounters, kNumPhases> counters_{};
   std::array<double, kNumPhases> seconds_{};
 };
 
 /// RAII phase marker: sets the rank's phase for the enclosed scope,
 /// restores the previous phase on exit, and charges the scope's measured
-/// wall-clock span to its phase. Scopes are expected to be sequential,
-/// not nested, inside algorithm code: a nested scope's span would be
-/// counted against both phases.
+/// wall-clock span to its phase. Scopes nest EXCLUSIVELY: opening an
+/// inner scope pauses the outer one's clock, so interleaved phases — the
+/// pipelined replication prologue runs computation chunks inside a
+/// replication scope — attribute every instant to exactly one phase and
+/// the per-phase spans still sum to the covered wall time.
 class PhaseScope {
  public:
   PhaseScope(RankStats& stats, Phase phase)
       : stats_(stats), phase_(phase), previous_(stats.current_phase()),
-        start_(Clock::now()) {
+        parent_(stats.active_scope()), start_(Clock::now()) {
+    if (parent_ != nullptr) parent_->pause(start_);
+    stats_.set_active_scope(this);
     stats_.set_phase(phase);
   }
   ~PhaseScope() {
+    const auto now = Clock::now();
     stats_.add_seconds(
-        phase_, std::chrono::duration<double>(Clock::now() - start_).count());
+        phase_, std::chrono::duration<double>(now - start_).count());
+    stats_.set_active_scope(parent_);
     stats_.set_phase(previous_);
+    if (parent_ != nullptr) parent_->start_ = now;
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Charge the span accumulated so far and stop the clock (the matching
+  /// resume happens when the nested scope closes and resets start_).
+  void pause(Clock::time_point now) {
+    stats_.add_seconds(
+        phase_, std::chrono::duration<double>(now - start_).count());
+  }
+
   RankStats& stats_;
   Phase phase_;
   Phase previous_;
+  PhaseScope* parent_;
   Clock::time_point start_;
 };
 
@@ -161,6 +185,14 @@ class WorldStats {
   /// e.g. via one-sided MPI/RDMA): per rank, replication + max(prop,
   /// comp) instead of their sum; max over ranks.
   double modeled_overlap_seconds(const MachineModel& m) const;
+
+  /// Kernel time if ALL communication — replication and propagation —
+  /// were hidden behind local computation: per rank max(comp, repl +
+  /// prop); max over ranks. This is the modeled upper bound for the
+  /// Pipelined schedule, which streams the replication collectives into
+  /// the first shift step (SparCML-style chunking) on top of the
+  /// double-buffered propagation overlap.
+  double modeled_pipeline_seconds(const MachineModel& m) const;
 
   /// Max over ranks of measured wall-clock seconds spent in a phase
   /// (PhaseScope spans, including time blocked in receives/barriers).

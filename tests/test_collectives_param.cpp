@@ -285,6 +285,109 @@ TEST_P(CollectiveSweep, ReduceScatterRowsBitIdenticalToDense) {
   }
 }
 
+/// The pipelined all-gathers must be drop-in equivalents of the
+/// unchunked collectives for every chunk size — including chunk = 1
+/// (per-row streaming) and chunk >= block_rows (one chunk per block) —
+/// across all support regimes and replication modes. Three properties
+/// per combination: bit-identical result matrix, identical per-rank
+/// word counts, and chunk callbacks that tile the result exactly once.
+TEST_P(CollectiveSweep, PipelinedAllgatherMatchesUnchunked) {
+  const int g = GetParam();
+  const Index total_rows = static_cast<Index>(g) * kBlockRows;
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto wants = make_wants(regime, g, total_rows);
+    for (const ReplicationMode mode :
+         {ReplicationMode::Dense, ReplicationMode::SparseRows,
+          ReplicationMode::Auto}) {
+      for (const Index chunk_rows :
+           {Index{1}, Index{2}, kBlockRows, kBlockRows + 5}) {
+        std::vector<WorldStats> stats(2);
+        std::vector<DenseMatrix> plain(static_cast<std::size_t>(g));
+        std::vector<DenseMatrix> piped(static_cast<std::size_t>(g));
+        stats[0] = run_spmd(g, [&](Comm& comm) {
+          PhaseScope scope(comm.stats(), Phase::Replication);
+          Group group(comm, all_ranks(g));
+          plain[static_cast<std::size_t>(comm.rank())] =
+              group.allgatherv_rows(member_block(comm.rank()), wants,
+                                    mode);
+        });
+        std::vector<std::vector<std::pair<Index, Index>>> chunks(
+            static_cast<std::size_t>(g));
+        stats[1] = run_spmd(g, [&](Comm& comm) {
+          PhaseScope scope(comm.stats(), Phase::Replication);
+          Group group(comm, all_ranks(g));
+          auto& seen = chunks[static_cast<std::size_t>(comm.rank())];
+          group.allgatherv_rows_pipelined(
+              member_block(comm.rank()), wants, mode, chunk_rows,
+              [&](Index row0, Index row1) {
+                seen.emplace_back(row0, row1);
+              },
+              piped[static_cast<std::size_t>(comm.rank())]);
+        });
+        for (int rank = 0; rank < g; ++rank) {
+          const auto& want = plain[static_cast<std::size_t>(rank)];
+          const auto& have = piped[static_cast<std::size_t>(rank)];
+          ASSERT_EQ(have.rows(), want.rows());
+          EXPECT_EQ(want.max_abs_diff(have), 0.0)
+              << to_string(mode) << " chunk " << chunk_rows << " rank "
+              << rank;
+          // Identical words per rank (messages may differ — that is the
+          // chunking); the cost model's word accounting cannot drift.
+          EXPECT_EQ(
+              stats[0].rank(rank).phase(Phase::Replication).words_sent,
+              stats[1].rank(rank).phase(Phase::Replication).words_sent)
+              << to_string(mode) << " chunk " << chunk_rows << " rank "
+              << rank;
+          // The delivered ranges tile [0, total_rows) exactly once.
+          auto seen = chunks[static_cast<std::size_t>(rank)];
+          std::sort(seen.begin(), seen.end());
+          Index covered = 0;
+          for (const auto& [row0, row1] : seen) {
+            EXPECT_EQ(row0, covered)
+                << to_string(mode) << " chunk " << chunk_rows << " rank "
+                << rank;
+            EXPECT_LT(row0, row1);
+            covered = row1;
+          }
+          EXPECT_EQ(covered, total_rows)
+              << to_string(mode) << " chunk " << chunk_rows << " rank "
+              << rank;
+        }
+      }
+    }
+  }
+}
+
+/// A rank that throws inside a chunk callback mid-pipeline (its peers
+/// still blocked receiving later chunks) must abort the world instead of
+/// deadlocking — the prologue path of the shift loop relies on this.
+TEST(SparseCollectives, ThrowInChunkCallbackAbortsWorld) {
+  const int g = 4;
+  try {
+    run_spmd(g, [&](Comm& comm) {
+      Group group(comm, all_ranks(g));
+      DenseMatrix out;
+      int delivered = 0;
+      group.allgatherv_pipelined(
+          member_block(comm.rank()), /*chunk_rows=*/2,
+          [&](Index, Index) {
+            // Fail after the resident rows, while remote chunks from the
+            // ring are still in flight toward the other members.
+            if (comm.rank() == 1 && ++delivered == 4) {
+              fail("injected failure mid-pipeline");
+            }
+          },
+          out);
+    });
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-pipeline"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SparseCollectives, AutoDecidesPerRankNotOnGroupTotals) {
   // Skewed supports: member 0 wants EVERY row, member 1 wants nothing.
   // The group-total sparse words (1 + 6*(3+1) = 25) undercut the dense

@@ -403,6 +403,35 @@ TEST(Predictor, RanksEveryContender) {
   }
 }
 
+TEST(ScheduleBounds, OrderedAndConsistentWithTableIII) {
+  const MachineModel m = MachineModel::cori_knl();
+  const CostInputs in{1 << 14, 1 << 14, 64, 8.0 * (1 << 14), 16, 4};
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D}) {
+    const auto bounds =
+        schedule_bounds(kind, Elision::None, in, m);
+    // More overlap can only help: the double-buffered bound hides
+    // propagation behind compute, and the pipelined bound additionally
+    // lets replication hide too, so bsp >= db >= pipelined always
+    // (max(repl+prop, comp) <= repl + max(prop, comp) termwise).
+    EXPECT_GT(bounds.bulk_synchronous, 0.0) << to_string(kind);
+    EXPECT_LE(bounds.double_buffered, bounds.bulk_synchronous)
+        << to_string(kind);
+    EXPECT_LE(bounds.pipelined, bounds.double_buffered) << to_string(kind);
+    // Consistency with the Table III decomposition: the bulk-synchronous
+    // bound is exactly the sum of the modeled phase terms.
+    const auto cost = fusedmm_cost(kind, Elision::None, in);
+    const double flops = (4.0 * in.r + 1.0) * in.nnz / in.p;
+    const double expected = m.beta_seconds_per_word * cost.total_words() +
+                            m.alpha_seconds_per_message * cost.messages +
+                            m.gamma_seconds_per_flop * flops;
+    EXPECT_NEAR(bounds.bulk_synchronous, expected,
+                1e-12 * std::max(1.0, expected))
+        << to_string(kind);
+  }
+}
+
 TEST(Predictor, SkipsFamiliesWithNoValidGrid) {
   // p = 2: no valid 2.5D grid with c > ... (2/1=2 not square, 2/2=1 is
   // square with c=2). Ensure ranking still works and 1.5D families are

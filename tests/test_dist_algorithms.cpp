@@ -254,6 +254,7 @@ bool bit_identical(const DenseMatrix& x, const DenseMatrix& y) {
   if (!x.same_shape(y)) return false;
   const auto xs = x.data();
   const auto ys = y.data();
+  if (xs.empty()) return true; // memcmp forbids null even with size 0
   return std::memcmp(xs.data(), ys.data(),
                      xs.size() * sizeof(Scalar)) == 0;
 }
@@ -334,6 +335,63 @@ TEST(ReplicationModes, BitIdenticalOutputsAcrossAllDrivers) {
             << to_string(cfg.kind) << " " << to_string(mode)
             << " fused case " << k;
       }
+    }
+  }
+}
+
+/// The pipelined schedule against the serial references: not just
+/// schedule-vs-schedule identity (test_overlap pins that) but absolute
+/// correctness of every kernel mode under the streamed replication
+/// prologue, across replication modes and an awkward chunk size.
+TEST(PipelinedSchedule, KernelsMatchReference) {
+  const auto problem = make_problem(64, 128, 16, /*seed=*/81);
+  const auto want_a = reference_spmm_a(problem.s, problem.b);
+  const auto want_b = reference_spmm_b(problem.s, problem.a);
+  const auto want_f = reference_fusedmm_a(problem.s, problem.a, problem.b);
+  const auto want_sddmm = reference_sddmm(problem.s, problem.a, problem.b);
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 4},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 16, 4},
+      {AlgorithmKind::SparseRepl25D, 8, 2},
+  };
+  for (const auto& cfg : configs) {
+    for (const ReplicationMode mode :
+         {ReplicationMode::Dense, ReplicationMode::Auto}) {
+      AlgorithmOptions options;
+      options.schedule = ShiftSchedule::Pipelined;
+      options.replication = mode;
+      options.chunk_rows = 5; // misaligned with every block height
+      auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+      EXPECT_LE(rel_diff(algo->run_kernel(Mode::SpMMA, problem.s,
+                                          problem.a, problem.b)
+                             .dense,
+                         want_a),
+                kTol)
+          << to_string(cfg.kind) << " " << to_string(mode);
+      EXPECT_LE(rel_diff(algo->run_kernel(Mode::SpMMB, problem.s,
+                                          problem.a, problem.b)
+                             .dense,
+                         want_b),
+                kTol)
+          << to_string(cfg.kind) << " " << to_string(mode);
+      const auto sddmm = algo->run_kernel(Mode::SDDMM, problem.s,
+                                          problem.a, problem.b);
+      ASSERT_EQ(sddmm.sddmm_values.size(),
+                static_cast<std::size_t>(want_sddmm.nnz()));
+      for (Index k = 0; k < want_sddmm.nnz(); ++k) {
+        EXPECT_NEAR(sddmm.sddmm_values[static_cast<std::size_t>(k)],
+                    want_sddmm.entry(k).value, kTol)
+            << to_string(cfg.kind) << " " << to_string(mode) << " entry "
+            << k;
+      }
+      EXPECT_LE(rel_diff(algo->run_fusedmm(FusedOrientation::A,
+                                           Elision::None, problem.s,
+                                           problem.a, problem.b)
+                             .output,
+                         want_f),
+                kTol)
+          << to_string(cfg.kind) << " " << to_string(mode);
     }
   }
 }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "runtime/collectives.hpp"
 #include "runtime/world.hpp"
@@ -268,6 +270,46 @@ TEST(Collectives, GatherWordsCollectsAtRoot) {
       EXPECT_TRUE(gathered.empty());
     }
   });
+}
+
+TEST(Stats, NestedPhaseScopesAreExclusive) {
+  // The pipelined replication prologue runs Computation scopes INSIDE a
+  // Replication scope; nesting must pause the outer clock so every
+  // instant lands in exactly one phase. The inner scope burns ~80ms; if
+  // the outer scope double-counted it (the old behavior), the outer
+  // span would exceed the inner's.
+  RankStats stats;
+  const auto nap = [](int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  {
+    PhaseScope outer(stats, Phase::Replication);
+    nap(5);
+    {
+      PhaseScope inner(stats, Phase::Computation);
+      nap(80);
+    }
+    nap(5);
+    EXPECT_EQ(stats.current_phase(), Phase::Replication);
+  }
+  EXPECT_EQ(stats.current_phase(), Phase::Other);
+  EXPECT_GE(stats.seconds(Phase::Computation), 0.08);
+  EXPECT_GE(stats.seconds(Phase::Replication), 0.01);
+  // Generous slack for loaded hosts and sanitizers: the outer span must
+  // exclude the inner 80ms, so anything close to it means double-count.
+  EXPECT_LT(stats.seconds(Phase::Replication), 0.06);
+  // Phase attribution of counters follows the innermost scope too.
+  {
+    PhaseScope outer(stats, Phase::Replication);
+    stats.record_send(7);
+    {
+      PhaseScope inner(stats, Phase::Computation);
+      stats.add_flops(11);
+    }
+    stats.record_send(3);
+  }
+  EXPECT_EQ(stats.phase(Phase::Replication).words_sent, 10u);
+  EXPECT_EQ(stats.phase(Phase::Computation).flops, 11u);
 }
 
 TEST(Stats, ModeledTimeUsesMachineModel) {

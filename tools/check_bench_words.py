@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff the DETERMINISTIC fields of a regenerated bench JSON against the
+committed baseline and fail on drift.
+
+The figure benches (bench_fig4_weak_scaling --out, bench_fig7_replication
+--out) emit one JSON record per measurement. Identity fields plus the
+word/size fields (comm_words, replication_words, nnz, n, r, p, c,
+predicted_c, observed_c, ...) are fully determined by the committed code
+and seeds; only the *_seconds fields are wall-clock noise. So CI can
+regenerate the JSONs and require every non-seconds field to match the
+committed baseline exactly — a word-count regression (or an accidental
+workload change) fails the build, while timing jitter never does.
+
+Usage:
+  check_bench_words.py BASELINE.json FRESH.json [NAME]
+
+Exit status: 0 when all deterministic fields match, 1 on any drift
+(missing records, extra records, or changed values), 2 on bad input.
+"""
+
+import json
+import sys
+
+# Wall-clock noise, never compared.
+NONDETERMINISTIC_SUFFIXES = ("_seconds",)
+
+# Fields identifying a record (the rest are compared as values). A field
+# listed here but absent from a record is simply skipped, so the same
+# checker covers both bench formats.
+KEY_FIELDS = (
+    "bench",
+    "setup",
+    "algorithm",
+    "elision",
+    "mode",
+    "p",
+    "c",
+    "n",
+    "r",
+)
+
+
+def record_key(record):
+    return tuple((f, record[f]) for f in KEY_FIELDS if f in record)
+
+
+def deterministic_values(record):
+    return {
+        name: value
+        for name, value in record.items()
+        if name not in KEY_FIELDS
+        and not any(name.endswith(s) for s in NONDETERMINISTIC_SUFFIXES)
+    }
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            records = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench_words: cannot read {path}: {error}")
+        sys.exit(2)
+    if not isinstance(records, list):
+        print(f"check_bench_words: {path} is not a JSON record list")
+        sys.exit(2)
+    table = {}
+    for record in records:
+        key = record_key(record)
+        if key in table:
+            print(f"check_bench_words: duplicate record key in {path}: {key}")
+            sys.exit(2)
+        table[key] = deterministic_values(record)
+    return table
+
+
+def describe(key):
+    return ", ".join(f"{name}={value}" for name, value in key)
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    name = argv[3] if len(argv) == 4 else fresh_path
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+
+    problems = []
+    for key in sorted(set(baseline) - set(fresh)):
+        problems.append(f"missing record: {describe(key)}")
+    for key in sorted(set(fresh) - set(baseline)):
+        problems.append(f"unexpected new record: {describe(key)}")
+    for key in sorted(set(baseline) & set(fresh)):
+        want, have = baseline[key], fresh[key]
+        for field in sorted(set(want) | set(have)):
+            if field not in want:
+                problems.append(
+                    f"new field {field}={have[field]} in {describe(key)}")
+            elif field not in have:
+                problems.append(
+                    f"dropped field {field} (was {want[field]}) in "
+                    f"{describe(key)}")
+            elif want[field] != have[field]:
+                problems.append(
+                    f"{field} drifted {want[field]} -> {have[field]} in "
+                    f"{describe(key)}")
+
+    if problems:
+        print(f"check_bench_words: {name}: {len(problems)} deterministic-"
+              f"field difference(s) vs {baseline_path}:")
+        for problem in problems:
+            print(f"  {problem}")
+        print("If the change is intentional (new workload, real word-count "
+              "improvement), regenerate and commit the baseline.")
+        return 1
+    print(f"check_bench_words: {name}: {len(fresh)} records match "
+          f"{baseline_path} on every deterministic field.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,15 +23,21 @@
 ///                 how the fiber collectives move A-side row blocks:
 ///                 sparse ships only supported rows (SpComm3D-style),
 ///                 auto picks the cheaper plan per fiber
-///     --schedule  db | bsp                   (default db)
-///                 propagation engine: double-buffered overlap or
-///                 bulk-synchronous
+///     --schedule  db | bsp | pipeline        (default db)
+///                 propagation engine: double-buffered overlap,
+///                 bulk-synchronous, or pipelined (db plus the
+///                 replication all-gather streamed into shift step 0)
+///     --chunk-rows N  rows per replication chunk (pipeline schedule
+///                 only; default 0 = auto, quarter blocks). Rejected
+///                 with any other schedule instead of being silently
+///                 ignored.
 ///     --no-verify skip the serial reference check (large inputs)
 ///
 /// Examples:
 ///   dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 --c 4
 ///   dsk_cli --mtx graph.mtx --algo sparse-shift --elision reuse
 ///   dsk_cli --rmat --c 4 --replication auto --schedule bsp
+///   dsk_cli --c 8 --schedule pipeline --chunk-rows 64
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,6 +73,8 @@ struct Options {
   Index n = 8192;
   Index d = 8;
   Index r = 32;
+  Index chunk_rows = 0;
+  bool chunk_rows_set = false;
   std::uint64_t seed = 1;
   int reps = 1;
 };
@@ -99,6 +107,10 @@ Options parse(int argc, char** argv) {
     else if (arg == "--n") opt.n = std::atoll(next());
     else if (arg == "--d") opt.d = std::atoll(next());
     else if (arg == "--r") opt.r = std::atoll(next());
+    else if (arg == "--chunk-rows") {
+      opt.chunk_rows = std::atoll(next());
+      opt.chunk_rows_set = true;
+    }
     else if (arg == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--reps") opt.reps = std::atoi(next());
     else if (arg == "--help" || arg == "-h") usage_and_exit("help");
@@ -137,6 +149,9 @@ ShiftSchedule parse_schedule(const std::string& name) {
   if (name == "bsp" || name == "bulk-synchronous") {
     return ShiftSchedule::BulkSynchronous;
   }
+  if (name == "pipeline" || name == "pipelined") {
+    return ShiftSchedule::Pipelined;
+  }
   usage_and_exit(("unknown schedule " + name).c_str());
 }
 
@@ -149,6 +164,17 @@ int main(int argc, char** argv) {
   AlgorithmOptions algo_options;
   algo_options.replication = parse_replication(opt.replication);
   algo_options.schedule = parse_schedule(opt.schedule);
+  if (opt.chunk_rows_set &&
+      algo_options.schedule != ShiftSchedule::Pipelined) {
+    usage_and_exit(("--chunk-rows only applies to --schedule pipeline "
+                    "(got --schedule " + opt.schedule +
+                    "); refusing to silently ignore it")
+                       .c_str());
+  }
+  if (opt.chunk_rows_set && opt.chunk_rows < 0) {
+    usage_and_exit("--chunk-rows must be a row count (or 0 for auto)");
+  }
+  algo_options.chunk_rows = opt.chunk_rows;
 
   try {
     Rng rng(opt.seed);
