@@ -8,10 +8,15 @@
 /// Section 2 measures the SpComm3D-style replication collectives: for
 /// each family with dense fiber collectives, max-per-rank replication
 /// words under the Dense / SparseRows / Auto modes on a power-law
-/// (R-MAT) instance. `--out <path>` writes every measurement as JSON
+/// (R-MAT) instance. Section 3 measures the column-support PROPAGATION
+/// collectives the same way: max-per-rank propagation words under the
+/// Dense / SparseCols / Auto modes for every family with dense
+/// circulating blocks. `--out <path>` writes every measurement as JSON
 /// records for the perf-trajectory baseline (BENCH_replication.json);
-/// the process exits nonzero if any mode moves more words than Dense
-/// under Auto, so CI catches replication-word regressions.
+/// the process exits nonzero if Auto ever moves more words than Dense
+/// in either section, or if Auto propagation fails to show a STRICT
+/// saving on the R-MAT instance for the compressible families, so CI
+/// catches word regressions.
 
 #include <cmath>
 
@@ -109,6 +114,82 @@ bool run_mode_comparison(JsonRecords& records) {
   return auto_bounded;
 }
 
+std::uint64_t propagation_words(AlgorithmKind kind, int p, int c,
+                                const Workload& w, PropagationMode mode) {
+  AlgorithmOptions options;
+  options.propagation = mode;
+  auto algo = make_algorithm(kind, p, c, options);
+  const auto result = algo->run_fusedmm(FusedOrientation::A,
+                                        Elision::None, w.s, w.a, w.b, 1);
+  return result.stats.max_words(Phase::Propagation);
+}
+
+/// Section 3: column-support propagation compression on the same
+/// power-law instance. Returns false if Auto ever moves more
+/// max-per-rank propagation words than Dense, or fails to STRICTLY
+/// undercut Dense on the families with dense circulating blocks (the
+/// homeward hop alone guarantees a saving whenever a ring is longer
+/// than one).
+bool run_propagation_comparison(JsonRecords& records) {
+  print_header("Propagation collectives: dense vs sparse-cols (R-MAT)");
+  const Index n = 512 * env_scale();
+  const Index d = 4;
+  const Index r = 32;
+  const auto w = make_rmat_workload(n, d, r, /*seed=*/777);
+  struct GridCase {
+    AlgorithmKind kind;
+    int p;
+    int c;
+    bool compressible; // dense circulating blocks to elide?
+  };
+  const std::vector<GridCase> cases = {
+      {AlgorithmKind::DenseShift15D, 16, 4, true},
+      {AlgorithmKind::SparseShift15D, 16, 4, false},
+      {AlgorithmKind::DenseRepl25D, 16, 4, true},
+      {AlgorithmKind::SparseRepl25D, 16, 4, true},
+  };
+  std::printf("%-18s %4s %3s | %12s %12s %12s | %8s\n", "algorithm", "p",
+              "c", "dense", "sparse-cols", "auto", "saving");
+  bool gates_hold = true;
+  for (const auto& gc : cases) {
+    std::uint64_t words[3] = {0, 0, 0};
+    const PropagationMode modes[] = {PropagationMode::Dense,
+                                     PropagationMode::SparseCols,
+                                     PropagationMode::Auto};
+    for (int i = 0; i < 3; ++i) {
+      words[i] = propagation_words(gc.kind, gc.p, gc.c, w, modes[i]);
+      records.add()
+          .field("bench", "fig7_propagation")
+          .field("setup", "rmat")
+          .field("algorithm", to_string(gc.kind))
+          .field("elision", to_string(Elision::None))
+          .field("replication", to_string(ReplicationMode::Dense))
+          .field("propagation", to_string(modes[i]))
+          .field("p", gc.p)
+          .field("c", gc.c)
+          .field("n", static_cast<std::int64_t>(w.s.rows()))
+          .field("nnz", static_cast<std::int64_t>(w.s.nnz()))
+          .field("r", static_cast<std::int64_t>(w.r))
+          .field("propagation_words", words[i]);
+    }
+    const double saving =
+        words[0] > 0
+            ? 100.0 * (1.0 - static_cast<double>(words[2]) / words[0])
+            : 0.0;
+    std::printf("%-18s %4d %3d | %12llu %12llu %12llu | %7.1f%%\n",
+                to_string(gc.kind).c_str(), gc.p, gc.c,
+                static_cast<unsigned long long>(words[0]),
+                static_cast<unsigned long long>(words[1]),
+                static_cast<unsigned long long>(words[2]), saving);
+    gates_hold &= words[2] <= words[0];
+    if (gc.compressible) gates_hold &= words[2] < words[0];
+  }
+  std::printf("\nInvariants: auto <= dense everywhere, auto < dense on "
+              "the compressible families — %s.\n",
+              gates_hold ? "HOLD" : "VIOLATED");
+  return gates_hold;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -173,7 +254,8 @@ int main(int argc, char** argv) {
               ordering_holds ? "HOLDS" : "VIOLATED");
 
   const bool auto_bounded = run_mode_comparison(records);
+  const bool propagation_bounded = run_propagation_comparison(records);
   const int write_status = finish_records(records, out_path);
   if (write_status != 0) return write_status;
-  return auto_bounded ? 0 : 1;
+  return auto_bounded && propagation_bounded ? 0 : 1;
 }

@@ -55,4 +55,13 @@ std::string to_string(ReplicationMode mode) {
   return "?";
 }
 
+std::string to_string(PropagationMode mode) {
+  switch (mode) {
+    case PropagationMode::Dense: return "Dense";
+    case PropagationMode::SparseCols: return "SparseCols";
+    case PropagationMode::Auto: return "Auto";
+  }
+  return "?";
+}
+
 } // namespace dsk

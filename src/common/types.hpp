@@ -60,6 +60,21 @@ enum class ReplicationMode {
   Auto,
 };
 
+/// How the propagation-phase cyclic shifts move the dense B-side blocks
+/// (the nonzero-granular SpComm3D direction, applied to the shift loop
+/// instead of the fiber collectives): Dense forwards whole blocks —
+/// the paper's Table III cost; SparseCols ships, per hop, only the block
+/// rows in the column support of the pieces the rest of the ring trip
+/// still consumes (read-only payloads) or has written so far
+/// (accumulators), as [count, cols..., values...] messages; Auto decides
+/// per hop, taking the sparse message only when it is smaller than the
+/// dense block, so max-per-rank propagation words never exceed Dense.
+enum class PropagationMode {
+  Dense,
+  SparseCols,
+  Auto,
+};
+
 /// Cost phases used in the paper's time breakdowns (Figures 5 and 9).
 enum class Phase {
   Replication, ///< all-gather / reduce-scatter along the fiber axis
@@ -77,5 +92,6 @@ std::string to_string(AlgorithmKind kind);
 std::string to_string(Phase phase);
 std::string to_string(FusedOrientation o);
 std::string to_string(ReplicationMode mode);
+std::string to_string(PropagationMode mode);
 
 } // namespace dsk

@@ -43,9 +43,25 @@ namespace dsk {
 /// fiber at hand. All three modes produce bit-identical outputs. The
 /// knob is a no-op for families whose replication traffic is already
 /// sparsity-sized (2.5D sparse replicating) or absent (1D baseline).
+/// `propagation` selects how the propagation-phase cyclic shifts move
+/// the dense B-side blocks (the nonzero-granular SpComm3D direction
+/// applied to the shift loop): Dense forwards whole blocks — the
+/// paper's Table III cost, kept as the default so the exact cost-model
+/// tests stay exact; SparseCols ships, per hop, only the block rows in
+/// the column support the rest of the ring trip still consumes (or, for
+/// circulating accumulators, has written so far) as
+/// [count, cols..., values...] messages; Auto decides per hop, so
+/// max-per-rank propagation words never exceed Dense. All modes are
+/// bit-identical. The knob is a no-op for channels that are already
+/// sparsity-sized (the circulating COO triplets of 1.5D sparse shifting
+/// and the 2.5D S pieces) and for the 1D baseline's support-sized
+/// fetches; the 2.5D sparse-replicating family compresses BOTH of its
+/// circulating dense slices (rows by row support, columns by column
+/// support).
 struct AlgorithmOptions {
   ShiftSchedule schedule = ShiftSchedule::DoubleBuffered;
   ReplicationMode replication = ReplicationMode::Dense;
+  PropagationMode propagation = PropagationMode::Dense;
   /// Pipelined schedule only: rows per replication chunk (0 = auto).
   Index chunk_rows = 0;
 };

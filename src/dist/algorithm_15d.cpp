@@ -169,6 +169,37 @@ class DenseShift15D final : public DistAlgorithm {
                 static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
   }
 
+  /// Streaming reduce_partial: same words and result, but the collective
+  /// pulls partial rows just in time through `prepare` (the shift-loop
+  /// epilogue routes the final step's row-sliced kernel into it). The
+  /// partial is consumed.
+  void reduce_partial_pipelined(Comm& comm, const Setup& su, int u, int v,
+                                DenseMatrix& partial, DenseMatrix& out,
+                                const ChunkFn& prepare) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u));
+    auto chunk = fiber.reduce_scatter_rows_pipelined(
+        partial, fiber_wants(su, u), options().replication,
+        pipeline_chunk_rows(options().chunk_rows, su.a_blk), prepare);
+    place_block(out, chunk,
+                static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
+  }
+
+  /// Column-support wire schedules of layer v's circulating B payloads
+  /// (inactive under Dense propagation, free to attach): block j's
+  /// consumer at step t is the rank at layer position (j - t) mod L,
+  /// touching exactly the rows in its piece-j column support.
+  ShiftCompression b_compression(const Setup& su, int u, int v,
+                                 bool mutates) const {
+    const int L = grid_.layer_size();
+    return make_ring_compression(
+        options().propagation, su.b_blk, su.r, L, u, mutates,
+        [this, &su, v, L](int origin, int step) -> std::span<const Index> {
+          const int consumer = ((origin - step) % L + L) % L;
+          return piece(su, grid_.rank_of(consumer, v), origin).col_support;
+        });
+  }
+
   /// Circulate the layer's B blocks (or B-shaped accumulators) for L
   /// steps; body(j, resident) sees ring index j and may rewrite the
   /// resident block when mutates is set. Returns the final resident
@@ -182,6 +213,8 @@ class DenseShift15D final : public DistAlgorithm {
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
         ring_channel(layer, u, kTagShift, mutates, std::move(start));
+    const ShiftCompression comp = b_compression(su, u, v, mutates);
+    ch.compression = &comp;
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
     }, prologue);
@@ -255,29 +288,72 @@ class DenseShift15D final : public DistAlgorithm {
     return {std::move(a_work), std::move(dots)};
   }
 
-  /// SpMMA propagation: accumulate the layer-row partial from
-  /// circulating B blocks; values overridable for the FusedMM SpMM pass.
-  DenseMatrix spmma_loop(Comm& comm, const Setup& su, int rank, int u,
-                         int v, const DenseMatrix& b,
-                         const std::vector<std::vector<Scalar>>* values)
-      const {
+  /// SpMMA propagation AND reduction: accumulate the layer-row partial
+  /// from circulating B blocks, then fiber reduce-scatter it into the
+  /// rank's output chunk. Blocking reduce under BSP/DB; under Pipelined
+  /// the reduce-scatter streams out of the loop's LAST step — its
+  /// prepare pulls run the final piece's spmm_a rows just in time, so
+  /// the earliest output chunks enter the wire while later rows are
+  /// still being computed (bit-identical: each output row's accumulation
+  /// is independent). values overridable for the FusedMM SpMM pass.
+  void spmma_pass(Comm& comm, const Setup& su, int rank, int u, int v,
+                  const DenseMatrix& b,
+                  const std::vector<std::vector<Scalar>>* values,
+                  DenseMatrix& out) const {
+    const int L = grid_.layer_size();
+    const auto layer = grid_.layer_members(v);
     DenseMatrix partial(su.mL, su.r);
-    b_loop(comm, su, u, v, /*mutates=*/false,
-           pack_dense(b.row_block(b_row0(su, v, u),
-                                  b_row0(su, v, u) + su.b_blk)),
-           [&](int j, MessageWords& block) {
-             const auto bj = unpack_dense(block, su.b_blk, su.r);
-             const auto& pc = piece(su, rank, j);
-             if (values == nullptr) {
-               comm.stats().add_flops(spmm_a(pc.csr, bj, partial));
-             } else {
-               comm.stats().add_flops(spmm_a(
-                   csr_with_values(pc.csr,
-                                   (*values)[static_cast<std::size_t>(j)]),
-                   bj, partial));
-             }
-           });
-    return partial;
+    ShiftChannel ch = ring_channel(
+        layer, u, kTagShift, /*mutates=*/false,
+        pack_dense(b.row_block(b_row0(su, v, u),
+                               b_row0(su, v, u) + su.b_blk)));
+    const ShiftCompression comp =
+        b_compression(su, u, v, /*mutates=*/false);
+    ch.compression = &comp;
+    const auto body = [&](int t) {
+      const int j = (u + t) % L;
+      const auto bj = unpack_dense(ch.block, su.b_blk, su.r);
+      const auto& pc = piece(su, rank, j);
+      if (values == nullptr) {
+        comm.stats().add_flops(spmm_a(pc.csr, bj, partial));
+      } else {
+        comm.stats().add_flops(spmm_a(
+            csr_with_values(pc.csr,
+                            (*values)[static_cast<std::size_t>(j)]),
+            bj, partial));
+      }
+    };
+    ShiftEpilogue epi;
+    DenseMatrix b_last;
+    CsrMatrix s_revalued;
+    const CsrMatrix* s_last = nullptr;
+    if (pipelined()) {
+      const int j_last = (u + L - 1) % L;
+      epi.compute_chunk = [&, j_last](Index row0, Index row1) {
+        if (s_last == nullptr) {
+          // The final resident block (and, only when the values are
+          // overridden, a revalued copy of the final piece's CSR) are
+          // materialized once, on the first prepare pull.
+          b_last = unpack_dense(ch.block, su.b_blk, su.r);
+          if (values == nullptr) {
+            s_last = &piece(su, rank, j_last).csr;
+          } else {
+            s_revalued = csr_with_values(
+                piece(su, rank, j_last).csr,
+                (*values)[static_cast<std::size_t>(j_last)]);
+            s_last = &s_revalued;
+          }
+        }
+        comm.stats().add_flops(
+            spmm_a_rows(*s_last, b_last, partial, row0, row1));
+      };
+      epi.reduce = [&](const ChunkFn& prepare) {
+        reduce_partial_pipelined(comm, su, u, v, partial, out, prepare);
+      };
+    }
+    run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, nullptr,
+                   &epi);
+    if (!pipelined()) reduce_partial(comm, su, u, v, partial, out);
   }
 
   Grid15D grid_;
@@ -302,9 +378,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     switch (mode) {
       case Mode::SpMMA: {
-        const auto partial =
-            spmma_loop(comm, su, rank, u, v, b, nullptr);
-        reduce_partial(comm, su, u, v, partial, result.dense);
+        spmma_pass(comm, su, rank, u, v, b, nullptr, result.dense);
         return;
       }
       case Mode::SDDMM: {
@@ -415,9 +489,7 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
       }
       // SpMM pass on the SDDMM output values.
       if (orientation == FusedOrientation::A) {
-        const auto partial =
-            spmma_loop(comm, su, rank, u, v, b, &r_values);
-        reduce_partial(comm, su, u, v, partial, result.output);
+        spmma_pass(comm, su, rank, u, v, b, &r_values, result.output);
       } else {
         // Unelided sequence: the SpMM pass replicates A again instead
         // of reusing the SDDMM pass's copy (the gathered bits are the

@@ -180,6 +180,40 @@ class DenseRepl25D final : public DistAlgorithm {
                 static_cast<Index>(v) * su.rq);
   }
 
+  /// Streaming reduce_partial: same words and result, but the collective
+  /// pulls partial rows just in time through `prepare` (the shift-loop
+  /// epilogue routes the final step's row-sliced kernel into it). The
+  /// partial is consumed.
+  void reduce_partial_pipelined(Comm& comm, const Setup& su, int u, int v,
+                                int w, DenseMatrix& partial,
+                                DenseMatrix& out,
+                                const ChunkFn& prepare) const {
+    PhaseScope scope(comm.stats(), Phase::Replication);
+    Group fiber(comm, grid_.fiber_members(u, v));
+    auto chunk = fiber.reduce_scatter_rows_pipelined(
+        partial, fiber_wants(su, u), options().replication,
+        pipeline_chunk_rows(options().chunk_rows, su.mqc), prepare);
+    place_block(out, chunk,
+                static_cast<Index>(u) * su.mq + w * su.mqc,
+                static_cast<Index>(v) * su.rq);
+  }
+
+  /// Column-support wire schedules of the circulating B blocks on the
+  /// column ring of (v, w) (inactive under Dense propagation): block k's
+  /// consumer at step t is the row-position u_t = (k - v - t) mod q,
+  /// touching exactly the rows in its piece-(u_t, k, w) column support.
+  ShiftCompression b_compression(const Setup& su, int u, int v, int w,
+                                 bool mutates) const {
+    const int q = grid_.q();
+    return make_ring_compression(
+        options().propagation, su.nqc, su.rq, q, k_at(u, v, 0), mutates,
+        [this, &su, v, w, q](int origin,
+                             int step) -> std::span<const Index> {
+          const int consumer = ((origin - v - step) % q + q) % q;
+          return piece(su, consumer, origin, w).col_support;
+        });
+  }
+
   /// The resident S / B column-block ring index at step t on rank
   /// (u, v, w): Cannon skew (u + v + t) mod q.
   int k_at(int u, int v, int t) const { return (u + v + t) % grid_.q(); }
@@ -223,6 +257,9 @@ class DenseRepl25D final : public DistAlgorithm {
                                     pack_triplets(start));
     ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                     /*mutates=*/false, pack_dense(b0));
+    const ShiftCompression bcomp =
+        b_compression(su, u, v, w, /*mutates=*/false);
+    chb.compression = &bcomp;
     ShiftChannel channels[] = {std::move(chs), std::move(chb)};
     const auto body = [&](int t) {
       const int k = k_at(u, v, t);
@@ -283,7 +320,10 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
     switch (mode) {
       case Mode::SpMMA: {
         // S pieces (with values) and B blocks circulate; the A-shaped
-        // partial stays put and is reduce-scattered along the fiber.
+        // partial stays put and is reduce-scattered along the fiber —
+        // blocking under BSP/DB; under Pipelined the reduce-scatter
+        // streams out of the loop's last step, pulling the final
+        // piece's spmm_a rows just in time.
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
                          pack_triplets(piece(su, u, k0, w).coo));
@@ -293,15 +333,39 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
                                    b_row0(su, k0, w) + su.nqc)
                            .col_block(static_cast<Index>(v) * su.rq,
                                       (v + 1) * static_cast<Index>(su.rq))));
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, w, /*mutates=*/false);
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         DenseMatrix partial(su.mq, su.rq);
+        ShiftEpilogue epi;
+        DenseMatrix b_last;
+        bool last_ready = false;
+        if (pipelined()) {
+          const int k_last = k_at(u, v, q - 1);
+          epi.compute_chunk = [&, k_last](Index row0, Index row1) {
+            if (!last_ready) {
+              b_last = unpack_dense(channels[1].block, su.nqc, su.rq);
+              last_ready = true;
+            }
+            comm.stats().add_flops(spmm_a_rows(
+                piece(su, u, k_last, w).csr, b_last, partial, row0,
+                row1));
+          };
+          epi.reduce = [&](const ChunkFn& prepare) {
+            reduce_partial_pipelined(comm, su, u, v, w, partial,
+                                     result.dense, prepare);
+          };
+        }
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
           const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
           comm.stats().add_flops(
               spmm_a(piece(su, u, k, w).csr, bk, partial));
-        });
-        reduce_partial(comm, su, u, v, w, partial, result.dense);
+        }, nullptr, &epi);
+        if (!pipelined()) {
+          reduce_partial(comm, su, u, v, w, partial, result.dense);
+        }
         return;
       }
       case Mode::SDDMM: {
@@ -328,6 +392,9 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nqc, su.rq)));
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, w, /*mutates=*/true);
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
@@ -399,8 +466,36 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
       if (orientation == FusedOrientation::A) {
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_block());
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, w, /*mutates=*/false);
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         DenseMatrix partial(su.mq, su.rq);
+        // Streamed reduce out of the last step under Pipelined, exactly
+        // as in the SpMMA kernel; the final step's S payload and B
+        // block are materialized on the first prepare pull.
+        ShiftEpilogue epi;
+        DenseMatrix b_last;
+        CsrMatrix s_last;
+        bool last_ready = false;
+        if (pipelined()) {
+          const int k_last = k_at(u, v, q - 1);
+          epi.compute_chunk = [&, k_last](Index row0, Index row1) {
+            if (!last_ready) {
+              b_last = unpack_dense(channels[1].block, su.nqc, su.rq);
+              s_last = csr_with_values(
+                  piece(su, u, k_last, w).csr,
+                  unpack_triplets(channels[0].block).values);
+              last_ready = true;
+            }
+            comm.stats().add_flops(
+                spmm_a_rows(s_last, b_last, partial, row0, row1));
+          };
+          epi.reduce = [&](const ChunkFn& prepare) {
+            reduce_partial_pipelined(comm, su, u, v, w, partial,
+                                     result.output, prepare);
+          };
+        }
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
           const auto payload = unpack_triplets(channels[0].block);
@@ -409,12 +504,17 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
               spmm_a(csr_with_values(piece(su, u, k, w).csr,
                                      payload.values),
                      bk, partial));
-        }, &pro);
-        reduce_partial(comm, su, u, v, w, partial, result.output);
+        }, &pro, &epi);
+        if (!pipelined()) {
+          reduce_partial(comm, su, u, v, w, partial, result.output);
+        }
       } else {
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nqc, su.rq)));
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, w, /*mutates=*/true);
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
@@ -512,6 +612,37 @@ class SparseRepl25D final : public DistAlgorithm {
     return static_cast<Index>(((u + v + t) % grid_.q()) * c() + w);
   }
 
+  /// Support wire schedules of the circulating dense slices (inactive
+  /// under Dense propagation). The A slices ride the row ring of
+  /// (u, *, w): the consumer at step t of the slice originating at ring
+  /// position o sits at position (o - t) mod q and touches exactly the
+  /// ROW support of its stationary cell (u, ·). Symmetrically the B
+  /// slices ride the column ring of (*, v, w) against the cells'
+  /// COLUMN supports. Both directions cover the read-only inputs and
+  /// the circulating SpMM accumulators (same supports, prefix unions).
+  ShiftCompression a_compression(const Setup& su, int u, int v,
+                                 bool mutates) const {
+    const int q = grid_.q();
+    return make_ring_compression(
+        options().propagation, su.mq, su.rqc, q, v, mutates,
+        [this, &su, u, q](int origin,
+                          int step) -> std::span<const Index> {
+          const int consumer = ((origin - step) % q + q) % q;
+          return cell(su, u, consumer).row_support;
+        });
+  }
+  ShiftCompression b_compression(const Setup& su, int u, int v,
+                                 bool mutates) const {
+    const int q = grid_.q();
+    return make_ring_compression(
+        options().propagation, su.nq, su.rqc, q, u, mutates,
+        [this, &su, v, q](int origin,
+                          int step) -> std::span<const Index> {
+          const int consumer = ((origin - step) % q + q) % q;
+          return cell(su, consumer, v).col_support;
+        });
+  }
+
   /// All-gather the cell's canonically split values along the fiber;
   /// returns the full value vector (cost: (c-1)/c * cell_nnz words).
   /// The replication traffic of this family is already sparsity-sized
@@ -519,7 +650,10 @@ class SparseRepl25D final : public DistAlgorithm {
   /// options().replication knob has nothing to elide here: SparseRows
   /// and Auto behave exactly like Dense. The same goes for the Pipelined
   /// schedule — there is no dense row stream to chunk, so it runs as
-  /// DoubleBuffered.
+  /// DoubleBuffered. The PROPAGATION knob, by contrast, bites twice in
+  /// this family: both circulating dense slices compress against the
+  /// stationary cells' supports (A by rows, B by columns) — see
+  /// a_compression / b_compression below.
   std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
                                     int v, int w) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
@@ -580,6 +714,12 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
                                         /*mutates=*/false, a_piece());
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/false);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/false);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =
@@ -615,6 +755,12 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
             pack_dense(DenseMatrix(su.mq, su.rqc)));
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/true);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/false);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
@@ -636,6 +782,12 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nq, su.rqc)));
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/false);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/true);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =
@@ -691,6 +843,12 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
                                         /*mutates=*/false, a_piece());
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/false);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/false);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =
@@ -722,6 +880,12 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
             pack_dense(DenseMatrix(su.mq, su.rqc)));
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/true);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/false);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
@@ -740,6 +904,12 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nq, su.rqc)));
+        const ShiftCompression acomp =
+            a_compression(su, u, v, /*mutates=*/false);
+        const ShiftCompression bcomp =
+            b_compression(su, u, v, /*mutates=*/true);
+        cha.compression = &acomp;
+        chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =

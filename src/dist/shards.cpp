@@ -1,5 +1,6 @@
 #include "dist/shards.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -133,6 +134,11 @@ std::vector<SparseShard> shard_coo(
         shard.row_support.push_back(i);
       }
     }
+    shard.col_support = shard.coo.cols;
+    std::sort(shard.col_support.begin(), shard.col_support.end());
+    shard.col_support.erase(
+        std::unique(shard.col_support.begin(), shard.col_support.end()),
+        shard.col_support.end());
   }
   return shards;
 }

@@ -63,6 +63,13 @@ struct SparseShard {
   /// the row-sparse replication collectives (Group::allgatherv_rows /
   /// reduce_scatter_rows).
   std::vector<Index> row_support;
+  /// Sorted distinct block-local columns with at least one stored
+  /// nonzero — the only rows of a circulating B-side dense block this
+  /// shard's kernels ever read (SpMM-A / SDDMM / fused) or write
+  /// (SpMM-B accumulators). Computed once per shard by shard_coo and fed
+  /// to the column-support propagation compression of the shift loop
+  /// (ShiftCompression / Group::sendrecv_cols).
+  std::vector<Index> col_support;
   std::uint64_t nnz() const { return coo.values.size(); }
 };
 

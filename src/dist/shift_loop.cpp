@@ -1,5 +1,7 @@
 #include "dist/shift_loop.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "runtime/stats.hpp"
 
@@ -11,29 +13,114 @@ bool is_self(const Comm& comm, const ShiftChannel& ch) {
   return ch.send_to == comm.rank() && ch.recv_from == comm.rank();
 }
 
+/// Compression is in force for a channel only when armed with a
+/// non-Dense mode (drivers attach an inactive Dense compression for
+/// free).
+const ShiftCompression* active_compression(const ShiftChannel& ch) {
+  if (ch.compression == nullptr ||
+      ch.compression->mode == PropagationMode::Dense) {
+    return nullptr;
+  }
+  return ch.compression;
+}
+
+/// The per-hop plan choice — the shared propagation_hop_is_sparse rule
+/// on this channel's shape; sender and receiver evaluate it on the same
+/// support list (their schedules are slices of one shared plan), so the
+/// wire format always agrees.
+bool hop_is_sparse(const ShiftCompression& comp,
+                   const std::vector<Index>& rows) {
+  return propagation_hop_is_sparse(comp.mode, rows.size(),
+                                   comp.block_rows, comp.width);
+}
+
+/// Forward the channel's resident block for the hop of `step`:
+/// support-compressed when the plan says so (an empty support sends
+/// nothing at all — the receiver reconstructs a zero block), the full
+/// dense payload otherwise. `may_move` lets the trailing sends hand the
+/// resident words over without a copy, as before.
+void send_hop(Comm& comm, ShiftChannel& ch, int step, bool may_move) {
+  const ShiftCompression* comp = active_compression(ch);
+  if (comp != nullptr) {
+    const auto& rows =
+        comp->send_rows[static_cast<std::size_t>(step)];
+    if (hop_is_sparse(*comp, rows)) {
+      if (!rows.empty()) {
+        comm.send_words(ch.send_to, ch.tag,
+                        pack_cols_block(ch.block, comp->block_rows,
+                                        comp->width, rows));
+      }
+      return;
+    }
+  }
+  comm.send_words(ch.send_to, ch.tag,
+                  may_move ? std::move(ch.block) : MessageWords(ch.block));
+}
+
+/// Receive the hop of `step` into the channel: a compressed hop is
+/// expanded back to the full dense payload (zeros outside the support,
+/// indices validated against the shared plan), and a skipped hop — an
+/// empty support — lands as an all-zero block without any message.
+void recv_hop(Comm& comm, ShiftChannel& ch, int step) {
+  const ShiftCompression* comp = active_compression(ch);
+  if (comp != nullptr) {
+    const auto& rows =
+        comp->recv_rows[static_cast<std::size_t>(step)];
+    if (hop_is_sparse(*comp, rows)) {
+      if (rows.empty()) {
+        ch.block.assign(static_cast<std::size_t>(comp->block_rows) *
+                            static_cast<std::size_t>(comp->width),
+                        0);
+      } else {
+        ch.block = unpack_cols_block(
+            comm.recv_words(ch.recv_from, ch.tag), comp->block_rows,
+            comp->width, rows);
+      }
+      return;
+    }
+  }
+  ch.block = comm.recv_words(ch.recv_from, ch.tag);
+}
+
 } // namespace
 
 void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
                     const std::function<void(int)>& compute,
-                    const ShiftPrologue* prologue) {
+                    const ShiftPrologue* prologue,
+                    const ShiftEpilogue* epilogue) {
   for (const auto& ch : channels) {
     check(is_self(comm, ch) || (ch.send_to != comm.rank() &&
                                 ch.recv_from != comm.rank()),
           "run_shift_loop: channel is half-self (send_to ", ch.send_to,
           ", recv_from ", ch.recv_from, " on rank ", comm.rank(), ")");
+    if (const ShiftCompression* comp = active_compression(ch)) {
+      check(static_cast<int>(comp->send_rows.size()) == steps &&
+                static_cast<int>(comp->recv_rows.size()) == steps,
+            "run_shift_loop: compression schedules cover ",
+            comp->send_rows.size(), " steps, loop runs ", steps);
+    }
   }
-  // A prologue with no replicate stage is "absent" — drivers build one
-  // unconditionally and only arm it under the Pipelined schedule.
+  // A prologue with no replicate stage (or an epilogue with no reduce)
+  // is "absent" — drivers build them unconditionally and only arm them
+  // under the Pipelined schedule.
   if (prologue != nullptr && !prologue->replicate) prologue = nullptr;
+  if (epilogue != nullptr && !epilogue->reduce) epilogue = nullptr;
   check(prologue == nullptr || schedule == ShiftSchedule::Pipelined,
         "run_shift_loop: a replication prologue requires the Pipelined "
+        "schedule");
+  check(epilogue == nullptr || schedule == ShiftSchedule::Pipelined,
+        "run_shift_loop: a reduction epilogue requires the Pipelined "
         "schedule");
   check(prologue == nullptr || steps >= 1,
         "run_shift_loop: a replication prologue needs at least one step "
         "to stream into");
+  check(epilogue == nullptr || steps >= 1,
+        "run_shift_loop: a reduction epilogue needs at least one step "
+        "to stream out of");
   // DoubleBuffered and Pipelined share the early-forward structure; the
-  // Pipelined extras live entirely in step 0's prologue handling.
+  // Pipelined extras live entirely in the first and last steps'
+  // prologue/epilogue handling.
   const bool overlap = schedule != ShiftSchedule::BulkSynchronous;
   for (int step = 0; step < steps; ++step) {
     if (overlap) {
@@ -45,11 +132,21 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
       PhaseScope scope(comm.stats(), Phase::Propagation);
       for (auto& ch : channels) {
         if (!ch.mutates && !is_self(comm, ch)) {
-          comm.send_words(ch.send_to, ch.tag, MessageWords(ch.block));
+          send_hop(comm, ch, step, /*may_move=*/false);
         }
       }
     }
-    if (step == 0 && prologue != nullptr) {
+    const bool pro_here = step == 0 && prologue != nullptr;
+    const bool epi_here = step == steps - 1 && epilogue != nullptr;
+    // Stream the reduce-scatter, slicing this step's kernel by output
+    // rows through the collective's prepare pulls.
+    const auto sliced_reduce = [&] {
+      epilogue->reduce([&](Index row0, Index row1) {
+        PhaseScope scope(comm.stats(), Phase::Computation);
+        epilogue->compute_chunk(row0, row1);
+      });
+    };
+    if (pro_here) {
       // Stream the replication collective; each delivered chunk runs the
       // incremental step-0 kernel (when the kernel admits row slicing).
       prologue->replicate([&](Index row0, Index row1) {
@@ -58,11 +155,34 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
           prologue->compute_chunk(row0, row1);
         }
       });
-      PhaseScope scope(comm.stats(), Phase::Computation);
       if (prologue->compute_chunk) {
-        if (prologue->finish_step0) prologue->finish_step0();
+        {
+          PhaseScope scope(comm.stats(), Phase::Computation);
+          if (prologue->finish_step0) prologue->finish_step0();
+        }
+        // steps == 1 with both stages: the prologue drove the compute,
+        // so the reduce runs un-streamed (every row is final by now).
+        if (epi_here) epilogue->reduce(nullptr);
+      } else if (epi_here && epilogue->compute_chunk) {
+        // The replicate had nothing to slice into; the epilogue takes
+        // over the step's compute and streams it out instead.
+        sliced_reduce();
       } else {
-        compute(0);
+        {
+          PhaseScope scope(comm.stats(), Phase::Computation);
+          compute(step);
+        }
+        if (epi_here) epilogue->reduce(nullptr);
+      }
+    } else if (epi_here) {
+      if (epilogue->compute_chunk) {
+        sliced_reduce();
+      } else {
+        {
+          PhaseScope scope(comm.stats(), Phase::Computation);
+          compute(step);
+        }
+        epilogue->reduce(nullptr);
       }
     } else {
       PhaseScope scope(comm.stats(), Phase::Computation);
@@ -74,9 +194,9 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
         if (is_self(comm, ch)) continue;
         const bool sent_early = overlap && !ch.mutates;
         if (!sent_early) {
-          comm.send_words(ch.send_to, ch.tag, std::move(ch.block));
+          send_hop(comm, ch, step, /*may_move=*/true);
         }
-        ch.block = comm.recv_words(ch.recv_from, ch.tag);
+        recv_hop(comm, ch, step);
       }
     }
     if (schedule == ShiftSchedule::BulkSynchronous) {
@@ -98,6 +218,63 @@ ShiftChannel ring_channel(std::span<const int> members, int pos, int tag,
   ch.mutates = mutates;
   ch.block = std::move(block);
   return ch;
+}
+
+ShiftCompression make_ring_compression(
+    PropagationMode mode, Index block_rows, Index width, int ring,
+    int origin0, bool mutates,
+    const std::function<std::span<const Index>(int origin, int step)>&
+        touch) {
+  check(ring >= 1 && 0 <= origin0 && origin0 < ring,
+        "make_ring_compression: origin ", origin0, " outside ring of ",
+        ring);
+  ShiftCompression comp;
+  comp.mode = mode;
+  comp.block_rows = block_rows;
+  comp.width = width;
+  if (mode == PropagationMode::Dense) return comp;
+  comp.send_rows.assign(static_cast<std::size_t>(ring), {});
+  comp.recv_rows.assign(static_cast<std::size_t>(ring), {});
+  // Union of block `origin`'s consumer supports over steps [lo, hi).
+  std::vector<char> mark(static_cast<std::size_t>(block_rows), 0);
+  const auto union_steps = [&](int origin, int lo, int hi) {
+    std::fill(mark.begin(), mark.end(), 0);
+    for (int t = lo; t < hi; ++t) {
+      for (const Index row : touch(origin, t)) {
+        check(0 <= row && row < block_rows,
+              "make_ring_compression: support row ", row,
+              " outside [0, ", block_rows, ")");
+        mark[static_cast<std::size_t>(row)] = 1;
+      }
+    }
+    std::vector<Index> rows;
+    for (Index i = 0; i < block_rows; ++i) {
+      if (mark[static_cast<std::size_t>(i)] != 0) rows.push_back(i);
+    }
+    return rows;
+  };
+  // Each block origin is sent exactly once by this rank (while resident,
+  // at t_send = origin - origin0) and received exactly once (just before
+  // becoming resident, at t_recv = t_send - 1 mod ring). Read-only hops
+  // carry what the REST of the trip still reads; accumulator hops carry
+  // what has been written SO FAR (the hop during step t follows step t's
+  // compute, hence the [0, t] prefix).
+  for (int origin = 0; origin < ring; ++origin) {
+    const int t_send = (origin - origin0 + ring) % ring;
+    const int t_recv = (origin - origin0 - 1 + 2 * ring) % ring;
+    if (mutates) {
+      comp.send_rows[static_cast<std::size_t>(t_send)] =
+          union_steps(origin, 0, t_send + 1);
+      comp.recv_rows[static_cast<std::size_t>(t_recv)] =
+          union_steps(origin, 0, t_recv + 1);
+    } else {
+      comp.send_rows[static_cast<std::size_t>(t_send)] =
+          union_steps(origin, t_send + 1, ring);
+      comp.recv_rows[static_cast<std::size_t>(t_recv)] =
+          union_steps(origin, t_recv + 1, ring);
+    }
+  }
+  return comp;
 }
 
 } // namespace dsk

@@ -52,6 +52,35 @@ enum class ShiftSchedule {
   Pipelined,
 };
 
+/// Column-support compression of one circulating dense payload
+/// (PropagationMode::SparseCols / Auto): per hop, only the block rows
+/// the rest of the ring trip still needs travel, as
+/// [count, cols..., values...] messages (shards.hpp's col_support is
+/// where the lists come from — the rows of a circulating B-side block a
+/// piece's kernels touch are exactly its sparse columns).
+///
+/// The schedules are per-rank slices of a shared per-(block, hop) plan:
+/// `send_rows[t]` lists, sorted, the payload rows this rank ships on
+/// the hop it SENDS during step t, and `recv_rows[t]` the rows on the
+/// hop it RECEIVES during step t (its ring successor's send_rows[t] —
+/// both sides derive the same lists from the replicated setup, so the
+/// per-hop Auto decision always agrees). For read-only payloads each
+/// hop carries the union of every REMAINING consumer's support — the
+/// homeward hop carries nothing — and for accumulators the union of
+/// every support written SO FAR, so the home block lands with all its
+/// partial sums. Rows outside the shipped set are exactly zero on
+/// arrival, which is what the consumers' kernels (which never read
+/// them) and the final home placement (whose untouched rows are zero in
+/// the true output) expect; outputs are therefore bit-identical to
+/// Dense in every mode. Build with make_ring_compression.
+struct ShiftCompression {
+  PropagationMode mode = PropagationMode::Dense;
+  Index block_rows = 0;
+  Index width = 0;
+  std::vector<std::vector<Index>> send_rows;
+  std::vector<std::vector<Index>> recv_rows;
+};
+
 /// One circulating payload stream. The loop replaces `block` with the
 /// incoming block after each step.
 struct ShiftChannel {
@@ -62,6 +91,10 @@ struct ShiftChannel {
   /// payloads); such blocks can only be forwarded after the kernel.
   bool mutates = false;
   MessageWords block;
+  /// Non-null with mode != Dense => the resident block stays a full
+  /// dense payload but hops are support-compressed on the wire. Must
+  /// outlive the loop (the drivers keep it next to the channel).
+  const ShiftCompression* compression = nullptr;
 };
 
 /// Replication stage interleaved ahead of shift step 0 under the
@@ -89,6 +122,30 @@ struct ShiftPrologue {
   std::function<void()> finish_step0;
 };
 
+/// Reduction stage interleaved INTO the last shift step under the
+/// Pipelined schedule — the mirror image of ShiftPrologue: instead of
+/// waiting for the final kernel to finish before the output
+/// reduce-scatter starts, the collective pulls partial rows just in
+/// time through its `prepare` callback and the loop routes those pulls
+/// into the row-sliced final-step kernel, so the earliest chunks are on
+/// the wire while the later rows are still being computed.
+struct ShiftEpilogue {
+  /// Runs the streaming reduce-scatter
+  /// (Group::reduce_scatter_rows_pipelined behind the driver's
+  /// Phase::Replication scope), forwarding the collective's prepare
+  /// callback. Null marks the whole epilogue absent (run_shift_loop
+  /// ignores it), so drivers can build one unconditionally and arm it
+  /// only under Pipelined.
+  std::function<void(const ChunkFn&)> reduce;
+  /// Row-sliced final-step kernel over partial rows [row0, row1).
+  /// Non-null -> compute(steps-1) is skipped: the prepare-driven chunk
+  /// calls must together perform exactly the last step's compute (each
+  /// output row's accumulation is independent, so spmm_a_rows-style
+  /// slicing is bit-identical). Null -> compute(steps-1) runs
+  /// monolithically before the reduce.
+  ChunkFn compute_chunk;
+};
+
 /// Run `steps` propagation rounds. compute(step) reads (and for mutating
 /// channels rewrites) the resident blocks; communication is charged to
 /// Phase::Propagation and compute to Phase::Computation, so the
@@ -98,13 +155,20 @@ struct ShiftPrologue {
 ///
 /// `prologue` (Pipelined schedule only, and only with steps >= 1)
 /// interleaves the preceding replication collective with step 0 as
-/// described above; word and flop totals are unchanged relative to
-/// running the collective before the loop, so the exact cost accounting
-/// stays schedule-independent.
+/// described above, and `epilogue` (same conditions) interleaves the
+/// trailing reduce-scatter with the last step; word and flop totals are
+/// unchanged relative to running the collectives outside the loop, so
+/// the exact cost accounting stays schedule-independent. When both land
+/// on the same step (steps == 1) the kernel can only be sliced from one
+/// end: the prologue drives the compute and the reduce runs right after
+/// it, un-streamed — unless the prologue has no compute_chunk of its
+/// own, in which case the replicate finishes first and the epilogue's
+/// sliced reduce takes over the step's compute.
 void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
                     const std::function<void(int)>& compute,
-                    const ShiftPrologue* prologue = nullptr);
+                    const ShiftPrologue* prologue = nullptr,
+                    const ShiftEpilogue* epilogue = nullptr);
 
 /// Channel over a ring given in member order: receive from the next
 /// member, send to the previous, so the resident block index advances by
@@ -112,5 +176,22 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
 /// home.
 ShiftChannel ring_channel(std::span<const int> members, int pos, int tag,
                           bool mutates, MessageWords block);
+
+/// Build the wire-support schedules of one compressed ring channel for
+/// the rank holding block origin `origin0` at step 0 (ring_channel's
+/// direction: origin advances by one per step, so the block resident at
+/// step t is (origin0 + t) mod ring, and a loop of `ring` steps brings
+/// every block home). touch(origin, step) returns the sorted rows of
+/// block `origin` that its consumer at `step` — the rank resident with
+/// it then — reads (read-only payloads) or writes (accumulators); it is
+/// evaluated on the shared setup tables, so every rank derives the same
+/// per-(block, hop) plan and sender/receiver schedules always agree.
+/// Dense mode returns an inactive compression (no schedules), which the
+/// loop treats as absent — attaching it is then free.
+ShiftCompression make_ring_compression(
+    PropagationMode mode, Index block_rows, Index width, int ring,
+    int origin0, bool mutates,
+    const std::function<std::span<const Index>(int origin, int step)>&
+        touch);
 
 } // namespace dsk

@@ -46,6 +46,84 @@ double expected_distinct(double draws, double bins) {
   return bins * (1.0 - std::pow(1.0 - 1.0 / bins, draws));
 }
 
+namespace {
+
+/// Expected words of one compressed hop whose remaining consumers draw
+/// `draws` uniform nonzeros over `block_rows` rows of a width-wide
+/// block: header + E[distinct]*(width+1), nothing when no consumer
+/// remains. With auto_hops the dense block wins whenever it is smaller
+/// (the shift loop's per-link crossover applied in expectation).
+double sparse_hop_words(double draws, double block_rows, double width,
+                        bool auto_hops) {
+  const double dense = block_rows * width;
+  if (draws <= 0) return 0.0; // nothing left to ship; sparse always wins
+  const double sparse =
+      1.0 + expected_distinct(draws, block_rows) * (width + 1.0);
+  return auto_hops ? std::min(dense, sparse) : sparse;
+}
+
+/// Sum of the per-hop expected words over one read-only ring trip of
+/// `ring` hops: the hop after step t serves the ring-1-t remaining
+/// consumers, each drawing `draws_per_consumer` nonzeros.
+double sparse_ring_words(double ring, double draws_per_consumer,
+                         double block_rows, double width, bool auto_hops) {
+  if (ring <= 1) return 0; // self-shifts are free
+  double total = 0;
+  for (double t = 0; t < ring; t += 1) {
+    total += sparse_hop_words((ring - 1 - t) * draws_per_consumer,
+                              block_rows, width, auto_hops);
+  }
+  return total;
+}
+
+} // namespace
+
+double expected_sparse_propagation_words(AlgorithmKind kind,
+                                         Elision elision,
+                                         const CostInputs& in,
+                                         bool auto_hops) {
+  switch (kind) {
+    case AlgorithmKind::DenseShift15D: {
+      // B blocks of n/p rows x r circulate an L-ring; the L consumers of
+      // one block each hold a piece of nnz/(p*L) expected nonzeros.
+      const double L = layer_count(in);
+      const double loops = elision == Elision::LocalKernelFusion ? 1 : 2;
+      return loops * sparse_ring_words(L, in.nnz / (in.p * L), in.n / in.p,
+                                       in.r, auto_hops);
+    }
+    case AlgorithmKind::DenseRepl25D: {
+      // The n/(qc)-row B blocks compress; the circulating COO triplets
+      // are already sparsity-sized and stay at their dense-model words.
+      const Grid25D grid(in.p, in.c);
+      const double q = grid.q();
+      const double triplets =
+          q > 1 ? 2.0 * q * 3.0 * in.nnz / in.p : 0.0;
+      return triplets + 2.0 * sparse_ring_words(q, in.nnz / in.p,
+                                                in.n / (q * in.c),
+                                                in.r / q, auto_hops);
+    }
+    case AlgorithmKind::SparseRepl25D: {
+      // Both dense slices compress against the stationary cells: A by
+      // row support over m/q rows, B by column support over n/q rows,
+      // each consumer cell drawing nnz/q^2 nonzeros, width r/(qc).
+      const Grid25D grid(in.p, in.c);
+      const double q = grid.q();
+      const double width = in.r / (q * in.c);
+      const double draws = in.nnz / (q * q);
+      return 2.0 * (sparse_ring_words(q, draws, in.m / q, width,
+                                      auto_hops) +
+                    sparse_ring_words(q, draws, in.n / q, width,
+                                      auto_hops));
+    }
+    case AlgorithmKind::SparseShift15D:
+    case AlgorithmKind::Baseline1D:
+      // Propagation is already sparsity-sized (COO triplets / distinct
+      // remote-row fetches); the column-support mode changes nothing.
+      return fusedmm_cost(kind, elision, in).propagation_words;
+  }
+  fail("expected_sparse_propagation_words: unknown algorithm kind");
+}
+
 double expected_sparse_replication_words(AlgorithmKind kind,
                                          Elision elision,
                                          const CostInputs& in) {
@@ -82,14 +160,24 @@ double expected_sparse_replication_words(AlgorithmKind kind,
 }
 
 CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
-                      const CostInputs& in, ReplicationMode mode) {
-  if (mode != ReplicationMode::Dense) {
+                      const CostInputs& in, ReplicationMode mode,
+                      PropagationMode propagation) {
+  if (mode != ReplicationMode::Dense ||
+      propagation != PropagationMode::Dense) {
     CommCost cost = fusedmm_cost(kind, elision, in);
-    const double sparse =
-        expected_sparse_replication_words(kind, elision, in);
-    cost.replication_words = mode == ReplicationMode::SparseRows
-                                 ? sparse
-                                 : std::min(cost.replication_words, sparse);
+    if (mode != ReplicationMode::Dense) {
+      const double sparse =
+          expected_sparse_replication_words(kind, elision, in);
+      cost.replication_words =
+          mode == ReplicationMode::SparseRows
+              ? sparse
+              : std::min(cost.replication_words, sparse);
+    }
+    if (propagation != PropagationMode::Dense) {
+      cost.propagation_words = expected_sparse_propagation_words(
+          kind, elision, in,
+          /*auto_hops=*/propagation == PropagationMode::Auto);
+    }
     return cost;
   }
   check(in.p >= 1 && in.c >= 1, "fusedmm_cost: bad processor counts");
@@ -204,8 +292,9 @@ CommCost kernel_cost(AlgorithmKind kind, const CostInputs& in) {
 
 ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
                                const CostInputs& in, const MachineModel& m,
-                               ReplicationMode mode) {
-  const CommCost cost = fusedmm_cost(kind, elision, in, mode);
+                               ReplicationMode mode,
+                               PropagationMode propagation) {
+  const CommCost cost = fusedmm_cost(kind, elision, in, mode, propagation);
   // FusedMM arithmetic per rank: 2·nnz·r/p for the masked dots, nnz/p
   // for the Hadamard, 2·nnz·r/p for the SpMM — (4r + 1)·nnz/p.
   const double flops = (4.0 * in.r + 1.0) * in.nnz / in.p;

@@ -47,9 +47,19 @@ struct CommCost {
 /// smaller of the two, mirroring Group::allgatherv_rows' decision.
 /// Families whose replication traffic is already sparsity-sized (2.5D
 /// sparse replicating) or absent (1D baseline) are mode-independent.
+///
+/// `propagation` selects the shift-loop cost the same way: Dense keeps
+/// the exact Table III propagation terms; SparseCols replaces the dense
+/// circulating-block words with the EXPECTED column-support traffic of
+/// the compressed hops (expected_sparse_propagation_words below); Auto
+/// takes the per-hop minimum, mirroring the shift loop's per-link
+/// crossover. Channels that are already sparsity-sized (the circulating
+/// COO triplets) and the 1D baseline's support-sized fetches are
+/// propagation-mode-independent.
 CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
                       const CostInputs& in,
-                      ReplicationMode mode = ReplicationMode::Dense);
+                      ReplicationMode mode = ReplicationMode::Dense,
+                      PropagationMode propagation = PropagationMode::Dense);
 
 /// Expected number of distinct bins hit by `draws` uniform draws over
 /// `bins` bins: bins * (1 - (1 - 1/bins)^draws) — the expected row
@@ -61,6 +71,27 @@ double expected_distinct(double draws, double bins);
 double expected_sparse_replication_words(AlgorithmKind kind,
                                          Elision elision,
                                          const CostInputs& in);
+
+/// The expected per-rank propagation words fusedmm_cost uses for
+/// SparseCols mode (`auto_hops` false) and the Auto per-hop crossover
+/// (`auto_hops` true: each hop contributes min(dense, sparse), the rule
+/// the shift loop applies per link on actual supports). Modeled for the
+/// unfused read-only FusedMM pair under a uniform sparsity pattern: the
+/// hop after step t of an L-step ring carries the expected distinct
+/// column support of the L-1-t REMAINING consumers — 1 header +
+/// E[support]*(width+1) words, nothing at all on the homeward hop. The
+/// accumulator direction (SpMM-B passes) mirrors this with prefix
+/// unions, differing only in the endpoint hop; the closed form uses the
+/// read-only direction throughout, like the paper's pair accounting.
+/// Families whose shifted payloads are already sparsity-sized (1.5D
+/// sparse shifting, 1D baseline) return the dense propagation words
+/// unchanged; the 2.5D families keep their triplet terms dense and
+/// compress only the dense circulating blocks (both slices for the
+/// sparse-replicating family).
+double expected_sparse_propagation_words(AlgorithmKind kind,
+                                         Elision elision,
+                                         const CostInputs& in,
+                                         bool auto_hops = false);
 
 /// Words/messages for one unified kernel call (SDDMM or either SpMM —
 /// identical by the paper's Section IV-A equivalence).
@@ -89,6 +120,8 @@ struct ScheduleBounds {
 };
 ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
                                const CostInputs& in, const MachineModel& m,
-                               ReplicationMode mode = ReplicationMode::Dense);
+                               ReplicationMode mode = ReplicationMode::Dense,
+                               PropagationMode propagation =
+                                   PropagationMode::Dense);
 
 } // namespace dsk

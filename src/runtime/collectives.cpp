@@ -28,6 +28,55 @@ void add_scalars(std::span<Scalar> acc, const MessageWords& words) {
 
 } // namespace
 
+MessageWords pack_cols_block(const MessageWords& dense, Index block_rows,
+                             Index width, std::span<const Index> cols) {
+  check(dense.size() == static_cast<std::size_t>(block_rows) *
+                            static_cast<std::size_t>(width),
+        "pack_cols_block: payload has ", dense.size(), " words, expected ",
+        block_rows, " x ", width);
+  MessageWords out;
+  out.reserve(static_cast<std::size_t>(sparse_cols_words(cols.size(),
+                                                         width)));
+  out.push_back(static_cast<std::uint64_t>(cols.size()));
+  for (const Index c : cols) {
+    check(0 <= c && c < block_rows, "pack_cols_block: support row ", c,
+          " outside [0, ", block_rows, ")");
+    out.push_back(static_cast<std::uint64_t>(c));
+  }
+  for (const Index c : cols) {
+    const auto* row = dense.data() + static_cast<std::size_t>(c) *
+                                         static_cast<std::size_t>(width);
+    out.insert(out.end(), row, row + width);
+  }
+  return out;
+}
+
+MessageWords unpack_cols_block(const MessageWords& words, Index block_rows,
+                               Index width, std::span<const Index> cols) {
+  MessageWords dense(static_cast<std::size_t>(block_rows) *
+                         static_cast<std::size_t>(width),
+                     0);
+  // A zero word is the bit pattern of Scalar{0}, so unsupported rows are
+  // exactly the zeros a dense accumulator (or a never-read input row)
+  // would hold.
+  WordReader reader(words);
+  const auto count = reader.take_count();
+  check(count == cols.size(), "unpack_cols_block: message carries ", count,
+        " rows, support expects ", cols.size());
+  const auto rows = reader.take<Index>(count);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    check(rows[k] == cols[k],
+          "unpack_cols_block: row mismatch against the support table");
+    const auto values = reader.take<std::uint64_t>(
+        static_cast<std::size_t>(width));
+    std::copy(values.begin(), values.end(),
+              dense.begin() + static_cast<std::size_t>(rows[k]) *
+                                  static_cast<std::size_t>(width));
+  }
+  check(reader.exhausted(), "unpack_cols_block: oversized message");
+  return dense;
+}
+
 Group::Group(Comm& comm, std::vector<int> members)
     : comm_(comm), members_(std::move(members)) {
   check(!members_.empty(), "Group: empty member list");
@@ -243,64 +292,202 @@ DenseMatrix Group::allgatherv_rows(const DenseMatrix& local,
 DenseMatrix Group::reduce_scatter_rows(
     const DenseMatrix& partial, std::span<const std::vector<Index>> wants,
     ReplicationMode mode) {
+  // One chunk per block reproduces the unchunked plan message for
+  // message, so the wire format lives in exactly one place — the
+  // pipelined implementation below. The dense ring accumulates in
+  // place, hence the working copy (reduce_scatter copied too).
+  DenseMatrix work = partial;
+  const Index block = size() > 0 ? partial.rows() / size() : partial.rows();
+  return reduce_scatter_rows_pipelined(work, wants, mode,
+                                       std::max<Index>(block, 1), nullptr);
+}
+
+DenseMatrix Group::reduce_scatter_rows_pipelined(
+    DenseMatrix& partial, std::span<const std::vector<Index>> wants,
+    ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare) {
   const int g = size();
   check(partial.rows() % g == 0, "reduce_scatter_rows: ", partial.rows(),
         " rows do not split into ", g, " chunks");
-  const Index chunk_rows = partial.rows() / g;
+  check(chunk_rows >= 1, "reduce_scatter_rows_pipelined: chunk_rows must "
+        "be >= 1, got ", chunk_rows);
+  const Index block_rows = partial.rows() / g;
   const Index width = partial.cols();
   validate_support_table(wants, g, partial.rows(), mode);
-  mode = resolve_mode(mode, wants, chunk_rows, width, g);
+  mode = resolve_mode(mode, wants, block_rows, width, g);
+  const auto fire = [&](Index row0, Index row1) {
+    if (prepare && row1 > row0) prepare(row0, row1);
+  };
   if (mode == ReplicationMode::Dense) {
-    auto chunk = reduce_scatter(partial.data());
-    return DenseMatrix(chunk_rows, width, std::move(chunk));
-  }
-  const Index chunk0 = static_cast<Index>(pos_) * chunk_rows;
-  const auto& mine = wants[static_cast<std::size_t>(pos_)];
-  for (int t = 0; t < g; ++t) {
-    if (t == pos_) continue;
-    const auto rows = support_in_range(
-        mine, static_cast<Index>(t) * chunk_rows, chunk_rows);
-    if (rows.empty()) continue;
-    WordPacker packer;
-    packer.put_count(rows.size());
-    packer.put(rows);
-    for (const Index row : rows) {
-      packer.put(std::span<const Scalar>(partial.row(row)));
+    // The ring of reduce_scatter, one chunk at a time and accumulating
+    // straight into the partial: at step s this member streams chunk
+    // (pos-1-s) — already folded at step s-1, or fresh local rows at
+    // s=0 — and folds the incoming chunk (pos-2-s) as partial += words,
+    // the exact element order of the unchunked add_scalars, so every
+    // row's sum is grouped identically. Sends are buffered, so the
+    // per-chunk interleave cannot deadlock.
+    for (int s = 0; s < g - 1; ++s) {
+      const int send_idx = (pos_ - 1 - s + 2 * g) % g;
+      const int recv_idx = (pos_ - 2 - s + 2 * g) % g;
+      for (Index c0 = 0; c0 < block_rows; c0 += chunk_rows) {
+        const Index c1 = std::min(block_rows, c0 + chunk_rows);
+        const Index send0 = static_cast<Index>(send_idx) * block_rows + c0;
+        if (s == 0) fire(send0, send0 + (c1 - c0));
+        const auto span_words = static_cast<std::size_t>((c1 - c0) * width);
+        MessageWords outgoing(span_words);
+        std::memcpy(outgoing.data(), partial.row(send0).data(),
+                    span_words * sizeof(Scalar));
+        comm_.send_words(right(), kTagReduceScatter, std::move(outgoing));
+        const MessageWords incoming =
+            comm_.recv_words(left(), kTagReduceScatter);
+        check(incoming.size() == span_words,
+              "reduce_scatter_rows_pipelined: chunk of ", incoming.size(),
+              " words, expected ", span_words);
+        const Index recv0 = static_cast<Index>(recv_idx) * block_rows + c0;
+        fire(recv0, recv0 + (c1 - c0));
+        Scalar* dst = partial.row(recv0).data();
+        for (std::size_t i = 0; i < span_words; ++i) {
+          Scalar v;
+          std::memcpy(&v, &incoming[i], sizeof(Scalar));
+          dst[i] += v;
+        }
+      }
     }
-    comm_.send_words(member(t), kTagSparseReduce, packer.take());
+    if (g == 1) fire(0, block_rows);
+    return partial.row_block(static_cast<Index>(pos_) * block_rows,
+                             static_cast<Index>(pos_ + 1) * block_rows);
   }
+  const Index chunk0 = static_cast<Index>(pos_) * block_rows;
+  const auto& mine = wants[static_cast<std::size_t>(pos_)];
+  const auto chunk = static_cast<std::size_t>(chunk_rows);
+  // Sends walk the peers in the dense ring's send order (pos-1, pos-2,
+  // ..., pos+1) so the prepare ranges stream in the order the words
+  // enter the wire; chunk boundaries are derived from the shared support
+  // table and the count header rides only on each pair's first chunk, so
+  // the words equal the unchunked plan exactly. Peers whose chunk holds
+  // none of this member's support still get their rows prepared (the
+  // tiling contract), just no message.
+  for (int s = 1; s < g; ++s) {
+    const int t = (pos_ - s + g) % g;
+    const Index t0 = static_cast<Index>(t) * block_rows;
+    const auto rows = support_in_range(mine, t0, block_rows);
+    if (rows.empty()) {
+      fire(t0, t0 + block_rows);
+      continue;
+    }
+    Index done = t0;
+    for (std::size_t k0 = 0; k0 < rows.size(); k0 += chunk) {
+      const std::size_t k1 = std::min(rows.size(), k0 + chunk);
+      const Index end =
+          k1 == rows.size() ? t0 + block_rows : rows[k1 - 1] + 1;
+      fire(done, end);
+      done = end;
+      WordPacker packer;
+      if (k0 == 0) packer.put_count(rows.size());
+      packer.put(rows.subspan(k0, k1 - k0));
+      for (std::size_t k = k0; k < k1; ++k) {
+        packer.put(std::span<const Scalar>(partial.row(rows[k])));
+      }
+      comm_.send_words(member(t), kTagSparseReduce, packer.take());
+    }
+  }
+  // Own rows are prepared before the blocking receives so the wait
+  // overlaps the tail of the caller's interleaved compute.
+  fire(chunk0, chunk0 + block_rows);
   // Fold contributions in the ring reduce-scatter's order — members
   // pos+1, pos+2, ..., pos+g-1, then this member's own block last — so
   // every row's sum is grouped exactly as in the dense path.
-  DenseMatrix acc(chunk_rows, width);
+  DenseMatrix acc(block_rows, width);
   for (int s = 1; s < g; ++s) {
     const int q = (pos_ + s) % g;
     const auto expected = support_in_range(
-        wants[static_cast<std::size_t>(q)], chunk0, chunk_rows);
+        wants[static_cast<std::size_t>(q)], chunk0, block_rows);
     if (expected.empty()) continue;
-    const MessageWords words =
-        comm_.recv_words(member(q), kTagSparseReduce);
-    WordReader reader(words);
-    const auto count = reader.take_count();
-    check(count == expected.size(), "reduce_scatter_rows: peer sent ",
-          count, " rows, support expects ", expected.size());
-    const auto rows = reader.take<Index>(count);
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      check(rows[k] == expected[k],
-            "reduce_scatter_rows: row mismatch against the support table");
-      const auto values =
-          reader.take<Scalar>(static_cast<std::size_t>(width));
-      auto dst = acc.row(rows[k] - chunk0);
-      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += values[j];
+    for (std::size_t k0 = 0; k0 < expected.size(); k0 += chunk) {
+      const std::size_t k1 = std::min(expected.size(), k0 + chunk);
+      const MessageWords words =
+          comm_.recv_words(member(q), kTagSparseReduce);
+      WordReader reader(words);
+      if (k0 == 0) {
+        const auto count = reader.take_count();
+        check(count == expected.size(), "reduce_scatter_rows: peer sent ",
+              count, " rows, support expects ", expected.size());
+      }
+      const auto rows = reader.take<Index>(k1 - k0);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        check(rows[k] == expected[k0 + k],
+              "reduce_scatter_rows: row mismatch against the support "
+              "table");
+        const auto values =
+            reader.take<Scalar>(static_cast<std::size_t>(width));
+        auto dst = acc.row(rows[k] - chunk0);
+        for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += values[j];
+      }
+      check(reader.exhausted(),
+            "reduce_scatter_rows: oversized row message");
     }
-    check(reader.exhausted(), "reduce_scatter_rows: oversized row message");
   }
-  for (Index i = 0; i < chunk_rows; ++i) {
+  for (Index i = 0; i < block_rows; ++i) {
     auto dst = acc.row(i);
     const auto own = partial.row(chunk0 + i);
     for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += own[j];
   }
   return acc;
+}
+
+DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
+                                 const DenseMatrix& block,
+                                 std::span<const Index> send_cols,
+                                 std::span<const Index> recv_cols,
+                                 PropagationMode mode, int tag) {
+  const Index block_rows = block.rows();
+  const Index width = block.cols();
+  check(0 <= to_pos && to_pos < size() && 0 <= from_pos &&
+            from_pos < size(),
+        "sendrecv_cols: positions (", to_pos, ", ", from_pos,
+        ") outside group of ", size());
+  const auto hop_sparse = [&](std::span<const Index> cols) {
+    return propagation_hop_is_sparse(mode, cols.size(), block_rows,
+                                     width);
+  };
+  MessageWords raw(static_cast<std::size_t>(block_rows) *
+                   static_cast<std::size_t>(width));
+  if (!raw.empty()) {
+    std::memcpy(raw.data(), block.data().data(),
+                raw.size() * sizeof(Scalar));
+  }
+  // Buffered send first (deadlock-free for any exchange pattern), then
+  // the blocking receive.
+  if (hop_sparse(send_cols)) {
+    if (!send_cols.empty()) {
+      comm_.send_words(member(to_pos), tag,
+                       pack_cols_block(raw, block_rows, width, send_cols));
+    }
+  } else {
+    comm_.send_words(member(to_pos), tag, std::move(raw));
+  }
+  MessageWords landed;
+  if (hop_sparse(recv_cols)) {
+    if (recv_cols.empty()) {
+      landed.assign(static_cast<std::size_t>(block_rows) *
+                        static_cast<std::size_t>(width),
+                    0);
+    } else {
+      landed = unpack_cols_block(comm_.recv_words(member(from_pos), tag),
+                                 block_rows, width, recv_cols);
+    }
+  } else {
+    landed = comm_.recv_words(member(from_pos), tag);
+    check(landed.size() == static_cast<std::size_t>(block_rows) *
+                               static_cast<std::size_t>(width),
+          "sendrecv_cols: dense block of ", landed.size(),
+          " words, expected ", block_rows, " x ", width);
+  }
+  std::vector<Scalar> values(landed.size());
+  if (!values.empty()) {
+    std::memcpy(values.data(), landed.data(),
+                landed.size() * sizeof(Scalar));
+  }
+  return DenseMatrix(block_rows, width, std::move(values));
 }
 
 void Group::allgatherv_pipelined(const DenseMatrix& local,

@@ -37,6 +37,60 @@ inline Index pipeline_chunk_rows(Index requested, Index block_rows) {
   return std::max<Index>(1, (block_rows + 3) / 4);
 }
 
+/// Words of one column-support compressed dense-block message carrying
+/// `count` supported rows of `width` values each: a count header plus
+/// per row the index word and the values — or nothing at all when the
+/// support is empty (the hop is skipped entirely). Shared by the wire
+/// packers, the per-hop Auto crossover, and the tests, so the format
+/// and its accounting cannot drift apart.
+inline std::uint64_t sparse_cols_words(std::size_t count, Index width) {
+  if (count == 0) return 0;
+  return 1 + static_cast<std::uint64_t>(count) *
+                 (1 + static_cast<std::uint64_t>(width));
+}
+
+/// True when the column-support message for `count` rows undercuts the
+/// dense block — the per-hop Auto crossover (PR 3's r/(r+1) rule applied
+/// per link): with one extra index word per row, sparse wins below a
+/// support density of about width/(width+1) of the block rows.
+inline bool sparse_cols_hop_wins(std::size_t count, Index block_rows,
+                                 Index width) {
+  return sparse_cols_words(count, width) <
+         static_cast<std::uint64_t>(block_rows) *
+             static_cast<std::uint64_t>(width);
+}
+
+/// The per-hop wire-format decision, resolved identically by every
+/// compressed-hop code path (the shift loop's split exchange and
+/// Group::sendrecv_cols): Dense never compresses, SparseCols always
+/// does, Auto when the sparse message wins. Sender and receiver
+/// evaluate it on the same support list, so the formats always agree —
+/// and keeping the rule in one place means they cannot drift apart.
+inline bool propagation_hop_is_sparse(PropagationMode mode,
+                                      std::size_t count, Index block_rows,
+                                      Index width) {
+  switch (mode) {
+    case PropagationMode::Dense: return false;
+    case PropagationMode::SparseCols: return true;
+    case PropagationMode::Auto:
+      return sparse_cols_hop_wins(count, block_rows, width);
+  }
+  return false;
+}
+
+/// Pack rows `cols` (sorted block-local indices — the consumers' column
+/// support) of a dense block_rows x width payload stored as raw words
+/// (pack_dense layout) into a [count, cols..., values...] message.
+MessageWords pack_cols_block(const MessageWords& dense, Index block_rows,
+                             Index width, std::span<const Index> cols);
+
+/// Inverse: expand a [count, cols..., values...] message back into the
+/// full dense payload, zeros outside the support. `cols` is the expected
+/// support (both ends derive it from the shared shard tables); count and
+/// indices are validated against it, and trailing words are rejected.
+MessageWords unpack_cols_block(const MessageWords& words, Index block_rows,
+                               Index width, std::span<const Index> cols);
+
 class Group {
  public:
   /// members are world ranks, identical on every participating rank, and
@@ -95,6 +149,41 @@ class Group {
   DenseMatrix reduce_scatter_rows(const DenseMatrix& partial,
                                   std::span<const std::vector<Index>> wants,
                                   ReplicationMode mode);
+
+  /// Streaming sibling of reduce_scatter_rows, mirroring
+  /// allgatherv_rows_pipelined on the way OUT of a loop: the collective
+  /// consumes the partial chunk by chunk (at most chunk_rows rows per
+  /// message; the sparse plan's count header rides only on each pair's
+  /// first chunk, so WORDS ARE EXACTLY UNCHANGED in every mode — only
+  /// message counts grow). `prepare`, when non-null, is invoked with
+  /// disjoint row ranges that tile [0, partial.rows()) exactly once,
+  /// each immediately BEFORE the collective first reads those partial
+  /// rows — the shift-loop epilogue routes the final step's row-sliced
+  /// kernel through it, so the earliest chunks enter the wire while the
+  /// later rows are still being computed. The dense ring accumulates in
+  /// place (partial is consumed) in the exact per-row order of
+  /// reduce_scatter, and the sparse plan folds in the same ring order as
+  /// reduce_scatter_rows, so the result is bit-identical to the
+  /// unchunked collective in every mode and for every chunk size.
+  DenseMatrix reduce_scatter_rows_pipelined(
+      DenseMatrix& partial, std::span<const std::vector<Index>> wants,
+      ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare);
+
+  /// One hop of a column-support compressed cyclic shift, as a paired
+  /// Group call (the shift loop performs the same exchange with its
+  /// sends and receives split around the local kernel): send `block`'s
+  /// rows `send_cols` to member to_pos and receive rows `recv_cols`
+  /// from member from_pos into a fresh block_rows x width block, zeros
+  /// outside the received support. Dense forwards the whole block;
+  /// SparseCols always compresses ([count, cols..., values...], and an
+  /// empty support sends nothing at all); Auto takes the smaller of the
+  /// two per direction — both ends evaluate sparse_cols_hop_wins on the
+  /// shared support lists, so the formats always agree.
+  DenseMatrix sendrecv_cols(int to_pos, int from_pos,
+                            const DenseMatrix& block,
+                            std::span<const Index> send_cols,
+                            std::span<const Index> recv_cols,
+                            PropagationMode mode, int tag = kTagShift);
 
   /// Chunked, ring-structured all-gather of dense row blocks
   /// (SparCML-style streaming): bit-identical result and word counts to

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -14,6 +16,11 @@ CooMatrix erdos_renyi_fixed_row(Index rows, Index cols, Index nnz_per_row,
   check(nnz_per_row >= 0 && nnz_per_row <= cols,
         "erdos_renyi_fixed_row: nnz_per_row ", nnz_per_row,
         " exceeds column count ", cols);
+  check(rows >= 0, "erdos_renyi_fixed_row: negative row count ", rows);
+  check(nnz_per_row == 0 ||
+            rows <= std::numeric_limits<Index>::max() / nnz_per_row,
+        "erdos_renyi_fixed_row: ", rows, " x ", nnz_per_row,
+        " nonzeros overflow the Index range");
   CooMatrix out(rows, cols);
   out.reserve(rows * nnz_per_row);
 
@@ -21,13 +28,23 @@ CooMatrix erdos_renyi_fixed_row(Index rows, Index cols, Index nnz_per_row,
   // uses (32 nonzeros out of >= 65536 columns) rejection is cheap; fall
   // back to a partial Fisher-Yates when a row is dense.
   std::unordered_set<Index> seen;
+  std::vector<Index> row_cols;
   for (Index i = 0; i < rows; ++i) {
     seen.clear();
     if (nnz_per_row * 4 < cols) {
       while (static_cast<Index>(seen.size()) < nnz_per_row) {
         seen.insert(rng.next_index(0, cols));
       }
-      for (const Index j : seen) {
+      // The set's contents are deterministic (the rng drives the draw
+      // sequence) but its ITERATION order is not — it follows the
+      // standard library's hashing, so pairing values with columns in
+      // set order produced different matrices across platforms and
+      // poisoned committed bench baselines. Sort the columns first,
+      // then draw the values: one canonical (column, value) pairing
+      // everywhere.
+      row_cols.assign(seen.begin(), seen.end());
+      std::sort(row_cols.begin(), row_cols.end());
+      for (const Index j : row_cols) {
         out.push_back(i, j, rng.next_in(-1.0, 1.0));
       }
     } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -15,6 +16,16 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+/// Reject trailing tokens after the expected fields of a size or entry
+/// line: "1 2 3.0 junk" used to parse as a valid entry, silently
+/// accepting corrupt files.
+void reject_trailing(std::istringstream& line, const std::string& raw,
+                     const char* what) {
+  std::string junk;
+  check(!(line >> junk), "matrix market: trailing garbage '", junk,
+        "' on ", what, " line '", raw, "'");
 }
 
 } // namespace
@@ -46,8 +57,9 @@ CooMatrix read_matrix_market(std::istream& in) {
   std::istringstream dims(line);
   Index rows = 0, cols = 0, count = 0;
   dims >> rows >> cols >> count;
-  check(rows > 0 && cols > 0 && count >= 0,
+  check(!dims.fail() && rows > 0 && cols > 0 && count >= 0,
         "matrix market: bad size line '", line, "'");
+  reject_trailing(dims, line, "size");
 
   CooMatrix out(rows, cols);
   out.reserve(symmetry == "symmetric" ? 2 * count : count);
@@ -60,6 +72,7 @@ CooMatrix read_matrix_market(std::istream& in) {
     entry >> i >> j;
     if (field != "pattern") entry >> v;
     check(!entry.fail(), "matrix market: malformed entry '", line, "'");
+    reject_trailing(entry, line, "entry");
     // 1-based on disk; out-of-range indices would flow negative or
     // overflowing 0-based indices into CooMatrix (UB downstream).
     check(1 <= i && i <= rows, "matrix market: row index ", i,
@@ -88,7 +101,10 @@ void write_matrix_market(std::ostream& out, const CooMatrix& matrix) {
   const auto rows = matrix.row_idx();
   const auto cols = matrix.col_idx();
   const auto vals = matrix.values();
-  out.precision(17);
+  // max_digits10 (17 for double) guarantees a write/read round-trip
+  // reproduces every value bit for bit; the stream default of 6
+  // significant digits would silently perturb them.
+  out.precision(std::numeric_limits<Scalar>::max_digits10);
   for (std::size_t k = 0; k < vals.size(); ++k) {
     out << rows[k] + 1 << ' ' << cols[k] + 1 << ' ' << vals[k] << '\n';
   }

@@ -359,6 +359,174 @@ TEST_P(CollectiveSweep, PipelinedAllgatherMatchesUnchunked) {
   }
 }
 
+/// The streaming reduce-scatter must be a drop-in equivalent of the
+/// unchunked collective for every chunk size — including chunk = 1
+/// (per-row streaming) and chunk >= block rows (one message per pair) —
+/// across all support regimes and replication modes. Three properties
+/// per combination: bit-identical result chunk, identical per-rank word
+/// counts, and prepare callbacks whose ranges tile the partial exactly
+/// once, each fired before the collective first reads those rows.
+TEST_P(CollectiveSweep, PipelinedReduceScatterMatchesUnchunked) {
+  const int g = GetParam();
+  const Index total_rows = static_cast<Index>(g) * kBlockRows;
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto wants = make_wants(regime, g, total_rows);
+    const auto member_partial = [&](int member) {
+      DenseMatrix partial(total_rows, kWidth);
+      Rng rng(900 + static_cast<unsigned>(member));
+      for (const Index row : wants[static_cast<std::size_t>(member)]) {
+        for (Index j = 0; j < kWidth; ++j) {
+          partial(row, j) = rng.next_in(-1, 1);
+        }
+      }
+      return partial;
+    };
+    for (const ReplicationMode mode :
+         {ReplicationMode::Dense, ReplicationMode::SparseRows,
+          ReplicationMode::Auto}) {
+      std::vector<DenseMatrix> plain(static_cast<std::size_t>(g));
+      const auto plain_stats = run_spmd(g, [&](Comm& comm) {
+        PhaseScope scope(comm.stats(), Phase::Replication);
+        Group group(comm, all_ranks(g));
+        plain[static_cast<std::size_t>(comm.rank())] =
+            group.reduce_scatter_rows(member_partial(comm.rank()), wants,
+                                      mode);
+      });
+      for (const Index chunk_rows :
+           {Index{1}, Index{2}, kBlockRows, kBlockRows + 5}) {
+        std::vector<DenseMatrix> piped(static_cast<std::size_t>(g));
+        std::vector<std::vector<std::pair<Index, Index>>> prepared(
+            static_cast<std::size_t>(g));
+        const auto piped_stats = run_spmd(g, [&](Comm& comm) {
+          PhaseScope scope(comm.stats(), Phase::Replication);
+          Group group(comm, all_ranks(g));
+          DenseMatrix partial = member_partial(comm.rank());
+          auto& seen = prepared[static_cast<std::size_t>(comm.rank())];
+          piped[static_cast<std::size_t>(comm.rank())] =
+              group.reduce_scatter_rows_pipelined(
+                  partial, wants, mode, chunk_rows,
+                  [&](Index row0, Index row1) {
+                    seen.emplace_back(row0, row1);
+                  });
+        });
+        for (int rank = 0; rank < g; ++rank) {
+          const auto& want = plain[static_cast<std::size_t>(rank)];
+          const auto& have = piped[static_cast<std::size_t>(rank)];
+          ASSERT_EQ(have.rows(), want.rows());
+          for (Index i = 0; i < want.rows(); ++i) {
+            for (Index j = 0; j < want.cols(); ++j) {
+              // Bit-identical, not merely close: chunking must not
+              // reorder any row's accumulation.
+              EXPECT_EQ(have(i, j), want(i, j))
+                  << to_string(mode) << " chunk " << chunk_rows
+                  << " rank " << rank;
+            }
+          }
+          EXPECT_EQ(
+              plain_stats.rank(rank).phase(Phase::Replication).words_sent,
+              piped_stats.rank(rank).phase(Phase::Replication).words_sent)
+              << to_string(mode) << " chunk " << chunk_rows << " rank "
+              << rank;
+          // The prepare ranges tile [0, total_rows) exactly once.
+          auto seen = prepared[static_cast<std::size_t>(rank)];
+          std::sort(seen.begin(), seen.end());
+          Index covered = 0;
+          for (const auto& [row0, row1] : seen) {
+            EXPECT_EQ(row0, covered)
+                << to_string(mode) << " chunk " << chunk_rows << " rank "
+                << rank;
+            EXPECT_LT(row0, row1);
+            covered = row1;
+          }
+          EXPECT_EQ(covered, total_rows)
+              << to_string(mode) << " chunk " << chunk_rows << " rank "
+              << rank;
+        }
+      }
+    }
+  }
+}
+
+/// Column-support compressed shift hops (Group::sendrecv_cols): a full
+/// ring exchange where every member ships its block's supported rows to
+/// its left neighbour. Received rows must equal the sender's block on
+/// the support and zero elsewhere, and the word counts must pin to the
+/// [count, cols..., values...] plan — including the empty support, which
+/// sends nothing at all.
+TEST_P(CollectiveSweep, SendrecvColsDeliversSupportAndPinsWords) {
+  const int g = GetParam();
+  // Per-pair support lists: what member (t+1) % g ships to member t —
+  // i.e. hop_rows[t] is the support of the hop RECEIVED by member t.
+  for (const Support regime :
+       {Support::Empty, Support::SingleRow, Support::Full}) {
+    const auto hop_rows = make_wants(regime, g, kBlockRows);
+    for (const PropagationMode mode :
+         {PropagationMode::Dense, PropagationMode::SparseCols,
+          PropagationMode::Auto}) {
+      auto stats = run_spmd(g, [&](Comm& comm) {
+        PhaseScope scope(comm.stats(), Phase::Propagation);
+        Group group(comm, all_ranks(g));
+        const int pos = group.pos();
+        const int to = (pos - 1 + g) % g;
+        const int from = (pos + 1) % g;
+        const auto& send_rows =
+            hop_rows[static_cast<std::size_t>(to)];
+        const auto& recv_rows =
+            hop_rows[static_cast<std::size_t>(pos)];
+        const auto landed = group.sendrecv_cols(
+            to, from, member_block(pos), send_rows, recv_rows, mode);
+        const auto want = member_block(from);
+        ASSERT_EQ(landed.rows(), kBlockRows);
+        std::vector<char> on_support(static_cast<std::size_t>(kBlockRows),
+                                     0);
+        if (mode == PropagationMode::Dense ||
+            (mode == PropagationMode::Auto &&
+             !sparse_cols_hop_wins(recv_rows.size(), kBlockRows,
+                                   kWidth))) {
+          std::fill(on_support.begin(), on_support.end(), 1);
+        } else {
+          for (const Index row : recv_rows) {
+            on_support[static_cast<std::size_t>(row)] = 1;
+          }
+        }
+        for (Index i = 0; i < kBlockRows; ++i) {
+          for (Index j = 0; j < kWidth; ++j) {
+            const Scalar expect =
+                on_support[static_cast<std::size_t>(i)] != 0 ? want(i, j)
+                                                             : Scalar{0};
+            EXPECT_EQ(landed(i, j), expect)
+                << to_string(mode) << " row " << i;
+          }
+        }
+      });
+      const std::uint64_t dense_words =
+          static_cast<std::uint64_t>(kBlockRows) * kWidth;
+      for (int rank = 0; rank < g; ++rank) {
+        if (g == 1) break; // self-exchange still moves one message here
+        const auto& rows = hop_rows[static_cast<std::size_t>(
+            (rank - 1 + g) % g)]; // what this rank SENDS
+        std::uint64_t want_words = dense_words;
+        if (mode == PropagationMode::SparseCols ||
+            (mode == PropagationMode::Auto &&
+             sparse_cols_hop_wins(rows.size(), kBlockRows, kWidth))) {
+          want_words = sparse_cols_words(rows.size(), kWidth);
+        }
+        EXPECT_EQ(stats.rank(rank).phase(Phase::Propagation).words_sent,
+                  want_words)
+            << to_string(mode) << " rank " << rank;
+        // The enforced invariant behind Auto: never more than dense
+        // (explicit SparseCols, like SparseRows, may exceed it — a full
+        // support costs the extra index words).
+        if (mode != PropagationMode::SparseCols) {
+          EXPECT_LE(stats.rank(rank).phase(Phase::Propagation).words_sent,
+                    dense_words);
+        }
+      }
+    }
+  }
+}
+
 /// A rank that throws inside a chunk callback mid-pipeline (its peers
 /// still blocked receiving later chunks) must abort the world instead of
 /// deadlocking — the prologue path of the shift loop relies on this.

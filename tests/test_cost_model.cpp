@@ -262,6 +262,84 @@ TEST(CostModel, AutoFallsBackToDenseOnDenseSupports) {
   }
 }
 
+TEST(CostModel, SparsePropagationTermsBelowDenseOnSparseInputs) {
+  // Sparse instance: the circulating blocks' expected column supports
+  // are small fractions of the block rows, so the compressed hops beat
+  // the dense shift terms on every family with dense circulating
+  // payloads; replication is untouched by the knob.
+  const CostInputs in{1 << 16, 1 << 16, 64, 2.0 * (1 << 16), 16, 4};
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::DenseRepl25D,
+        AlgorithmKind::SparseRepl25D}) {
+    const auto dense = fusedmm_cost(kind, Elision::None, in);
+    const auto sparse =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Dense,
+                     PropagationMode::SparseCols);
+    const auto autod =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Dense,
+                     PropagationMode::Auto);
+    EXPECT_LT(sparse.propagation_words, dense.propagation_words)
+        << to_string(kind);
+    // Auto decides per hop, so it is bounded by BOTH whole-plan costs.
+    EXPECT_LE(autod.propagation_words, dense.propagation_words)
+        << to_string(kind);
+    EXPECT_LE(autod.propagation_words, sparse.propagation_words)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(sparse.replication_words, dense.replication_words)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(
+        sparse.propagation_words,
+        expected_sparse_propagation_words(kind, Elision::None, in))
+        << to_string(kind);
+  }
+  // Families whose shifted payloads are already sparsity-sized are
+  // propagation-mode-independent.
+  for (const auto kind :
+       {AlgorithmKind::SparseShift15D, AlgorithmKind::Baseline1D}) {
+    const CostInputs one_c{1 << 16, 1 << 16, 64, 2.0 * (1 << 16), 16,
+                           kind == AlgorithmKind::Baseline1D ? 1 : 4};
+    EXPECT_DOUBLE_EQ(
+        fusedmm_cost(kind, Elision::None, one_c, ReplicationMode::Dense,
+                     PropagationMode::SparseCols)
+            .propagation_words,
+        fusedmm_cost(kind, Elision::None, one_c).propagation_words)
+        << to_string(kind);
+  }
+  // Local kernel fusion runs one shift loop instead of two, in the
+  // sparse expectation exactly as in the dense closed form.
+  EXPECT_DOUBLE_EQ(
+      expected_sparse_propagation_words(AlgorithmKind::DenseShift15D,
+                                        Elision::LocalKernelFusion, in),
+      expected_sparse_propagation_words(AlgorithmKind::DenseShift15D,
+                                        Elision::None, in) /
+          2);
+}
+
+TEST(CostModel, AutoPropagationFallsBackToDenseHopByHop) {
+  // Nearly every block row expected in support: each non-terminal hop's
+  // sparse message pays an index word per row and loses to the dense
+  // block, so Auto (the per-hop minimum) must sit strictly below
+  // explicit SparseCols — and never above Dense. Note SparseCols can
+  // still undercut the dense TOTAL here: the homeward hop of a
+  // read-only ring carries nothing, a structural discount of one full
+  // block per trip that no index overhead can cancel.
+  const CostInputs in{1 << 12, 1 << 12, 64, 600.0 * (1 << 12), 16, 4};
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::DenseRepl25D}) {
+    const auto dense = fusedmm_cost(kind, Elision::None, in);
+    const auto sparse =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Dense,
+                     PropagationMode::SparseCols);
+    const auto autod =
+        fusedmm_cost(kind, Elision::None, in, ReplicationMode::Dense,
+                     PropagationMode::Auto);
+    EXPECT_LT(autod.propagation_words, sparse.propagation_words)
+        << to_string(kind);
+    EXPECT_LE(autod.propagation_words, dense.propagation_words)
+        << to_string(kind);
+  }
+}
+
 TEST(CostModel, ReplicationModeIsANoOpForSparseSizedFamilies) {
   // 2.5D sparse replication moves value vectors, the baseline moves
   // nothing in the replication phase: the mode cannot change either.

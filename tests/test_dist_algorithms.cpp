@@ -355,12 +355,20 @@ TEST(PipelinedSchedule, KernelsMatchReference) {
       {AlgorithmKind::DenseRepl25D, 16, 4},
       {AlgorithmKind::SparseRepl25D, 8, 2},
   };
+  // Propagation compression rides along with each replication mode, so
+  // the sweep also pins the column-support wire paths (and the streamed
+  // reduce-scatter epilogue that SpMMA takes under Pipelined) against
+  // the serial references.
+  const std::pair<ReplicationMode, PropagationMode> mode_pairs[] = {
+      {ReplicationMode::Dense, PropagationMode::SparseCols},
+      {ReplicationMode::Auto, PropagationMode::Auto},
+  };
   for (const auto& cfg : configs) {
-    for (const ReplicationMode mode :
-         {ReplicationMode::Dense, ReplicationMode::Auto}) {
+    for (const auto& [mode, propagation] : mode_pairs) {
       AlgorithmOptions options;
       options.schedule = ShiftSchedule::Pipelined;
       options.replication = mode;
+      options.propagation = propagation;
       options.chunk_rows = 5; // misaligned with every block height
       auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
       EXPECT_LE(rel_diff(algo->run_kernel(Mode::SpMMA, problem.s,

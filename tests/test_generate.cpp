@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hpp"
 #include "sparse/generate.hpp"
 
@@ -33,6 +35,43 @@ TEST(ErdosRenyi, DenseRowsFallBackToFisherYates) {
 TEST(ErdosRenyi, RejectsImpossibleDegree) {
   Rng rng(3);
   EXPECT_THROW(erdos_renyi_fixed_row(4, 4, 5, rng), Error);
+}
+
+TEST(ErdosRenyi, RejectsNnzCountOverflow) {
+  // rows * nnz_per_row would overflow Index; the guard must fire before
+  // the reserve call requests an absurd allocation.
+  Rng rng(4);
+  const Index huge = Index{1} << 33;
+  EXPECT_THROW(erdos_renyi_fixed_row(huge, huge, huge / 2, rng), Error);
+}
+
+TEST(ErdosRenyi, GoldenChecksumIsPlatformIndependent) {
+  // The generator used to pair values with columns in unordered_set
+  // iteration order, which follows the standard library's hashing — the
+  // same seed produced different matrices on different platforms,
+  // poisoning committed bench baselines. The (column, value) pairing is
+  // now canonical (columns sorted before values are drawn), so this
+  // FNV-1a checksum over (row, col, value-bits) must match everywhere.
+  // If it changes, the generator's output changed — regenerate the
+  // committed BENCH_*.json baselines in the same commit.
+  Rng rng(42);
+  const auto s = erdos_renyi_fixed_row(64, 256, 8, rng);
+  ASSERT_EQ(s.nnz(), 512);
+  std::uint64_t h = 1469598103934665603ULL; // FNV-1a offset basis
+  const auto mix = [&](std::uint64_t w) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  };
+  for (Index k = 0; k < s.nnz(); ++k) {
+    const auto e = s.entry(k);
+    mix(static_cast<std::uint64_t>(e.row));
+    mix(static_cast<std::uint64_t>(e.col));
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof e.value);
+    std::memcpy(&bits, &e.value, sizeof bits);
+    mix(bits);
+  }
+  EXPECT_EQ(h, 15264477148247865280ULL);
 }
 
 TEST(ErdosRenyi, SeedDeterminism) {

@@ -136,6 +136,131 @@ TEST(Overlap, PipelinedBitIdenticalAcrossDriversAndReplicationModes) {
   }
 }
 
+/// The acceptance cube for the column-support propagation collectives
+/// and the streamed reduce-scatter: on all five drivers, every
+/// {schedule} x {replication} x {propagation} combination must
+/// reproduce the BSP/Dense/Dense outputs bit for bit. Words move only
+/// where a sparse mode says so: Dense propagation keeps the exact
+/// Table III propagation words of the reference, and Auto propagation
+/// never exceeds them (the per-hop crossover makes that unconditional).
+TEST(Overlap, ScheduleReplicationPropagationCubeBitIdentical) {
+  const auto raw = make_rmat_problem(96, 48, 16, 2026);
+  struct Config {
+    AlgorithmKind kind;
+    int p;
+    int c;
+  };
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 2},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 8, 2},
+      {AlgorithmKind::SparseRepl25D, 8, 2},
+      {AlgorithmKind::Baseline1D, 4, 1},
+  };
+  for (const auto& cfg : configs) {
+    const auto padded =
+        pad_problem(cfg.kind, cfg.p, cfg.c, raw.s, raw.a, raw.b);
+    const auto orientation = cfg.kind == AlgorithmKind::Baseline1D
+                                 ? FusedOrientation::A
+                                 : FusedOrientation::B;
+    AlgorithmOptions reference_options;
+    reference_options.schedule = ShiftSchedule::BulkSynchronous;
+    auto reference =
+        make_algorithm(cfg.kind, cfg.p, cfg.c, reference_options);
+    const auto want = reference->run_fusedmm(
+        orientation, Elision::None, padded.s, padded.a, padded.b);
+    const auto want_spmm = reference->run_kernel(Mode::SpMMA, padded.s,
+                                                 padded.a, padded.b);
+    for (const ShiftSchedule schedule :
+         {ShiftSchedule::BulkSynchronous, ShiftSchedule::DoubleBuffered,
+          ShiftSchedule::Pipelined}) {
+      for (const ReplicationMode replication :
+           {ReplicationMode::Dense, ReplicationMode::SparseRows,
+            ReplicationMode::Auto}) {
+        for (const PropagationMode propagation :
+             {PropagationMode::Dense, PropagationMode::SparseCols,
+              PropagationMode::Auto}) {
+          AlgorithmOptions options;
+          options.schedule = schedule;
+          options.replication = replication;
+          options.propagation = propagation;
+          auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+          const auto label = to_string(cfg.kind) + " " +
+                             to_string(replication) + " " +
+                             to_string(propagation);
+          const auto fused = algo->run_fusedmm(
+              orientation, Elision::None, padded.s, padded.a, padded.b);
+          EXPECT_EQ(want.output.max_abs_diff(fused.output), 0.0) << label;
+          // SpMM-A exercises the streamed reduce-scatter epilogue and
+          // the compressed read-only channels together.
+          const auto spmm = algo->run_kernel(Mode::SpMMA, padded.s,
+                                             padded.a, padded.b);
+          EXPECT_EQ(want_spmm.dense.max_abs_diff(spmm.dense), 0.0)
+              << label;
+          const std::pair<const WorldStats*, const WorldStats*> pairs[] = {
+              {&want.stats, &fused.stats},
+              {&want_spmm.stats, &spmm.stats}};
+          for (const auto& [reference_stats, got_stats] : pairs) {
+            if (propagation == PropagationMode::Dense) {
+              EXPECT_EQ(reference_stats->max_words(Phase::Propagation),
+                        got_stats->max_words(Phase::Propagation))
+                  << label;
+            } else if (propagation == PropagationMode::Auto) {
+              EXPECT_LE(got_stats->max_words(Phase::Propagation),
+                        reference_stats->max_words(Phase::Propagation))
+                  << label;
+            }
+            if (replication == ReplicationMode::Dense) {
+              EXPECT_EQ(reference_stats->max_words(Phase::Replication),
+                        got_stats->max_words(Phase::Replication))
+                  << label;
+            } else if (replication == ReplicationMode::Auto) {
+              EXPECT_LE(got_stats->max_words(Phase::Replication),
+                        reference_stats->max_words(Phase::Replication))
+                  << label;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// SDDMM and SpMM-B under compressed propagation on the mode that
+/// stresses the mutating-accumulator direction (prefix unions) and the
+/// circulating-dot payloads, against the dense reference outputs.
+TEST(Overlap, SparsePropagationKernelsBitIdentical) {
+  const auto raw = make_rmat_problem(96, 48, 16, 2027);
+  for (const auto kind :
+       {AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+        AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D}) {
+    const auto padded = pad_problem(kind, 8, 2, raw.s, raw.a, raw.b);
+    auto dense = make_algorithm(kind, 8, 2);
+    for (const PropagationMode propagation :
+         {PropagationMode::SparseCols, PropagationMode::Auto}) {
+      AlgorithmOptions options;
+      options.propagation = propagation;
+      options.schedule = ShiftSchedule::Pipelined;
+      options.replication = ReplicationMode::Auto;
+      auto algo = make_algorithm(kind, 8, 2, options);
+      for (const Mode mode : {Mode::SpMMB, Mode::SDDMM}) {
+        const auto want =
+            dense->run_kernel(mode, padded.s, padded.a, padded.b);
+        const auto got =
+            algo->run_kernel(mode, padded.s, padded.a, padded.b);
+        EXPECT_EQ(want.dense.max_abs_diff(got.dense), 0.0)
+            << to_string(kind) << " " << to_string(mode) << " "
+            << to_string(propagation);
+        ASSERT_EQ(want.sddmm_values.size(), got.sddmm_values.size());
+        for (std::size_t k = 0; k < want.sddmm_values.size(); ++k) {
+          EXPECT_EQ(want.sddmm_values[k], got.sddmm_values[k])
+              << to_string(kind) << " entry " << k;
+        }
+      }
+    }
+  }
+}
+
 /// SDDMM under the pipelined prologue runs its step-0 dots chunk by
 /// chunk; the accumulated values must still be bit-identical to the
 /// bulk-synchronous schedule on every replicating family.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -174,6 +175,62 @@ TEST(MatrixMarket, RejectsOutOfRangeIndices) {
   ASSERT_EQ(coo.nnz(), 1);
   EXPECT_EQ(coo.entry(0).row, 2);
   EXPECT_EQ(coo.entry(0).col, 3);
+}
+
+TEST(MatrixMarket, RoundTripIsBitExact) {
+  // Values chosen to break any sub-max_digits10 formatting: non-terminating
+  // binary fractions, denormal-adjacent magnitudes, negative zero, and
+  // long decimal tails. The writer emits max_digits10 significant
+  // digits, so the reader must reproduce every bit.
+  CooMatrix coo(4, 4);
+  coo.push_back(0, 0, 1.0 / 3.0);
+  coo.push_back(0, 3, -0.0);
+  coo.push_back(1, 1, 0.1);
+  coo.push_back(2, 2, 3.141592653589793);
+  coo.push_back(2, 3, 1e-300);
+  coo.push_back(3, 0, -2.2250738585072014e-308);
+  coo.push_back(3, 3, 0.49999999999999994);
+  coo.sort_and_combine();
+  std::stringstream stream;
+  write_matrix_market(stream, coo);
+  const auto back = read_matrix_market(stream);
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (Index k = 0; k < coo.nnz(); ++k) {
+    const auto want = coo.entry(k).value;
+    const auto have = back.entry(k).value;
+    std::uint64_t want_bits = 0, have_bits = 0;
+    std::memcpy(&want_bits, &want, sizeof want);
+    std::memcpy(&have_bits, &have, sizeof have);
+    EXPECT_EQ(have_bits, want_bits) << "entry " << k << " value " << want;
+  }
+}
+
+TEST(MatrixMarket, RejectsTrailingGarbage) {
+  // Extra tokens on the size line...
+  std::stringstream bad_size(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1 junk\n"
+      "1 1 5.0\n");
+  EXPECT_THROW(read_matrix_market(bad_size), Error);
+  // ...and on entry lines ("1 2 3.0 junk" used to parse): real,
+  std::stringstream bad_entry(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n"
+      "1 2 3.0 junk\n");
+  EXPECT_THROW(read_matrix_market(bad_entry), Error);
+  // a fourth numeric field (a plausible corrupt-concatenation case),
+  std::stringstream extra_number(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n"
+      "1 2 3.0 4.0\n");
+  EXPECT_THROW(read_matrix_market(extra_number), Error);
+  // and a value on a pattern entry (pattern files carry none).
+  std::stringstream pattern_value(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n"
+      "1 2 7.0\n");
+  EXPECT_THROW(read_matrix_market(pattern_value), Error);
+  // Trailing whitespace alone stays valid.
+  std::stringstream spaces(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n"
+      "1 2 3.0   \n");
+  EXPECT_EQ(read_matrix_market(spaces).nnz(), 1);
 }
 
 TEST(MatrixMarket, RejectsBlankEntryLines) {

@@ -26,13 +26,18 @@ NONDETERMINISTIC_SUFFIXES = ("_seconds",)
 
 # Fields identifying a record (the rest are compared as values). A field
 # listed here but absent from a record is simply skipped, so the same
-# checker covers both bench formats.
+# checker covers every bench format: the fig4/fig8 records, the fig7
+# replication-mode records ("mode"), and the fig7 propagation records
+# ("replication" + "propagation", whose deterministic value field is
+# propagation_words).
 KEY_FIELDS = (
     "bench",
     "setup",
     "algorithm",
     "elision",
     "mode",
+    "replication",
+    "propagation",
     "p",
     "c",
     "n",

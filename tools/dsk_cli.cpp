@@ -23,6 +23,12 @@
 ///                 how the fiber collectives move A-side row blocks:
 ///                 sparse ships only supported rows (SpComm3D-style),
 ///                 auto picks the cheaper plan per fiber
+///     --propagation dense | sparse | auto    (default dense)
+///                 how the cyclic shifts move the dense B-side blocks:
+///                 sparse ships, per hop, only the rows in the rest of
+///                 the ring trip's column support
+///                 ([count, cols..., values...]), auto decides per hop
+///                 so max-per-rank words never exceed dense
 ///     --schedule  db | bsp | pipeline        (default db)
 ///                 propagation engine: double-buffered overlap,
 ///                 bulk-synchronous, or pipelined (db plus the
@@ -64,6 +70,7 @@ struct Options {
   std::string algo = "dense-shift";
   std::string elision = "none";
   std::string replication = "dense";
+  std::string propagation = "dense";
   std::string schedule = "db";
   std::string matrix_path;
   bool use_rmat = false;
@@ -98,6 +105,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--algo") opt.algo = next();
     else if (arg == "--elision") opt.elision = next();
     else if (arg == "--replication") opt.replication = next();
+    else if (arg == "--propagation") opt.propagation = next();
     else if (arg == "--schedule") opt.schedule = next();
     else if (arg == "--mtx" || arg == "--matrix") opt.matrix_path = next();
     else if (arg == "--rmat") opt.use_rmat = true;
@@ -142,6 +150,13 @@ ReplicationMode parse_replication(const std::string& name) {
   usage_and_exit(("unknown replication mode " + name).c_str());
 }
 
+PropagationMode parse_propagation(const std::string& name) {
+  if (name == "dense") return PropagationMode::Dense;
+  if (name == "sparse") return PropagationMode::SparseCols;
+  if (name == "auto") return PropagationMode::Auto;
+  usage_and_exit(("unknown propagation mode " + name).c_str());
+}
+
 ShiftSchedule parse_schedule(const std::string& name) {
   if (name == "db" || name == "double-buffered") {
     return ShiftSchedule::DoubleBuffered;
@@ -163,6 +178,7 @@ int main(int argc, char** argv) {
   const Elision elision = parse_elision(opt.elision);
   AlgorithmOptions algo_options;
   algo_options.replication = parse_replication(opt.replication);
+  algo_options.propagation = parse_propagation(opt.propagation);
   algo_options.schedule = parse_schedule(opt.schedule);
   if (opt.chunk_rows_set &&
       algo_options.schedule != ShiftSchedule::Pipelined) {
@@ -205,9 +221,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(padded.s.cols()),
                 phi_ratio(s, opt.r));
     std::printf("config: %s, %s, p = %d, c = %d, replication = %s, "
-                "schedule = %s\n",
+                "propagation = %s, schedule = %s\n",
                 opt.algo.c_str(), opt.op.c_str(), opt.p, opt.c,
                 to_string(algo_options.replication).c_str(),
+                to_string(algo_options.propagation).c_str(),
                 opt.schedule.c_str());
 
     auto algo = make_algorithm(kind, opt.p, opt.c, algo_options);

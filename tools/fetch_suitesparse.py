@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Download and cache the paper's Table V matrix set as .mtx files.
+
+The strong-scaling benchmarks (bench_fig8_strong_scaling, dsk_cli --mtx)
+read real SuiteSparse inputs from DSK_MATRIX_DIR when present and fall
+back to seeded R-MAT stand-ins otherwise. This tool fills that cache:
+
+  tools/fetch_suitesparse.py                 # fetch all into DSK_MATRIX_DIR
+  tools/fetch_suitesparse.py --dir ./matrices --only uk-2002
+  tools/fetch_suitesparse.py --list          # names + URLs, no network
+
+Behavior:
+  * The target directory is --dir, else $DSK_MATRIX_DIR, else ./matrices.
+  * A matrix whose <name>.mtx already exists is skipped (the cache).
+  * Network failures (offline machines, CI sandboxes) are reported and
+    SKIPPED cleanly: exit status stays 0 unless --require is given, so
+    build scripts can always invoke this tool unconditionally.
+  * Downloads are tar.gz archives from the SuiteSparse collection; the
+    contained .mtx is extracted to <dir>/<name>.mtx and the archive
+    removed. Partial downloads never land at the final path.
+
+Two Table V inputs (amazon-large, eukarya) are protein-network /
+web-crawl datasets that are not in the SuiteSparse collection; they are
+listed with their provenance and skipped with a pointer instead of a
+download. Everything here uses only the Python standard library.
+
+Exit status: 0 on success or clean skip, 1 when --require is given and
+any matrix is still missing, 2 on bad usage.
+"""
+
+import argparse
+import os
+import sys
+import tarfile
+import tempfile
+import urllib.error
+import urllib.request
+
+SUITESPARSE_URL = "https://suitesparse-collection-website.herokuapp.com/MM"
+
+# name -> (group, note). group None: not in SuiteSparse, note says where.
+MATRICES = {
+    "uk-2002": ("LAW", "18.5M x 18.5M web crawl, 298M nnz"),
+    "arabic-2005": ("LAW", "22.7M x 22.7M web crawl, 640M nnz"),
+    "twitter7": ("SNAP", "41.7M x 41.7M follower graph, 1.47B nnz"),
+    "amazon-large": (
+        None,
+        "PASSION project co-purchase network; not in SuiteSparse — "
+        "obtain from the paper authors' dataset portal",
+    ),
+    "eukarya": (
+        None,
+        "HipMCL protein-similarity network; not in SuiteSparse — "
+        "https://portal.nersc.gov/project/m1982/HipMCL/",
+    ),
+}
+
+
+def matrix_url(name):
+    group = MATRICES[name][0]
+    if group is None:
+        return None
+    return f"{SUITESPARSE_URL}/{group}/{name}.tar.gz"
+
+
+def fetch_one(name, target_dir, timeout):
+    """Returns 'cached', 'fetched', 'unavailable', or 'offline'."""
+    final = os.path.join(target_dir, f"{name}.mtx")
+    if os.path.exists(final):
+        return "cached"
+    url = matrix_url(name)
+    if url is None:
+        return "unavailable"
+    try:
+        with tempfile.TemporaryDirectory(dir=target_dir) as tmp:
+            archive = os.path.join(tmp, f"{name}.tar.gz")
+            with urllib.request.urlopen(url, timeout=timeout) as response, \
+                    open(archive, "wb") as out:
+                while True:
+                    piece = response.read(1 << 20)
+                    if not piece:
+                        break
+                    out.write(piece)
+            with tarfile.open(archive, "r:gz") as tar:
+                member = next(
+                    (m for m in tar.getmembers()
+                     if m.isfile() and m.name.endswith(f"{name}.mtx")),
+                    None)
+                if member is None:
+                    print(f"  {name}: archive holds no {name}.mtx")
+                    return "offline"
+                member.name = os.path.basename(member.name)
+                tar.extract(member, tmp)
+                # Atomic publish: the cache never holds a torn file.
+                os.replace(os.path.join(tmp, f"{name}.mtx"), final)
+        return "fetched"
+    except (urllib.error.URLError, TimeoutError, OSError) as error:
+        print(f"  {name}: network unavailable ({error}); skipping")
+        return "offline"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fetch the Table V SuiteSparse matrices into the "
+                    "DSK_MATRIX_DIR cache.")
+    parser.add_argument("--dir", default=None,
+                        help="target directory (default: $DSK_MATRIX_DIR "
+                             "or ./matrices)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", choices=sorted(MATRICES),
+                        help="fetch only this matrix (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the matrix set and exit (no network)")
+    parser.add_argument("--require", action="store_true",
+                        help="exit nonzero if any requested matrix is "
+                             "still missing (default: skip cleanly)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-download timeout in seconds")
+    args = parser.parse_args(argv[1:])
+
+    names = args.only or sorted(MATRICES)
+    if args.list:
+        for name in names:
+            url = matrix_url(name)
+            note = MATRICES[name][1]
+            print(f"{name}: {url or 'NOT IN SUITESPARSE'} ({note})")
+        return 0
+
+    target_dir = args.dir or os.environ.get("DSK_MATRIX_DIR") or "matrices"
+    os.makedirs(target_dir, exist_ok=True)
+    print(f"matrix cache: {target_dir}")
+
+    missing = []
+    for name in names:
+        outcome = fetch_one(name, target_dir, args.timeout)
+        if outcome == "cached":
+            print(f"  {name}: cached")
+        elif outcome == "fetched":
+            print(f"  {name}: fetched")
+        elif outcome == "unavailable":
+            print(f"  {name}: {MATRICES[name][1]}")
+            missing.append(name)
+        else:
+            missing.append(name)
+
+    if missing:
+        print(f"{len(missing)} matrice(s) not cached: "
+              f"{', '.join(missing)}")
+        print("The benches fall back to seeded R-MAT stand-ins for "
+              "anything missing.")
+        if args.require:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
