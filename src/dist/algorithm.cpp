@@ -322,7 +322,7 @@ class Baseline1D final : public DistAlgorithm {
         }
         place_block(out, block, rank * su.row_blk, 0);
       }
-    });
+    }, WorldOptions{options().faults, {}, 0});
   }
 };
 

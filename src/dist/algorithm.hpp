@@ -58,12 +58,18 @@ namespace dsk {
 /// fetches; the 2.5D sparse-replicating family compresses BOTH of its
 /// circulating dense slices (rows by row support, columns by column
 /// support).
+struct FaultPlan;
+
 struct AlgorithmOptions {
   ShiftSchedule schedule = ShiftSchedule::DoubleBuffered;
   ReplicationMode replication = ReplicationMode::Dense;
   PropagationMode propagation = PropagationMode::Dense;
   /// Pipelined schedule only: rows per replication chunk (0 = auto).
   Index chunk_rows = 0;
+  /// Borrowed fault plan (must outlive the run); null = fault-free. The
+  /// 2.5D drivers recover injected rank crashes from their replicas;
+  /// 1.5D/1D have no redundancy and surface crashes as WorldError.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Result of one unified kernel call. `dense` holds the global SpMM

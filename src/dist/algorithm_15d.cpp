@@ -420,7 +420,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("1.5D-DenseShift: unknown mode");
-  });
+  }, WorldOptions{options().faults, {}, 0});
   return result;
 }
 
@@ -517,7 +517,7 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
                     b_row0(su, v, u), 0);
       }
     }
-  });
+  }, WorldOptions{options().faults, {}, 0});
   return result;
 }
 
@@ -798,7 +798,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("1.5D-SparseShift: unknown mode");
-  });
+  }, WorldOptions{options().faults, {}, 0});
   return result;
 }
 
@@ -866,7 +866,7 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
                     static_cast<Index>(u) * su.rL);
       }
     }
-  });
+  }, WorldOptions{options().faults, {}, 0});
   return result;
 }
 

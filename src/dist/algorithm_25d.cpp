@@ -16,6 +16,8 @@
 /// the same width range. SDDMM dot products accumulate in a stationary
 /// per-cell buffer and are summed across the fiber with one all-reduce.
 
+#include <optional>
+
 #include "common/error.hpp"
 #include "dist/families.hpp"
 #include "dist/grid.hpp"
@@ -23,6 +25,7 @@
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
 #include "runtime/collectives.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/world.hpp"
 
 namespace dsk::detail {
@@ -218,6 +221,43 @@ class DenseRepl25D final : public DistAlgorithm {
   /// (u, v, w): Cannon skew (u + v + t) mod q.
   int k_at(int u, int v, int t) const { return (u + v + t) % grid_.q(); }
 
+  /// Fault-mode world options. With crashes in the plan, `store` models
+  /// each rank's rank-local sparse memory — its home piece's values —
+  /// as replicated along its row ring (the ring traffic materializes a
+  /// copy of every circulating piece on every ring peer), and on_crash
+  /// scrubs the crashed rank and rebuilds the shard from a digest-valid
+  /// survivor; q == 1 rings have no redundancy and the reconstruct
+  /// throws WorldError instead. The kernels then read home-piece values
+  /// through the store (see live_values) so the scrub/rebuild cycle
+  /// touches the data the computation actually uses.
+  WorldOptions fault_options(const Setup& su,
+                             std::optional<ReplicaStore>& store) const {
+    WorldOptions wo;
+    wo.faults = options().faults;
+    if (wo.faults == nullptr || !wo.faults->enabled() ||
+        wo.faults->crashes.empty()) {
+      return wo;
+    }
+    store.emplace(p());
+    for (int rank = 0; rank < p(); ++rank) {
+      const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+                w = grid_.w_of(rank);
+      std::vector<int> peers;
+      for (const int m : grid_.row_members(u, w)) {
+        if (m != rank) peers.push_back(m);
+      }
+      store->set_shard(rank, piece(su, u, k_at(u, v, 0), w).coo.values,
+                       std::move(peers));
+    }
+    store->finalize();
+    ReplicaStore* sp = &*store;
+    wo.on_crash = [sp](const CrashInfo& crash) {
+      sp->scrub(crash.rank);
+      sp->reconstruct(crash.rank);
+    };
+    return wo;
+  }
+
   /// Global row of B column block k (for layer w).
   Index b_row0(const Setup& su, int k, int w) const {
     return (static_cast<Index>(k) * c() + w) * su.nqc;
@@ -310,6 +350,8 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
                                Scalar{0});
   }
   const int q = grid_.q();
+  std::optional<ReplicaStore> store;
+  const WorldOptions wo = fault_options(su, store);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -317,6 +359,24 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
     const int k0 = k_at(u, v, 0);
     const auto row_ring = grid_.row_members(u, w);
     const auto col_ring = grid_.col_members(v, w);
+    // Crash mode: the rank's home-piece values live in the replica
+    // store (scrubbed and rebuilt across recoveries); everything the
+    // kernels read of them routes through here. Fault-free this is the
+    // setup table itself — zero overhead, bit-identical.
+    const std::vector<Scalar>* live =
+        store ? &store->values(rank) : nullptr;
+    const auto home_triplets = [&] {
+      Triplets t = piece(su, u, k0, w).coo;
+      if (live != nullptr) t.values = *live;
+      return t;
+    };
+    const CsrMatrix live_home_csr =
+        live != nullptr ? csr_with_values(piece(su, u, k0, w).csr, *live)
+                        : CsrMatrix();
+    const auto kernel_csr = [&](int k) -> const CsrMatrix& {
+      return live != nullptr && k == k0 ? live_home_csr
+                                        : piece(su, u, k, w).csr;
+    };
     switch (mode) {
       case Mode::SpMMA: {
         // S pieces (with values) and B blocks circulate; the A-shaped
@@ -326,7 +386,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         // piece's spmm_a rows just in time.
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
-                         pack_triplets(piece(su, u, k0, w).coo));
+                         pack_triplets(home_triplets()));
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/false,
             pack_dense(b.row_block(b_row0(su, k0, w),
@@ -349,20 +409,23 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
               last_ready = true;
             }
             comm.stats().add_flops(spmm_a_rows(
-                piece(su, u, k_last, w).csr, b_last, partial, row0,
-                row1));
+                kernel_csr(k_last), b_last, partial, row0, row1));
           };
           epi.reduce = [&](const ChunkFn& prepare) {
             reduce_partial_pipelined(comm, su, u, v, w, partial,
                                      result.dense, prepare);
           };
         }
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(partial); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          partial = unpack_dense(words, su.mq, su.rq);
+        };
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
           const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
-          comm.stats().add_flops(
-              spmm_a(piece(su, u, k, w).csr, bk, partial));
-        }, nullptr, &epi);
+          comm.stats().add_flops(spmm_a(kernel_csr(k), bk, partial));
+        }, nullptr, &epi, &hooks);
         if (!pipelined()) {
           reduce_partial(comm, su, u, v, w, partial, result.dense);
         }
@@ -373,8 +436,10 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, u, k0, w);
+        const auto& home_values =
+            live != nullptr ? *live : home.coo.values;
         std::vector<Scalar> vals(home.coo.size());
-        hadamard_values(home.coo.values, dots.values, vals);
+        hadamard_values(home_values, dots.values, vals);
         comm.stats().add_flops(home.nnz());
         scatter_values(vals, home.entries, result.sddmm_values);
         return;
@@ -388,7 +453,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
             replication_prologue(comm, su, u, v, w, a, a_work);
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
-                         pack_triplets(piece(su, u, k0, w).coo));
+                         pack_triplets(home_triplets()));
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nqc, su.rq)));
@@ -399,8 +464,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
           auto acc = unpack_dense(channels[1].block, su.nqc, su.rq);
-          comm.stats().add_flops(
-              spmm_b(piece(su, u, k, w).csr, a_work, acc));
+          comm.stats().add_flops(spmm_b(kernel_csr(k), a_work, acc));
           channels[1].block = pack_dense(acc);
         }, &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
@@ -411,7 +475,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("2.5D-DenseRepl: unknown mode");
-  });
+  }, wo);
   return result;
 }
 
@@ -426,6 +490,8 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  std::optional<ReplicaStore> store;
+  const WorldOptions wo = fault_options(su, store);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -433,6 +499,8 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
     const int k0 = k_at(u, v, 0);
     const auto row_ring = grid_.row_members(u, w);
     const auto col_ring = grid_.col_members(v, w);
+    const std::vector<Scalar>* live =
+        store ? &store->values(rank) : nullptr;
     const auto b_block = [&] {
       return pack_dense(b0_block(su, k0, v, w, b));
     };
@@ -445,8 +513,10 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
       {
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, u, k0, w);
+        const auto& home_values =
+            live != nullptr ? *live : home.coo.values;
         r_values.resize(home.coo.size());
-        hadamard_values(home.coo.values, dots.values, r_values);
+        hadamard_values(home_values, dots.values, r_values);
         comm.stats().add_flops(home.nnz());
       }
       // Unelided sequence: the SpMM pass replicates A again (result
@@ -496,6 +566,11 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
                                      result.output, prepare);
           };
         }
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(partial); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          partial = unpack_dense(words, su.mq, su.rq);
+        };
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
           const auto payload = unpack_triplets(channels[0].block);
@@ -504,7 +579,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
               spmm_a(csr_with_values(piece(su, u, k, w).csr,
                                      payload.values),
                      bk, partial));
-        }, &pro, &epi);
+        }, &pro, &epi, &hooks);
         if (!pipelined()) {
           reduce_partial(comm, su, u, v, w, partial, result.output);
         }
@@ -532,7 +607,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
                     b_row0(su, k0, w), static_cast<Index>(v) * su.rq);
       }
     }
-  });
+  }, wo);
   return result;
 }
 
@@ -655,7 +730,8 @@ class SparseRepl25D final : public DistAlgorithm {
   /// stationary cells' supports (A by rows, B by columns) — see
   /// a_compression / b_compression below.
   std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
-                                    int v, int w) const {
+                                    int v, int w,
+                                    const std::vector<Scalar>* live) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
     const auto& split = su.value_split[static_cast<std::size_t>(
@@ -665,10 +741,53 @@ class SparseRepl25D final : public DistAlgorithm {
         split[static_cast<std::size_t>(w)]);
     const auto end = static_cast<std::size_t>(
         split[static_cast<std::size_t>(w) + 1]);
-    const auto words = fiber.allgather_words(
-        pack_values(std::span<const Scalar>(values.data() + begin,
-                                            end - begin)));
+    // Crash mode routes the rank's canonical slice through the replica
+    // store — exactly the memory a crash scrubs and a recovery rebuilds.
+    const auto slice =
+        live != nullptr
+            ? std::span<const Scalar>(*live)
+            : std::span<const Scalar>(values.data() + begin, end - begin);
+    const auto words = fiber.allgather_words(pack_values(slice));
     return unpack_values(words);
+  }
+
+  /// Fault-mode world options, mirroring DenseRepl25D::fault_options:
+  /// here a rank's rank-local sparse memory is its canonical
+  /// value_split[w] slice of cell (u, v), replicated across the c fiber
+  /// ranks by every gather_values call — so the fiber members are the
+  /// peers a crashed slice is rebuilt from, and c == 1 fibers have no
+  /// redundancy (reconstruct throws WorldError).
+  WorldOptions fault_options(const Setup& su,
+                             std::optional<ReplicaStore>& store) const {
+    WorldOptions wo;
+    wo.faults = options().faults;
+    if (wo.faults == nullptr || !wo.faults->enabled() ||
+        wo.faults->crashes.empty()) {
+      return wo;
+    }
+    store.emplace(p());
+    for (int rank = 0; rank < p(); ++rank) {
+      const int u = grid_.u_of(rank), v = grid_.v_of(rank),
+                w = grid_.w_of(rank);
+      const auto& split = su.value_split[static_cast<std::size_t>(
+          u * grid_.q() + v)];
+      const auto& values = cell(su, u, v).coo.values;
+      std::vector<Scalar> shard(
+          values.begin() + split[static_cast<std::size_t>(w)],
+          values.begin() + split[static_cast<std::size_t>(w) + 1]);
+      std::vector<int> peers;
+      for (const int m : grid_.fiber_members(u, v)) {
+        if (m != rank) peers.push_back(m);
+      }
+      store->set_shard(rank, std::move(shard), std::move(peers));
+    }
+    store->finalize();
+    ReplicaStore* sp = &*store;
+    wo.on_crash = [sp](const CrashInfo& crash) {
+      sp->scrub(crash.rank);
+      sp->reconstruct(crash.rank);
+    };
+    return wo;
   }
 
   Grid25D grid_;
@@ -688,6 +807,8 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
                                Scalar{0});
   }
   const int q = grid_.q();
+  std::optional<ReplicaStore> store;
+  const WorldOptions wo = fault_options(su, store);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -696,6 +817,8 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
     const auto col_ring = grid_.col_members(v, w);
     const Index s0 = slice_at(u, v, w, 0);
     const auto& sc = cell(su, u, v);
+    const std::vector<Scalar>* live =
+        store ? &store->values(rank) : nullptr;
     const auto a_piece = [&] {
       return pack_dense(dense_block(a, static_cast<Index>(u) * su.mq,
                                     su.mq, s0 * su.rqc, su.rqc));
@@ -706,7 +829,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
     };
     // The cell's values are canonically split across the fiber; every
     // kernel starts by assembling the full value vector.
-    const auto values_full = gather_values(comm, su, u, v, w);
+    const auto values_full = gather_values(comm, su, u, v, w, live);
     switch (mode) {
       case Mode::SDDMM: {
         std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
@@ -721,6 +844,13 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] {
+          return pack_values(std::span<const Scalar>(dots));
+        };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          dots = unpack_values(words);
+        };
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
@@ -728,7 +858,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
               unpack_dense(channels[1].block, su.nq, su.rqc);
           comm.stats().add_flops(
               masked_dot_products(sc.csr, ak, bk, dots));
-        });
+        }, nullptr, nullptr, &hooks);
         std::vector<Scalar> dots_full;
         {
           PhaseScope scope(comm.stats(), Phase::Replication);
@@ -804,7 +934,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("2.5D-SparseRepl: unknown mode");
-  });
+  }, wo);
   return result;
 }
 
@@ -818,6 +948,8 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  std::optional<ReplicaStore> store;
+  const WorldOptions wo = fault_options(su, store);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -826,6 +958,8 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
     const auto col_ring = grid_.col_members(v, w);
     const Index s0 = slice_at(u, v, w, 0);
     const auto& sc = cell(su, u, v);
+    const std::vector<Scalar>* live =
+        store ? &store->values(rank) : nullptr;
     const auto a_piece = [&] {
       return pack_dense(dense_block(a, static_cast<Index>(u) * su.mq,
                                     su.mq, s0 * su.rqc, su.rqc));
@@ -836,7 +970,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
     };
     for (int rep = 0; rep < repetitions; ++rep) {
       // SDDMM pass: both dense slices circulate, the dot buffer stays.
-      const auto values_full = gather_values(comm, su, u, v, w);
+      const auto values_full = gather_values(comm, su, u, v, w, live);
       std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
       {
         ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
@@ -850,6 +984,13 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] {
+          return pack_values(std::span<const Scalar>(dots));
+        };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          dots = unpack_values(words);
+        };
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
@@ -857,7 +998,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
               unpack_dense(channels[1].block, su.nq, su.rqc);
           comm.stats().add_flops(
               masked_dot_products(sc.csr, ak, bk, dots));
-        });
+        }, nullptr, nullptr, &hooks);
       }
       std::vector<Scalar> dots_full;
       {
@@ -924,7 +1065,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
                     static_cast<Index>(v) * su.nq, s0 * su.rqc);
       }
     }
-  });
+  }, wo);
   return result;
 }
 

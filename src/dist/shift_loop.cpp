@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/stats.hpp"
 
 namespace dsk {
@@ -88,7 +89,8 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
                     const std::function<void(int)>& compute,
                     const ShiftPrologue* prologue,
-                    const ShiftEpilogue* epilogue) {
+                    const ShiftEpilogue* epilogue,
+                    const ShiftJournalHooks* state) {
   for (const auto& ch : channels) {
     check(is_self(comm, ch) || (ch.send_to != comm.rank() &&
                                 ch.recv_from != comm.rank()),
@@ -118,11 +120,39 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
   check(epilogue == nullptr || steps >= 1,
         "run_shift_loop: a reduction epilogue needs at least one step "
         "to stream out of");
+  // Fault-mode journaling: snapshot the resident blocks (plus any
+  // driver state) after each completed step, and on a recovered attempt
+  // restore the last globally-completed step and skip its prefix. Loops
+  // with an armed prologue/epilogue interleave collectives with the
+  // steps and re-execute in full instead.
+  StepJournal* journal = comm.journal();
+  const bool resumable = prologue == nullptr && epilogue == nullptr;
+  int loop_id = -1;
+  int start_step = 0;
+  if (journal != nullptr) {
+    loop_id = journal->begin_loop(comm.rank(), steps, resumable);
+    const int resume = journal->resume_step(comm.rank(), loop_id);
+    if (resume >= 0) {
+      const auto& snap = journal->snapshot(comm.rank(), loop_id, resume);
+      check(snap.blocks.size() == channels.size(),
+            "run_shift_loop: journal snapshot has ", snap.blocks.size(),
+            " blocks for ", channels.size(), " channels");
+      for (std::size_t i = 0; i < channels.size(); ++i) {
+        channels[i].block = snap.blocks[i];
+      }
+      if (state != nullptr && state->unpack_state) {
+        state->unpack_state(snap.state);
+      }
+      start_step = resume + 1;
+      journal->count_resumed(start_step);
+    }
+  }
   // DoubleBuffered and Pipelined share the early-forward structure; the
   // Pipelined extras live entirely in the first and last steps'
   // prologue/epilogue handling.
   const bool overlap = schedule != ShiftSchedule::BulkSynchronous;
-  for (int step = 0; step < steps; ++step) {
+  for (int step = start_step; step < steps; ++step) {
+    comm.on_shift_step(step);
     if (overlap) {
       // Forward read-only blocks before computing: the copy in flight is
       // what the receiver's post-compute receive will find waiting. With
@@ -202,6 +232,15 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
     if (schedule == ShiftSchedule::BulkSynchronous) {
       PhaseScope scope(comm.stats(), Phase::Propagation);
       comm.barrier();
+    }
+    if (journal != nullptr && resumable) {
+      StepJournal::Snapshot snap;
+      snap.blocks.reserve(channels.size());
+      for (const auto& ch : channels) snap.blocks.push_back(ch.block);
+      if (state != nullptr && state->pack_state) {
+        snap.state = state->pack_state();
+      }
+      journal->record_step(comm.rank(), loop_id, step, std::move(snap));
     }
   }
 }

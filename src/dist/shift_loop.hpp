@@ -146,6 +146,23 @@ struct ShiftEpilogue {
   ChunkFn compute_chunk;
 };
 
+/// Crash-recovery packing of the driver state that lives OUTSIDE the
+/// channels — stationary accumulators the kernels rewrite in place
+/// (dense-repl SpMM partials, sparse-repl SDDMM dots). With a fault-mode
+/// journal active (Comm::journal() non-null) run_shift_loop snapshots
+/// every channel block plus pack_state() after each completed step, and
+/// a recovered attempt restores the last globally-completed step's
+/// snapshot through unpack_state and resumes at the next step — the
+/// outputs stay bit-identical because the replayed suffix starts from
+/// exactly the state the completed prefix left behind. Drivers without
+/// extra state pass nothing; loops with an armed prologue/epilogue are
+/// non-resumable (collectives interleave with the steps) and simply
+/// re-execute in full.
+struct ShiftJournalHooks {
+  std::function<MessageWords()> pack_state;
+  std::function<void(const MessageWords&)> unpack_state;
+};
+
 /// Run `steps` propagation rounds. compute(step) reads (and for mutating
 /// channels rewrites) the resident blocks; communication is charged to
 /// Phase::Propagation and compute to Phase::Computation, so the
@@ -168,7 +185,8 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
                     std::span<ShiftChannel> channels,
                     const std::function<void(int)>& compute,
                     const ShiftPrologue* prologue = nullptr,
-                    const ShiftEpilogue* epilogue = nullptr);
+                    const ShiftEpilogue* epilogue = nullptr,
+                    const ShiftJournalHooks* state = nullptr);
 
 /// Channel over a ring given in member order: receive from the next
 /// member, send to the previous, so the resident block index advances by

@@ -13,12 +13,15 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/stats.hpp"
 
 namespace dsk {
 
 class SimWorld;
+class ReliableTransport;
+class StepJournal;
 
 /// Distinct tag spaces keep independent protocols from interleaving.
 /// Messages between a (source, tag) pair are FIFO, matching MPI's
@@ -90,10 +93,38 @@ class Comm {
   /// ignores synchronization cost next to bandwidth terms).
   void barrier();
 
+  // --- fault-mode plumbing, set by SimWorld::run (all null in the
+  // default fault-free mode, where send/recv take the legacy zero-
+  // overhead path and move exactly the same words as ever) ---
+  void set_fault_context(FaultInjector* injector,
+                         ReliableTransport* transport,
+                         StepJournal* journal) {
+    injector_ = injector;
+    transport_ = transport;
+    journal_ = journal;
+  }
+  StepJournal* journal() { return journal_; }
+
+  /// Crash trigger at a shift-step boundary (run_shift_loop calls this
+  /// when entering each step; no-op without an injector).
+  void on_shift_step(int step) {
+    if (injector_ != nullptr) {
+      injector_->on_shift_step(rank_, stats_->current_phase(), step);
+    }
+  }
+
+  /// Per-rank run_shift_loop call counter — the journal's loop ids. The
+  /// SPMD bodies are symmetric, so ids line up across ranks.
+  int next_loop_id() { return next_loop_id_++; }
+
  private:
   SimWorld* world_;
   int rank_;
   RankStats* stats_;
+  FaultInjector* injector_ = nullptr;
+  ReliableTransport* transport_ = nullptr;
+  StepJournal* journal_ = nullptr;
+  int next_loop_id_ = 0;
 };
 
 /// Pack/unpack helpers for messages carrying several arrays (e.g. a COO

@@ -1,0 +1,301 @@
+#include "runtime/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dsk {
+
+namespace {
+
+/// Phase names accepted in crash triggers and printed in replay strings.
+const char* phase_token(Phase phase) {
+  switch (phase) {
+    case Phase::Replication: return "repl";
+    case Phase::Propagation: return "prop";
+    case Phase::Computation: return "comp";
+    case Phase::Application: return "app";
+    case Phase::Other: return "other";
+  }
+  return "other";
+}
+
+bool parse_phase_token(const std::string& token, Phase& out) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (token == phase_token(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultKind parse_kind(const std::string& token) {
+  if (token == "drop") return FaultKind::Drop;
+  if (token == "dup") return FaultKind::Duplicate;
+  if (token == "corrupt") return FaultKind::Corrupt;
+  if (token == "delay") return FaultKind::Delay;
+  fail("fault spec: unknown message fault kind '", token,
+       "' (want drop|dup|corrupt|delay)");
+}
+
+const char* kind_token(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Duplicate: return "dup";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Delay: return "delay";
+  }
+  return "drop";
+}
+
+long parse_long(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  check(end != nullptr && *end == '\0' && !text.empty(),
+        "fault spec: bad ", what, " '", text, "'");
+  return value;
+}
+
+double parse_rate(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  check(end != nullptr && *end == '\0' && !text.empty() && value >= 0 &&
+            value <= 1,
+        "fault spec: ", what, " must be a rate in [0, 1], got '", text, "'");
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// crash=<rank>@step:<s> | crash=<rank>@{repl|prop|comp|app|other|any}:<n>
+CrashSpec parse_crash(const std::string& text) {
+  const std::size_t at = text.find('@');
+  check(at != std::string::npos, "fault spec: crash trigger '", text,
+        "' needs <rank>@<where>:<n>");
+  CrashSpec spec;
+  spec.rank = static_cast<int>(parse_long(text.substr(0, at), "crash rank"));
+  const std::string where = text.substr(at + 1);
+  const std::size_t colon = where.find(':');
+  check(colon != std::string::npos, "fault spec: crash trigger '", text,
+        "' needs <rank>@<where>:<n>");
+  const std::string kind = where.substr(0, colon);
+  const long n = parse_long(where.substr(colon + 1), "crash trigger index");
+  check(n >= 0, "fault spec: crash trigger index must be >= 0 in '", text,
+        "'");
+  if (kind == "step") {
+    spec.step = static_cast<int>(n);
+  } else if (kind == "any") {
+    spec.any_phase = true;
+    spec.op_index = static_cast<int>(n);
+  } else {
+    check(parse_phase_token(kind, spec.phase),
+          "fault spec: unknown crash trigger '", kind,
+          "' (want step|any|repl|prop|comp|app|other)");
+    spec.any_phase = false;
+    spec.op_index = static_cast<int>(n);
+  }
+  return spec;
+}
+
+/// msg=<kind>:<src>-><dst>:<tag>:<seq>
+MessageFaultSpec parse_message(const std::string& text) {
+  const auto parts = split(text, ':');
+  check(parts.size() == 4, "fault spec: message fault '", text,
+        "' needs <kind>:<src>-><dst>:<tag>:<seq>");
+  MessageFaultSpec spec;
+  spec.kind = parse_kind(parts[0]);
+  const std::size_t arrow = parts[1].find("->");
+  check(arrow != std::string::npos, "fault spec: message fault '", text,
+        "' needs <src>-><dst>");
+  spec.source =
+      static_cast<int>(parse_long(parts[1].substr(0, arrow), "source"));
+  spec.dest =
+      static_cast<int>(parse_long(parts[1].substr(arrow + 2), "dest"));
+  spec.tag = static_cast<int>(parse_long(parts[2], "tag"));
+  spec.seq =
+      static_cast<std::uint64_t>(parse_long(parts[3], "sequence number"));
+  return spec;
+}
+
+} // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& field : split(spec, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    check(eq != std::string::npos, "fault spec: field '", field,
+          "' is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_long(value, "seed"));
+    } else if (key == "drop") {
+      plan.drop_rate = parse_rate(value, "drop");
+    } else if (key == "dup") {
+      plan.dup_rate = parse_rate(value, "dup");
+    } else if (key == "corrupt") {
+      plan.corrupt_rate = parse_rate(value, "corrupt");
+    } else if (key == "delay") {
+      plan.delay_rate = parse_rate(value, "delay");
+    } else if (key == "timeout_ms") {
+      plan.timeout_ms = static_cast<int>(parse_long(value, "timeout_ms"));
+      check(plan.timeout_ms > 0, "fault spec: timeout_ms must be > 0");
+    } else if (key == "attempts") {
+      plan.max_attempts = static_cast<int>(parse_long(value, "attempts"));
+      check(plan.max_attempts > 0, "fault spec: attempts must be > 0");
+    } else if (key == "crash") {
+      plan.crashes.push_back(parse_crash(value));
+    } else if (key == "msg") {
+      plan.messages.push_back(parse_message(value));
+    } else {
+      fail("fault spec: unknown key '", key, "'");
+    }
+  }
+  return plan;
+}
+
+std::string to_replay_string(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed=" << plan.seed;
+  if (plan.drop_rate > 0) out << ",drop=" << plan.drop_rate;
+  if (plan.dup_rate > 0) out << ",dup=" << plan.dup_rate;
+  if (plan.corrupt_rate > 0) out << ",corrupt=" << plan.corrupt_rate;
+  if (plan.delay_rate > 0) out << ",delay=" << plan.delay_rate;
+  out << ",timeout_ms=" << plan.timeout_ms
+      << ",attempts=" << plan.max_attempts;
+  for (const auto& c : plan.crashes) {
+    out << ",crash=" << c.rank << "@";
+    if (c.step >= 0) {
+      out << "step:" << c.step;
+    } else if (c.any_phase) {
+      out << "any:" << c.op_index;
+    } else {
+      out << phase_token(c.phase) << ":" << c.op_index;
+    }
+  }
+  for (const auto& m : plan.messages) {
+    out << ",msg=" << kind_token(m.kind) << ":" << m.source << "->"
+        << m.dest << ":" << m.tag << ":" << m.seq;
+  }
+  return out.str();
+}
+
+std::string describe(const CrashInfo& crash) {
+  std::ostringstream out;
+  out << "rank " << crash.rank << " crashed ";
+  if (crash.step >= 0) {
+    out << "entering shift step " << crash.step;
+  } else {
+    out << "at comm operation " << crash.op_index;
+  }
+  out << " in phase " << phase_token(crash.phase);
+  return out.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_ranks)
+    : plan_(plan),
+      crash_fired_(plan.crashes.size(), 0),
+      phase_ops_(static_cast<std::size_t>(num_ranks) * kNumPhases, 0),
+      total_ops_(static_cast<std::size_t>(num_ranks), 0) {
+  for (const auto& c : plan_.crashes) {
+    check(0 <= c.rank && c.rank < num_ranks,
+          "fault plan: crash rank ", c.rank, " outside world of ",
+          num_ranks);
+  }
+}
+
+bool FaultInjector::hits(double rate, int source, int dest, int tag,
+                         std::uint64_t seq, std::uint64_t salt) const {
+  if (rate <= 0) return false;
+  const std::uint64_t key[5] = {
+      plan_.seed, salt,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+       << 32) |
+          static_cast<std::uint32_t>(dest),
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)), seq};
+  const std::uint64_t h = fnv1a_words(key, 5);
+  // Top 53 bits give a uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < rate;
+}
+
+FaultInjector::Decision FaultInjector::on_send(int source, int dest,
+                                               int tag,
+                                               std::uint64_t seq) const {
+  Decision d;
+  for (const auto& m : plan_.messages) {
+    if (m.source != source || m.dest != dest || m.tag != tag ||
+        m.seq != seq) {
+      continue;
+    }
+    switch (m.kind) {
+      case FaultKind::Drop: d.drop = true; break;
+      case FaultKind::Duplicate: d.duplicate = true; break;
+      case FaultKind::Corrupt: d.corrupt = true; break;
+      case FaultKind::Delay: d.delay = true; break;
+    }
+  }
+  d.drop = d.drop || hits(plan_.drop_rate, source, dest, tag, seq, 0xd0);
+  d.duplicate =
+      d.duplicate || hits(plan_.dup_rate, source, dest, tag, seq, 0xd1);
+  d.corrupt =
+      d.corrupt || hits(plan_.corrupt_rate, source, dest, tag, seq, 0xc0);
+  d.delay =
+      d.delay || hits(plan_.delay_rate, source, dest, tag, seq, 0xde);
+  return d;
+}
+
+void FaultInjector::on_comm_op(int rank, Phase phase) {
+  const auto r = static_cast<std::size_t>(rank);
+  const std::uint64_t in_phase =
+      phase_ops_[r * kNumPhases + static_cast<std::size_t>(phase)]++;
+  const std::uint64_t total = total_ops_[r]++;
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const auto& c = plan_.crashes[i];
+    // Rank check first: crash_fired_[i] is then only ever touched by
+    // the spec's own rank thread (attempts are sequenced by join), so
+    // the one-shot flag needs no synchronization.
+    if (c.rank != rank || crash_fired_[i] != 0 || c.step >= 0) continue;
+    const std::uint64_t at = static_cast<std::uint64_t>(c.op_index);
+    const bool fire = c.any_phase ? total == at
+                                  : (c.phase == phase && in_phase == at);
+    if (!fire) continue;
+    crash_fired_[i] = 1;
+    CrashInfo info;
+    info.rank = rank;
+    info.phase = phase;
+    info.op_index = c.op_index;
+    throw RankCrashError(describe(info) + " (injected)", info);
+  }
+}
+
+void FaultInjector::on_shift_step(int rank, Phase phase, int step) {
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const auto& c = plan_.crashes[i];
+    if (c.rank != rank || crash_fired_[i] != 0 || c.step != step) continue;
+    crash_fired_[i] = 1;
+    CrashInfo info;
+    info.rank = rank;
+    info.phase = phase;
+    info.step = step;
+    throw RankCrashError(describe(info) + " (injected)", info);
+  }
+}
+
+} // namespace dsk

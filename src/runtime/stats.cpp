@@ -17,6 +17,14 @@ PhaseCounters RankStats::total() const {
                 Phase::Application, Phase::Other});
 }
 
+RetryCounters WorldStats::total_retry() const {
+  RetryCounters out;
+  for (const auto& r : ranks_) {
+    out += r.retry();
+  }
+  return out;
+}
+
 std::uint64_t WorldStats::max_words(Phase phase) const {
   std::uint64_t best = 0;
   for (const auto& r : ranks_) {

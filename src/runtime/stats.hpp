@@ -38,6 +38,38 @@ struct PhaseCounters {
   }
 };
 
+/// Reliability-layer traffic, kept STRICTLY apart from the per-phase
+/// algorithm counters: under fault injection the logical payload words
+/// still land in PhaseCounters exactly once (identical to a fault-free
+/// run, which is itself a tested invariant), while every envelope
+/// header, retransmitted copy, duplicate, and corrupt arrival is
+/// charged here. All zero in default (faults-off) mode.
+struct RetryCounters {
+  std::uint64_t envelope_words = 0;     ///< seq + checksum header words
+  std::uint64_t timeouts = 0;           ///< receive_for expiries
+  std::uint64_t nacks = 0;              ///< retransmit requests issued
+  std::uint64_t retransmits = 0;        ///< retransmitted copies received
+  std::uint64_t retry_words = 0;        ///< words in retransmitted copies
+  std::uint64_t duplicates_dropped = 0; ///< stale-sequence arrivals
+  std::uint64_t corrupt_dropped = 0;    ///< checksum-mismatch arrivals
+  std::uint64_t reordered = 0;          ///< ahead-of-sequence arrivals
+
+  RetryCounters& operator+=(const RetryCounters& other) {
+    envelope_words += other.envelope_words;
+    timeouts += other.timeouts;
+    nacks += other.nacks;
+    retransmits += other.retransmits;
+    retry_words += other.retry_words;
+    duplicates_dropped += other.duplicates_dropped;
+    corrupt_dropped += other.corrupt_dropped;
+    reordered += other.reordered;
+    return *this;
+  }
+  std::uint64_t healed() const {
+    return retransmits + duplicates_dropped + reordered;
+  }
+};
+
 class PhaseScope;
 
 /// Accounting for a single simulated rank. Only that rank's thread
@@ -88,6 +120,11 @@ class RankStats {
   PhaseScope* active_scope() const { return active_; }
   void set_active_scope(PhaseScope* scope) { active_ = scope; }
 
+  /// Reliability-layer traffic (see RetryCounters) — written by this
+  /// rank's thread only, like the phase counters.
+  RetryCounters& retry() { return retry_; }
+  const RetryCounters& retry() const { return retry_; }
+
  private:
   static std::size_t index(Phase phase) {
     return static_cast<std::size_t>(phase);
@@ -96,6 +133,7 @@ class RankStats {
   PhaseScope* active_ = nullptr;
   std::array<PhaseCounters, kNumPhases> counters_{};
   std::array<double, kNumPhases> seconds_{};
+  RetryCounters retry_{};
 };
 
 /// RAII phase marker: sets the rank's phase for the enclosed scope,
@@ -205,8 +243,24 @@ class WorldStats {
   /// kernel phases — the per-rank critical path of one kernel run.
   double measured_kernel_seconds() const;
 
+  /// Sum of the reliability-layer traffic across ranks (all zero in
+  /// default mode; the retry traffic under injection, kept apart from
+  /// the per-phase algorithm words).
+  RetryCounters total_retry() const;
+
+  /// Rank crashes recovered (replica rebuild + re-run) during the run,
+  /// and shift steps the journal let the recovered attempts skip.
+  int recoveries() const { return recoveries_; }
+  std::uint64_t resumed_steps() const { return resumed_steps_; }
+  void set_recovery_info(int recoveries, std::uint64_t resumed_steps) {
+    recoveries_ = recoveries;
+    resumed_steps_ = resumed_steps;
+  }
+
  private:
   std::vector<RankStats> ranks_;
+  int recoveries_ = 0;
+  std::uint64_t resumed_steps_ = 0;
 };
 
 } // namespace dsk

@@ -1,0 +1,451 @@
+/// Fault-injection and recovery tests: pinned envelope faults with exact
+/// retry-counter assertions, cost-accounting invariance under message
+/// faults, rank-crash recovery sweeps over the replicated 2.5D families
+/// (bit-identical output after replica reconstruction + journal resume),
+/// structured errors for the unreplicated families, and a randomized
+/// soak across every driver that prints a deterministic replay string on
+/// failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/algorithm.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/world.hpp"
+#include "sparse/generate.hpp"
+
+namespace dsk {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pinned envelope faults: one targeted fault on a known (src, dst, tag,
+// seq), with exact assertions on the retry counters that healing leaves
+// behind. Sends happen strictly before the receive (barrier-sequenced)
+// so the counter totals are deterministic.
+// ---------------------------------------------------------------------
+
+WorldStats run_pinned(const FaultPlan& plan, int ranks,
+                      const std::function<void(Comm&)>& body) {
+  SimWorld world(ranks);
+  return world.run(body, WorldOptions{&plan, {}, 0});
+}
+
+TEST(FaultEnvelope, DroppedMessageHealsByTimeoutAndRetransmit) {
+  FaultPlan plan;
+  plan.timeout_ms = 5;
+  plan.messages.push_back({FaultKind::Drop, 1, 0, kTagUser, 0});
+  const WorldStats stats = run_pinned(plan, 2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{42.0});
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.recv<Scalar>(1, kTagUser).at(0), 42.0);
+    }
+  });
+  const RetryCounters& retry = stats.rank(0).retry();
+  EXPECT_EQ(retry.timeouts, 1u);
+  EXPECT_EQ(retry.nacks, 1u);
+  EXPECT_EQ(retry.retransmits, 1u);
+  EXPECT_EQ(retry.retry_words, 3u); // 1 payload word + seq + checksum
+  EXPECT_EQ(retry.corrupt_dropped, 0u);
+  EXPECT_EQ(retry.duplicates_dropped, 0u);
+  // The envelope header is charged on the sender.
+  EXPECT_EQ(stats.rank(1).retry().envelope_words, 2u);
+}
+
+TEST(FaultEnvelope, CorruptedMessageFailsChecksumAndRetransmits) {
+  FaultPlan plan;
+  plan.timeout_ms = 5000; // never reached: the corrupt copy arrives
+  plan.messages.push_back({FaultKind::Corrupt, 1, 0, kTagUser, 0});
+  const WorldStats stats = run_pinned(plan, 2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{7.0, 8.0});
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const auto got = comm.recv<Scalar>(1, kTagUser);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], 7.0);
+      EXPECT_EQ(got[1], 8.0);
+    }
+  });
+  const RetryCounters& retry = stats.rank(0).retry();
+  EXPECT_EQ(retry.corrupt_dropped, 1u);
+  EXPECT_EQ(retry.nacks, 1u);
+  EXPECT_EQ(retry.retransmits, 1u);
+  EXPECT_EQ(retry.timeouts, 0u);
+}
+
+TEST(FaultEnvelope, DuplicateIsDroppedBySequenceCheck) {
+  FaultPlan plan;
+  plan.timeout_ms = 5000;
+  plan.messages.push_back({FaultKind::Duplicate, 1, 0, kTagUser, 0});
+  const WorldStats stats = run_pinned(plan, 2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{1.0});
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{2.0});
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.recv<Scalar>(1, kTagUser).at(0), 1.0);
+      EXPECT_EQ(comm.recv<Scalar>(1, kTagUser).at(0), 2.0);
+    }
+  });
+  const RetryCounters& retry = stats.rank(0).retry();
+  EXPECT_EQ(retry.duplicates_dropped, 1u);
+  EXPECT_EQ(retry.retransmits, 0u);
+  EXPECT_EQ(retry.timeouts, 0u);
+  EXPECT_EQ(retry.nacks, 0u);
+}
+
+TEST(FaultEnvelope, DelayedMessageIsReorderedAndResequenced) {
+  FaultPlan plan;
+  plan.timeout_ms = 5000;
+  plan.messages.push_back({FaultKind::Delay, 1, 0, kTagUser, 0});
+  const WorldStats stats = run_pinned(plan, 2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Seq 0 is parked until seq 1 overtakes it on the wire; the
+      // receiver must still observe program order.
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{1.0});
+      comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{2.0});
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.recv<Scalar>(1, kTagUser).at(0), 1.0);
+      EXPECT_EQ(comm.recv<Scalar>(1, kTagUser).at(0), 2.0);
+    }
+  });
+  const RetryCounters& retry = stats.rank(0).retry();
+  EXPECT_EQ(retry.reordered, 1u);
+  EXPECT_EQ(retry.timeouts, 0u);
+  EXPECT_EQ(retry.nacks, 0u);
+  EXPECT_EQ(retry.retransmits, 0u);
+  EXPECT_EQ(retry.duplicates_dropped, 0u);
+}
+
+TEST(FaultEnvelope, ReplayStringRoundTrips) {
+  const std::string spec =
+      "seed=7,drop=0.05,corrupt=0.02,timeout_ms=50,crash=3@step:1,"
+      "msg=drop:1->0:0:0";
+  const FaultPlan plan = parse_fault_plan(spec);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.timeout_ms, 50);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].rank, 3);
+  EXPECT_EQ(plan.crashes[0].step, 1);
+  ASSERT_EQ(plan.messages.size(), 1u);
+  EXPECT_EQ(plan.messages[0].kind, FaultKind::Drop);
+  // The replay string parses back to an identical plan.
+  const FaultPlan round = parse_fault_plan(to_replay_string(plan));
+  EXPECT_EQ(to_replay_string(round), to_replay_string(plan));
+}
+
+// ---------------------------------------------------------------------
+// Distributed drivers under faults. One shared problem whose dimensions
+// divide every grid under test (p up to 8, qc up to 4).
+// ---------------------------------------------------------------------
+
+struct Problem {
+  CooMatrix s;
+  DenseMatrix a;
+  DenseMatrix b;
+};
+
+Problem make_problem(Index m, Index n, Index r, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem problem{erdos_renyi_fixed_row(m, n, /*nnz_per_row=*/4, rng),
+                  DenseMatrix(m, r), DenseMatrix(n, r)};
+  problem.a.fill_random(rng);
+  problem.b.fill_random(rng);
+  return problem;
+}
+
+KernelResult run_kernel_with(AlgorithmKind kind, int p, int c, Mode mode,
+                             const Problem& pr, const FaultPlan* plan) {
+  AlgorithmOptions options;
+  options.faults = plan;
+  const auto algo = make_algorithm(kind, p, c, options);
+  return algo->run_kernel(mode, pr.s, pr.a, pr.b);
+}
+
+bool all_zero(const RetryCounters& retry) {
+  return retry.envelope_words == 0 && retry.timeouts == 0 &&
+         retry.nacks == 0 && retry.retransmits == 0 &&
+         retry.retry_words == 0 && retry.duplicates_dropped == 0 &&
+         retry.corrupt_dropped == 0 && retry.reordered == 0;
+}
+
+TEST(FaultTolerance, MessageFaultsAreInvisibleToCostAccounting) {
+  // Retry traffic lives in its own counters: the per-phase word and
+  // message maxima the cost-model gates pin must be identical with and
+  // without injected message faults, and the healed output bit-exact.
+  const Problem pr = make_problem(32, 48, 8, 11);
+  const KernelResult clean = run_kernel_with(
+      AlgorithmKind::DenseRepl25D, 8, 2, Mode::SpMMA, pr, nullptr);
+  EXPECT_TRUE(all_zero(clean.stats.total_retry()));
+
+  const FaultPlan plan = parse_fault_plan(
+      "seed=3,drop=0.05,dup=0.02,corrupt=0.02,delay=0.02,timeout_ms=10");
+  const KernelResult faulty = run_kernel_with(
+      AlgorithmKind::DenseRepl25D, 8, 2, Mode::SpMMA, pr, &plan);
+
+  EXPECT_EQ(faulty.dense.max_abs_diff(clean.dense), 0.0);
+  for (const Phase phase :
+       {Phase::Replication, Phase::Propagation, Phase::Computation,
+        Phase::Other}) {
+    EXPECT_EQ(faulty.stats.max_words(phase), clean.stats.max_words(phase));
+    EXPECT_EQ(faulty.stats.max_messages(phase),
+              clean.stats.max_messages(phase));
+  }
+  // Every send paid the envelope header, and something was healed.
+  EXPECT_GT(faulty.stats.total_retry().envelope_words, 0u);
+}
+
+TEST(FaultTolerance, DenseReplCrashSweepRecoversBitIdentically) {
+  // Crash every rank at every shift step of the 2.5D dense-replicating
+  // SpMMA: the surviving replicas reconstruct the lost shard, the step
+  // journal resumes the loop, and the output stays bit-identical.
+  const Problem pr = make_problem(32, 48, 8, 13);
+  const KernelResult clean = run_kernel_with(
+      AlgorithmKind::DenseRepl25D, 8, 2, Mode::SpMMA, pr, nullptr);
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int step : {0, 1}) {
+      FaultPlan plan;
+      CrashSpec spec;
+      spec.rank = rank;
+      spec.step = step;
+      plan.crashes.push_back(spec);
+      const KernelResult got = run_kernel_with(
+          AlgorithmKind::DenseRepl25D, 8, 2, Mode::SpMMA, pr, &plan);
+      EXPECT_EQ(got.dense.max_abs_diff(clean.dense), 0.0)
+          << "crash=" << rank << "@step:" << step;
+      EXPECT_EQ(got.stats.recoveries(), 1)
+          << "crash=" << rank << "@step:" << step;
+    }
+  }
+}
+
+TEST(FaultTolerance, SparseReplCrashSweepRecoversBitIdentically) {
+  const Problem pr = make_problem(32, 48, 8, 13);
+  const KernelResult clean = run_kernel_with(
+      AlgorithmKind::SparseRepl25D, 8, 2, Mode::SDDMM, pr, nullptr);
+  ASSERT_FALSE(clean.sddmm_values.empty());
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int step : {0, 1}) {
+      FaultPlan plan;
+      CrashSpec spec;
+      spec.rank = rank;
+      spec.step = step;
+      plan.crashes.push_back(spec);
+      const KernelResult got = run_kernel_with(
+          AlgorithmKind::SparseRepl25D, 8, 2, Mode::SDDMM, pr, &plan);
+      EXPECT_EQ(got.sddmm_values, clean.sddmm_values)
+          << "crash=" << rank << "@step:" << step;
+      EXPECT_EQ(got.stats.recoveries(), 1)
+          << "crash=" << rank << "@step:" << step;
+    }
+  }
+}
+
+TEST(FaultTolerance, BspCrashAfterFirstStepResumesFromJournal) {
+  // Under the bulk-synchronous schedule every rank records its step-0
+  // snapshot before any rank can enter step 1 (the barrier completes
+  // for everyone even if a peer crashes right after it), so a crash at
+  // step 1 must resume — all 8 ranks skip the journaled step 0 — and
+  // never fall back to a full restart.
+  const Problem pr = make_problem(32, 48, 8, 29);
+  AlgorithmOptions clean_options;
+  clean_options.schedule = ShiftSchedule::BulkSynchronous;
+  const auto clean_algo =
+      make_algorithm(AlgorithmKind::DenseRepl25D, 8, 2, clean_options);
+  const KernelResult clean =
+      clean_algo->run_kernel(Mode::SpMMA, pr.s, pr.a, pr.b);
+
+  const FaultPlan plan = parse_fault_plan("crash=3@step:1");
+  AlgorithmOptions options = clean_options;
+  options.faults = &plan;
+  const auto algo =
+      make_algorithm(AlgorithmKind::DenseRepl25D, 8, 2, options);
+  const KernelResult got =
+      algo->run_kernel(Mode::SpMMA, pr.s, pr.a, pr.b);
+  EXPECT_EQ(got.dense.max_abs_diff(clean.dense), 0.0);
+  EXPECT_EQ(got.stats.recoveries(), 1);
+  EXPECT_EQ(got.stats.resumed_steps(), 8u); // step 0 skipped on 8 ranks
+}
+
+TEST(FaultTolerance, CrashDuringReplicationPhaseRecovers) {
+  // Comm-op triggers in the replication phase exercise the full-restart
+  // path (the crash lands before any journaled shift step).
+  const Problem pr = make_problem(32, 48, 8, 13);
+  const KernelResult clean = run_kernel_with(
+      AlgorithmKind::DenseRepl25D, 8, 2, Mode::SpMMA, pr, nullptr);
+  const FaultPlan plan = parse_fault_plan("crash=5@repl:1");
+  const KernelResult got = run_kernel_with(AlgorithmKind::DenseRepl25D, 8,
+                                           2, Mode::SpMMA, pr, &plan);
+  EXPECT_EQ(got.dense.max_abs_diff(clean.dense), 0.0);
+  EXPECT_EQ(got.stats.recoveries(), 1);
+}
+
+TEST(FaultTolerance, FusedMmCrashRecoversBitIdentically) {
+  const Problem pr = make_problem(32, 48, 8, 15);
+  {
+    const AlgorithmOptions base;
+    const auto algo =
+        make_algorithm(AlgorithmKind::DenseRepl25D, 8, 2, base);
+    const FusedResult clean = algo->run_fusedmm(
+        FusedOrientation::A, Elision::None, pr.s, pr.a, pr.b, 2);
+    const FaultPlan plan = parse_fault_plan("crash=6@step:1");
+    AlgorithmOptions options;
+    options.faults = &plan;
+    const auto faulty =
+        make_algorithm(AlgorithmKind::DenseRepl25D, 8, 2, options);
+    const FusedResult got = faulty->run_fusedmm(
+        FusedOrientation::A, Elision::None, pr.s, pr.a, pr.b, 2);
+    EXPECT_EQ(got.output.max_abs_diff(clean.output), 0.0);
+    EXPECT_EQ(got.stats.recoveries(), 1);
+  }
+  {
+    const AlgorithmOptions base;
+    const auto algo =
+        make_algorithm(AlgorithmKind::SparseRepl25D, 8, 2, base);
+    const FusedResult clean = algo->run_fusedmm(
+        FusedOrientation::B, Elision::None, pr.s, pr.a, pr.b, 1);
+    const FaultPlan plan = parse_fault_plan("crash=1@step:1");
+    AlgorithmOptions options;
+    options.faults = &plan;
+    const auto faulty =
+        make_algorithm(AlgorithmKind::SparseRepl25D, 8, 2, options);
+    const FusedResult got = faulty->run_fusedmm(
+        FusedOrientation::B, Elision::None, pr.s, pr.a, pr.b, 1);
+    EXPECT_EQ(got.output.max_abs_diff(clean.output), 0.0);
+    EXPECT_EQ(got.stats.recoveries(), 1);
+  }
+}
+
+TEST(FaultTolerance, SingleReplicaCrashIsUnrecoverable) {
+  // p = c means every row ring has one member: no surviving peer holds
+  // a copy, so reconstruction must fail with a structured explanation
+  // instead of producing NaN-poisoned output.
+  const Problem pr = make_problem(32, 48, 8, 17);
+  const FaultPlan plan = parse_fault_plan("crash=0@step:0");
+  try {
+    run_kernel_with(AlgorithmKind::DenseRepl25D, 4, 4, Mode::SpMMA, pr,
+                    &plan);
+    FAIL() << "expected dsk::WorldError";
+  } catch (const WorldError& e) {
+    EXPECT_NE(std::string(e.what()).find("no surviving peer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultTolerance, UnreplicatedFamiliesSurfaceCrashAsStructuredError) {
+  // 1.5D and 1D have no replicas: a crash must surface as a WorldError
+  // naming the failed rank and phase, not hang or return garbage.
+  const Problem pr = make_problem(32, 48, 8, 19);
+  struct Case {
+    AlgorithmKind kind;
+    int p;
+    int c;
+    int rank;
+  };
+  for (const Case& cs :
+       {Case{AlgorithmKind::DenseShift15D, 8, 2, 2},
+        Case{AlgorithmKind::SparseShift15D, 8, 2, 4},
+        Case{AlgorithmKind::Baseline1D, 4, 1, 1}}) {
+    FaultPlan plan;
+    CrashSpec spec;
+    spec.rank = cs.rank;
+    spec.any_phase = true;
+    spec.op_index = 0;
+    plan.crashes.push_back(spec);
+    try {
+      run_kernel_with(cs.kind, cs.p, cs.c, Mode::SpMMA, pr, &plan);
+      FAIL() << "expected dsk::WorldError for " << to_string(cs.kind);
+    } catch (const WorldError& e) {
+      EXPECT_EQ(e.crash().rank, cs.rank) << to_string(cs.kind);
+      EXPECT_NE(std::string(e.what()).find("crashed"), std::string::npos)
+          << to_string(cs.kind) << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find("no recovery handler"),
+                std::string::npos)
+          << to_string(cs.kind) << ": " << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Randomized soak: every driver family under randomized message faults
+// (plus a rank crash for the replicated 2.5D families), seeds taken
+// from DSK_SOAK_SEEDS so CI can randomize while local runs stay cheap.
+// Failures print the deterministic replay string.
+// ---------------------------------------------------------------------
+
+std::vector<std::uint64_t> soak_seeds() {
+  const char* env = std::getenv("DSK_SOAK_SEEDS");
+  std::stringstream in(env != nullptr ? env : "1,2");
+  std::vector<std::uint64_t> seeds;
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) seeds.push_back(std::stoull(token));
+  }
+  return seeds;
+}
+
+TEST(FaultSoak, AllDriversHealRandomizedFaults) {
+  const Problem pr = make_problem(32, 48, 8, 23);
+  struct SoakConfig {
+    AlgorithmKind kind;
+    int p;
+    int c;
+    bool crash; ///< replicated families also take a rank crash
+  };
+  const SoakConfig configs[] = {
+      {AlgorithmKind::Baseline1D, 8, 1, false},
+      {AlgorithmKind::DenseShift15D, 8, 2, false},
+      {AlgorithmKind::SparseShift15D, 8, 2, false},
+      {AlgorithmKind::DenseRepl25D, 8, 2, true},
+      {AlgorithmKind::SparseRepl25D, 8, 2, true},
+  };
+  for (const SoakConfig& cfg : configs) {
+    const KernelResult clean =
+        run_kernel_with(cfg.kind, cfg.p, cfg.c, Mode::SpMMA, pr, nullptr);
+    for (const std::uint64_t seed : soak_seeds()) {
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.drop_rate = 0.02;
+      plan.dup_rate = 0.01;
+      plan.corrupt_rate = 0.01;
+      plan.delay_rate = 0.01;
+      plan.timeout_ms = 10;
+      if (cfg.crash) {
+        CrashSpec spec;
+        spec.rank = static_cast<int>(seed % cfg.p);
+        spec.step = 1;
+        plan.crashes.push_back(spec);
+      }
+      const std::string replay = to_replay_string(plan);
+      try {
+        const KernelResult got =
+            run_kernel_with(cfg.kind, cfg.p, cfg.c, Mode::SpMMA, pr, &plan);
+        EXPECT_EQ(got.dense.max_abs_diff(clean.dense), 0.0)
+            << to_string(cfg.kind) << " replay: " << replay;
+        if (cfg.crash) {
+          EXPECT_EQ(got.stats.recoveries(), 1)
+              << to_string(cfg.kind) << " replay: " << replay;
+        }
+      } catch (const Error& e) {
+        ADD_FAILURE() << to_string(cfg.kind) << " replay: " << replay
+                      << "\n  " << e.what();
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace dsk

@@ -101,5 +101,130 @@ TEST(RuntimeFailure, WorldRequiresAtLeastOneRank) {
   EXPECT_THROW(SimWorld(0), Error);
 }
 
+TEST(RuntimeFailure, AbortCarriesRootCauseToBlockedRanks) {
+  // The waiting ranks' abort errors must name the waiting rank, the
+  // awaited channel, AND the first failing rank's original message —
+  // not a generic "world aborted".
+  SimWorld world(3);
+  std::mutex mu;
+  std::vector<std::string> abort_messages;
+  try {
+    world.run([&](Comm& comm) {
+      if (comm.rank() == 1) {
+        fail("rank 1 exploded spectacularly");
+      }
+      try {
+        comm.recv<Scalar>(1, kTagUser);
+      } catch (const WorldAbortError& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        abort_messages.emplace_back(e.what());
+        throw;
+      }
+    });
+    FAIL() << "expected dsk::Error";
+  } catch (const Error& e) {
+    // The root cause is what run() rethrows...
+    EXPECT_NE(std::string(e.what()).find("exploded spectacularly"),
+              std::string::npos);
+  }
+  // ...and what every waiter saw inline, with its own wait context.
+  ASSERT_EQ(abort_messages.size(), 2u);
+  for (const auto& message : abort_messages) {
+    EXPECT_NE(message.find("waiting for message from 1"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("exploded spectacularly"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(RuntimeFailure, DeadlockIsDiagnosedNotHung) {
+  // Two ranks wait on each other for messages that will never come. The
+  // watchdog must convert the would-be hang into a WorldError whose wait
+  // graph names both blocked receives.
+  try {
+    run_spmd(2, [](Comm& comm) {
+      comm.recv<Scalar>(1 - comm.rank(), kTagUser);
+    });
+    FAIL() << "expected dsk::WorldError";
+  } catch (const WorldError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+    EXPECT_FALSE(e.wait_graph().empty());
+    EXPECT_NE(e.wait_graph().find("rank 0"), std::string::npos);
+    EXPECT_NE(e.wait_graph().find("recv from"), std::string::npos);
+  }
+}
+
+TEST(RuntimeFailure, DeadlockAfterPeerExitIsDiagnosed) {
+  // Rank 1 exits cleanly without ever sending; rank 0 blocks forever on
+  // it. The exit-time check must flag the remaining wait as a deadlock.
+  try {
+    run_spmd(2, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.recv<Scalar>(1, kTagUser);
+      }
+    });
+    FAIL() << "expected dsk::WorldError";
+  } catch (const WorldError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+  }
+}
+
+TEST(RuntimeFailure, DeadlockInBarrierIsDiagnosed) {
+  // Rank 0 blocks on a message, rank 1 and 2 sit in the barrier: nobody
+  // can make progress and the barrier-side check must say so.
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            comm.recv<Scalar>(1, kTagUser);
+                          } else {
+                            comm.barrier();
+                          }
+                        }),
+               WorldError);
+}
+
+TEST(RuntimeFailure, WorldIsReusableAfterAbort) {
+  // An aborted run must not poison the world: the same SimWorld must
+  // run a clean protocol afterwards (abort flags cleared, mailboxes
+  // drained, barrier generation intact).
+  SimWorld world(4);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 3) fail("first run dies");
+    // Ranks leave junk behind: unreceived sends to rank 0.
+    comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{1.0});
+    comm.recv<Scalar>(3, kTagUser); // never arrives -> aborted
+  }),
+               Error);
+  const WorldStats stats = world.run([](Comm& comm) {
+    comm.barrier();
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send<Scalar>(next, kTagUser,
+                      std::vector<Scalar>{Scalar(comm.rank())});
+    const auto got = comm.recv<Scalar>(prev, kTagUser);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], Scalar(prev));
+    comm.barrier();
+  });
+  EXPECT_EQ(stats.max_words(Phase::Other), 1u);
+}
+
+TEST(RuntimeFailure, WorldIsReusableAfterDeadlock) {
+  SimWorld world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    comm.recv<Scalar>(1 - comm.rank(), kTagUser);
+  }),
+               WorldError);
+  const WorldStats stats = world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<Scalar>(1, kTagUser, std::vector<Scalar>{2.5});
+    } else {
+      EXPECT_EQ(comm.recv<Scalar>(0, kTagUser).at(0), 2.5);
+    }
+  });
+  EXPECT_EQ(stats.max_words(Phase::Other), 1u);
+}
+
 } // namespace
 } // namespace dsk

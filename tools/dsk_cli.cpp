@@ -37,6 +37,14 @@
 ///                 only; default 0 = auto, quarter blocks). Rejected
 ///                 with any other schedule instead of being silently
 ///                 ignored.
+///     --faults S  deterministic fault plan, comma-separated key=value
+///                 spec (see src/runtime/fault.hpp): e.g.
+///                 "seed=7,drop=0.02,corrupt=0.01" injects message
+///                 faults healed by the checksummed retransmit layer;
+///                 "crash=3@prop:2" crashes rank 3 at its third
+///                 propagation op — 2.5D drivers recover from replicas,
+///                 1.5D/1D report a structured WorldError. Outputs stay
+///                 bit-identical to the fault-free run.
 ///     --no-verify skip the serial reference check (large inputs)
 ///
 /// Examples:
@@ -56,6 +64,7 @@
 #include "dist/problem.hpp"
 #include "local/reference.hpp"
 #include "model/cost_model.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/machine.hpp"
 #include "sparse/generate.hpp"
 #include "sparse/matrix_market.hpp"
@@ -72,6 +81,7 @@ struct Options {
   std::string replication = "dense";
   std::string propagation = "dense";
   std::string schedule = "db";
+  std::string faults;
   std::string matrix_path;
   bool use_rmat = false;
   bool verify = true;
@@ -107,6 +117,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--replication") opt.replication = next();
     else if (arg == "--propagation") opt.propagation = next();
     else if (arg == "--schedule") opt.schedule = next();
+    else if (arg == "--faults") opt.faults = next();
     else if (arg == "--mtx" || arg == "--matrix") opt.matrix_path = next();
     else if (arg == "--rmat") opt.use_rmat = true;
     else if (arg == "--no-verify") opt.verify = false;
@@ -193,6 +204,12 @@ int main(int argc, char** argv) {
   algo_options.chunk_rows = opt.chunk_rows;
 
   try {
+    FaultPlan fault_plan;
+    if (!opt.faults.empty()) {
+      fault_plan = parse_fault_plan(opt.faults);
+      algo_options.faults = &fault_plan;
+      std::printf("faults: %s\n", to_replay_string(fault_plan).c_str());
+    }
     Rng rng(opt.seed);
     CooMatrix s(0, 0);
     if (!opt.matrix_path.empty()) {
@@ -281,6 +298,23 @@ int main(int argc, char** argv) {
                 1e3 * stats.modeled_kernel_seconds(machine));
     std::printf("%-24s %43.4fms\n", "overlap bound (modeled)",
                 1e3 * stats.modeled_overlap_seconds(machine));
+    if (!opt.faults.empty()) {
+      const RetryCounters retry = stats.total_retry();
+      std::printf("\nfault tolerance: timeouts %llu, nacks %llu, "
+                  "retransmits %llu (%llu words), dup dropped %llu, "
+                  "corrupt dropped %llu, reordered %llu\n",
+                  static_cast<unsigned long long>(retry.timeouts),
+                  static_cast<unsigned long long>(retry.nacks),
+                  static_cast<unsigned long long>(retry.retransmits),
+                  static_cast<unsigned long long>(retry.retry_words),
+                  static_cast<unsigned long long>(retry.duplicates_dropped),
+                  static_cast<unsigned long long>(retry.corrupt_dropped),
+                  static_cast<unsigned long long>(retry.reordered));
+      std::printf("recoveries: %d rank crash(es) repaired from replicas, "
+                  "%llu journaled shift steps resumed\n",
+                  stats.recoveries(),
+                  static_cast<unsigned long long>(stats.resumed_steps()));
+    }
     std::printf("\nhost wall time: %.3fs (simulation, not performance)\n",
                 wall);
     if (max_err >= 0) {
