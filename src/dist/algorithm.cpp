@@ -1,6 +1,7 @@
 #include "dist/algorithm.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "dist/families.hpp"
@@ -8,6 +9,7 @@
 #include "dist/problem.hpp"
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/world.hpp"
 
@@ -45,13 +47,72 @@ void validate_inputs(const DistAlgorithm& algo, const CooMatrix& s,
   algo.validate_dims(s.rows(), s.cols(), a.cols());
 }
 
+/// Degradation only arms itself when the options ask for it AND the plan
+/// can actually crash a rank — fault-free runs never pay for the input
+/// checkpoint.
+bool degrade_armed(const AlgorithmOptions& options) {
+  return options.degrade && options.faults != nullptr &&
+         options.faults->enabled() && !options.faults->crashes.empty();
+}
+
+/// The shrunken world runs fault-free: the dead rank is gone from the
+/// new grid, and replaying the crash plan against renumbered ranks would
+/// be meaningless.
+AlgorithmOptions degraded_options(const AlgorithmOptions& options) {
+  AlgorithmOptions out = options;
+  out.faults = nullptr;
+  out.degrade = false;
+  return out;
+}
+
+/// Restore the sparse input through the digest-verified stable store —
+/// the degraded re-plan must not trust memory a crashed world touched.
+CooMatrix checkpointed_input(const CooMatrix& s, CheckpointStore& inputs) {
+  inputs.restore(0);
+  CooMatrix healed = s;
+  const auto& values = inputs.values(0);
+  std::copy(values.begin(), values.end(), healed.values().begin());
+  return healed;
+}
+
 } // namespace
 
 KernelResult DistAlgorithm::run_kernel(Mode mode, const CooMatrix& s,
                                        const DenseMatrix& a,
                                        const DenseMatrix& b) const {
   validate_inputs(*this, s, a, b);
-  return do_run_kernel(mode, s, a, b);
+  if (!degrade_armed(options_)) return do_run_kernel(mode, s, a, b);
+  CheckpointStore inputs(1);
+  inputs.save_shard(0, std::vector<Scalar>(s.values().begin(),
+                                           s.values().end()));
+  try {
+    return do_run_kernel(mode, s, a, b);
+  } catch (const WorldError& e) {
+    if (e.crash().rank < 0) throw;
+    // shrink_and_replan: the crashed rank is permanently lost; re-shard
+    // the padded problem onto the largest valid surviving grid and
+    // re-run from the checkpointed inputs.
+    const auto [p2, c2] = shrink_config(kind_, p_, c_);
+    const CooMatrix healed = checkpointed_input(s, inputs);
+    const auto sub = make_algorithm(kind_, p2, c2,
+                                    degraded_options(options_));
+    const PaddedProblem padded = pad_problem(kind_, p2, c2, healed, a, b);
+    KernelResult out = sub->run_kernel(mode, padded.s, padded.a, padded.b);
+    if (mode == Mode::SpMMA) {
+      out.dense = unpad_dense(out.dense, s.rows(), a.cols());
+    } else if (mode == Mode::SpMMB) {
+      out.dense = unpad_dense(out.dense, s.cols(), a.cols());
+    } else {
+      // Padding adds no nonzeros, so the SDDMM values come back in the
+      // original entry order already.
+      check(out.sddmm_values.size() ==
+                static_cast<std::size_t>(s.nnz()),
+            "degraded SDDMM returned ", out.sddmm_values.size(),
+            " values for ", s.nnz(), " nonzeros");
+    }
+    out.stats.set_degradation(e.crash().rank, p_, p2);
+    return out;
+  }
 }
 
 FusedResult DistAlgorithm::run_fusedmm(FusedOrientation orientation,
@@ -64,7 +125,29 @@ FusedResult DistAlgorithm::run_fusedmm(FusedOrientation orientation,
   check(repetitions >= 1, "run_fusedmm: repetitions must be positive, got ",
         repetitions);
   validate_inputs(*this, s, a, b);
-  return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+  if (!degrade_armed(options_)) {
+    return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+  }
+  CheckpointStore inputs(1);
+  inputs.save_shard(0, std::vector<Scalar>(s.values().begin(),
+                                           s.values().end()));
+  try {
+    return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+  } catch (const WorldError& e) {
+    if (e.crash().rank < 0) throw;
+    const auto [p2, c2] = shrink_config(kind_, p_, c_);
+    const CooMatrix healed = checkpointed_input(s, inputs);
+    const auto sub = make_algorithm(kind_, p2, c2,
+                                    degraded_options(options_));
+    const PaddedProblem padded = pad_problem(kind_, p2, c2, healed, a, b);
+    FusedResult out = sub->run_fusedmm(orientation, elision, padded.s,
+                                       padded.a, padded.b, repetitions);
+    const Index out_rows =
+        orientation == FusedOrientation::A ? s.rows() : s.cols();
+    out.output = unpad_dense(out.output, out_rows, a.cols());
+    out.stats.set_degradation(e.crash().rank, p_, p2);
+    return out;
+  }
 }
 
 bool valid_config(AlgorithmKind kind, int p, int c) {
@@ -79,6 +162,16 @@ bool valid_config(AlgorithmKind kind, int p, int c) {
       return p >= 1 && c == 1;
   }
   return false;
+}
+
+std::pair<int, int> shrink_config(AlgorithmKind kind, int p, int c) {
+  for (int p2 = p - 1; p2 >= 1; --p2) {
+    for (int c2 = std::min(c, p2); c2 >= 1; --c2) {
+      if (valid_config(kind, p2, c2)) return {p2, c2};
+    }
+  }
+  fail("shrink_config: no valid ", to_string(kind),
+       " grid smaller than p=", p, " c=", c);
 }
 
 std::unique_ptr<DistAlgorithm> make_algorithm(AlgorithmKind kind, int p,
@@ -291,13 +384,53 @@ class Baseline1D final : public DistAlgorithm {
     return work;
   }
 
+  /// Crash recovery: the 1D baseline holds no redundancy at all, so the
+  /// checkpoint store is the only restart path — each rank's CSR values
+  /// are snapshotted before the world runs, and on_crash restores the
+  /// scrubbed shard through the digest check. The body re-runs in full
+  /// (the baseline has no shift loops to journal); the one-shot crash
+  /// triggers never re-fire.
+  WorldOptions fault_options(const Setup& su,
+                             std::optional<CheckpointStore>& ckpt) const {
+    WorldOptions wo;
+    wo.faults = options().faults;
+    wo.max_recoveries = options().max_recoveries;
+    wo.checkpoint_interval = options().checkpoint_interval;
+    if (wo.faults == nullptr || !wo.faults->enabled() ||
+        wo.faults->crashes.empty()) {
+      return wo;
+    }
+    ckpt.emplace(p());
+    for (int rank = 0; rank < p(); ++rank) {
+      const auto values =
+          su.shards[static_cast<std::size_t>(rank)].csr.values();
+      ckpt->save_shard(rank,
+                       std::vector<Scalar>(values.begin(), values.end()));
+    }
+    CheckpointStore* cp = &*ckpt;
+    wo.on_crash = [cp](const CrashInfo& crash) {
+      cp->scrub(crash.rank);
+      cp->restore(crash.rank);
+    };
+    return wo;
+  }
+
   WorldStats run(const CooMatrix& s, const DenseMatrix& a,
                  const DenseMatrix& b, bool fused, int repetitions,
                  DenseMatrix& out) const {
     const Setup su = make_setup(s, b.cols());
+    std::optional<CheckpointStore> ckpt;
+    const WorldOptions wo = fault_options(su, ckpt);
     return run_spmd(p(), [&](Comm& comm) {
       const int rank = comm.rank();
       const auto& shard = su.shards[static_cast<std::size_t>(rank)];
+      // Fault mode reads the shard values through the checkpoint store's
+      // live copy instead of the shared setup table.
+      const std::vector<Scalar>* live =
+          ckpt ? &ckpt->values(rank) : nullptr;
+      const CsrMatrix live_csr =
+          live != nullptr ? csr_with_values(shard.csr, *live) : CsrMatrix();
+      const CsrMatrix& scsr = live != nullptr ? live_csr : shard.csr;
       for (int rep = 0; rep < repetitions; ++rep) {
         DenseMatrix work = fetch_b(comm, su, b);
         if (fused) {
@@ -312,17 +445,17 @@ class Baseline1D final : public DistAlgorithm {
               a.row_block(rank * su.row_blk, (rank + 1) * su.row_blk);
           std::vector<Scalar> dots(shard.coo.size(), Scalar{0});
           comm.stats().add_flops(
-              masked_dot_products(shard.csr, a_block, work, dots));
-          hadamard_values(shard.csr.values(), dots, dots);
+              masked_dot_products(scsr, a_block, work, dots));
+          hadamard_values(scsr.values(), dots, dots);
           comm.stats().add_flops(shard.nnz());
           comm.stats().add_flops(
-              spmm_a(csr_with_values(shard.csr, dots), work, block));
+              spmm_a(csr_with_values(scsr, dots), work, block));
         } else {
-          comm.stats().add_flops(spmm_a(shard.csr, work, block));
+          comm.stats().add_flops(spmm_a(scsr, work, block));
         }
         place_block(out, block, rank * su.row_blk, 0);
       }
-    }, WorldOptions{options().faults, {}, 0});
+    }, wo);
   }
 };
 

@@ -14,6 +14,7 @@
 /// load-balanced inputs.
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dense/dense_matrix.hpp"
@@ -66,10 +67,23 @@ struct AlgorithmOptions {
   PropagationMode propagation = PropagationMode::Dense;
   /// Pipelined schedule only: rows per replication chunk (0 = auto).
   Index chunk_rows = 0;
-  /// Borrowed fault plan (must outlive the run); null = fault-free. The
-  /// 2.5D drivers recover injected rank crashes from their replicas;
-  /// 1.5D/1D have no redundancy and surface crashes as WorldError.
+  /// Borrowed fault plan (must outlive the run); null = fault-free.
+  /// Every driver recovers injected rank crashes: the 2.5D families
+  /// rebuild the lost shard from their replicas (falling back to the
+  /// digest-verified checkpoint store when no peer survives), and the
+  /// 1.5D/1D families — which hold no redundancy — restore it from the
+  /// checkpoint store directly, then resume journaled shift loops.
   const FaultPlan* faults = nullptr;
+  /// Crash-recovery knobs, only read when `faults` injects crashes:
+  /// journal/checkpoint snapshot cadence in shift steps (0 = every
+  /// step) and the recovery-attempt budget.
+  int checkpoint_interval = 0;
+  int max_recoveries = 4;
+  /// Graceful degradation: when recovery is impossible or the budget is
+  /// exhausted, re-shard the padded problem onto the largest valid
+  /// smaller grid and re-run fault-free from the checkpointed inputs
+  /// instead of surfacing the WorldError.
+  bool degrade = false;
 };
 
 /// Result of one unified kernel call. `dense` holds the global SpMM
@@ -143,6 +157,11 @@ class DistAlgorithm {
 /// True when (p, c) forms a valid grid for the family (c | p; 2.5D
 /// additionally needs p/c square; the baseline has no replication).
 bool valid_config(AlgorithmKind kind, int p, int c);
+
+/// The largest valid (p', c') with p' < p and c' <= c — the surviving
+/// grid a degraded run re-plans onto after losing a rank. Throws when no
+/// smaller valid configuration exists (p == 1).
+std::pair<int, int> shrink_config(AlgorithmKind kind, int p, int c);
 
 /// Build a driver; throws on invalid (p, c).
 std::unique_ptr<DistAlgorithm> make_algorithm(

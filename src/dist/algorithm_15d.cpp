@@ -13,6 +13,8 @@
 /// in the circulating payload one width-slice at a time until the block
 /// returns home (paper Section IV-A).
 
+#include <optional>
+
 #include "common/error.hpp"
 #include "dist/families.hpp"
 #include "dist/grid.hpp"
@@ -20,6 +22,7 @@
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
 #include "local/fused.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/world.hpp"
 
@@ -208,7 +211,8 @@ class DenseShift15D final : public DistAlgorithm {
   MessageWords b_loop(Comm& comm, const Setup& su, int u, int v,
                       bool mutates, MessageWords start,
                       const std::function<void(int, MessageWords&)>& body,
-                      const ShiftPrologue* prologue = nullptr) const {
+                      const ShiftPrologue* prologue = nullptr,
+                      const ShiftJournalHooks* state = nullptr) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
@@ -217,8 +221,67 @@ class DenseShift15D final : public DistAlgorithm {
     ch.compression = &comp;
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
-    }, prologue);
+    }, prologue, nullptr, state);
     return std::move(ch.block);
+  }
+
+  /// Concatenation of the rank's L piece value slices — the rank-local
+  /// sparse memory the checkpoint store snapshots (the 1.5D family has
+  /// no replicas; the checkpoint IS its redundancy).
+  std::vector<Scalar> shard_values(const Setup& su, int rank) const {
+    std::vector<Scalar> out;
+    for (int j = 0; j < grid_.layer_size(); ++j) {
+      const auto& v = piece(su, rank, j).coo.values;
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+  }
+
+  /// Split the rank's live checkpoint slice back into per-piece value
+  /// vectors (empty when live is null — fault-free kernels read the
+  /// setup tables directly).
+  std::vector<std::vector<Scalar>> live_piece_values(
+      const Setup& su, int rank, const std::vector<Scalar>* live) const {
+    std::vector<std::vector<Scalar>> out;
+    if (live == nullptr) return out;
+    const int L = grid_.layer_size();
+    out.resize(static_cast<std::size_t>(L));
+    std::size_t off = 0;
+    for (int j = 0; j < L; ++j) {
+      const std::size_t count = piece(su, rank, j).coo.size();
+      out[static_cast<std::size_t>(j)].assign(
+          live->begin() + static_cast<std::ptrdiff_t>(off),
+          live->begin() + static_cast<std::ptrdiff_t>(off + count));
+      off += count;
+    }
+    return out;
+  }
+
+  /// Crash recovery for the unreplicated dense-shift family: snapshot
+  /// every rank's piece values into the checkpoint store before the
+  /// world runs; on_crash restores the scrubbed shard through the
+  /// digest check and the journaled shift loops resume past the last
+  /// jointly completed step.
+  WorldOptions fault_options(const Setup& su,
+                             std::optional<CheckpointStore>& ckpt) const {
+    WorldOptions wo;
+    wo.faults = options().faults;
+    wo.max_recoveries = options().max_recoveries;
+    wo.checkpoint_interval = options().checkpoint_interval;
+    if (wo.faults == nullptr || !wo.faults->enabled() ||
+        wo.faults->crashes.empty()) {
+      return wo;
+    }
+    ckpt.emplace(p());
+    for (int rank = 0; rank < p(); ++rank) {
+      ckpt->save_shard(rank, shard_values(su, rank));
+    }
+    CheckpointStore* cp = &*ckpt;
+    wo.on_crash = [cp](const CrashInfo& crash) {
+      cp->scrub(crash.rank);
+      cp->restore(crash.rank);
+    };
+    return wo;
   }
 
   bool pipelined() const {
@@ -283,7 +346,32 @@ class DenseShift15D final : public DistAlgorithm {
              &pro);
     } else {
       a_work = replicate_a(comm, su, u, v, a);
-      b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body);
+      // The per-piece dot vectors are stationary state (each dots[j] is
+      // written wholly at step j); journal them so a recovered attempt
+      // resumes with the completed pieces' dots intact.
+      ShiftJournalHooks hooks;
+      hooks.pack_state = [&] {
+        MessageWords words;
+        for (const auto& d : dots) {
+          const MessageWords packed =
+              pack_values(std::span<const Scalar>(d));
+          words.push_back(packed.size());
+          words.insert(words.end(), packed.begin(), packed.end());
+        }
+        return words;
+      };
+      hooks.unpack_state = [&](const MessageWords& words) {
+        std::size_t off = 0;
+        for (auto& d : dots) {
+          const auto len = static_cast<std::size_t>(words[off++]);
+          d = unpack_values(MessageWords(
+              words.begin() + static_cast<std::ptrdiff_t>(off),
+              words.begin() + static_cast<std::ptrdiff_t>(off + len)));
+          off += len;
+        }
+      };
+      b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body,
+             nullptr, &hooks);
     }
     return {std::move(a_work), std::move(dots)};
   }
@@ -351,8 +439,13 @@ class DenseShift15D final : public DistAlgorithm {
         reduce_partial_pipelined(comm, su, u, v, partial, out, prepare);
       };
     }
+    ShiftJournalHooks hooks;
+    hooks.pack_state = [&] { return pack_dense(partial); };
+    hooks.unpack_state = [&](const MessageWords& words) {
+      partial = unpack_dense(words, su.mL, su.r);
+    };
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, nullptr,
-                   &epi);
+                   &epi, &hooks);
     if (!pipelined()) reduce_partial(comm, su, u, v, partial, out);
   }
 
@@ -373,12 +466,30 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
                                Scalar{0});
   }
   const int L = grid_.layer_size();
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    // Fault mode reads the rank's piece values through the checkpoint
+    // store's live copy instead of the shared setup table.
+    const std::vector<Scalar>* live = ckpt ? &ckpt->values(rank) : nullptr;
+    const auto live_vals = live_piece_values(su, rank, live);
+    const auto* vals = live != nullptr ? &live_vals : nullptr;
+    std::vector<CsrMatrix> live_csr;
+    if (vals != nullptr) {
+      for (int j = 0; j < L; ++j) {
+        live_csr.push_back(csr_with_values(
+            piece(su, rank, j).csr, (*vals)[static_cast<std::size_t>(j)]));
+      }
+    }
+    const auto kernel_csr = [&](int j) -> const CsrMatrix& {
+      return vals != nullptr ? live_csr[static_cast<std::size_t>(j)]
+                             : piece(su, rank, j).csr;
+    };
     switch (mode) {
       case Mode::SpMMA: {
-        spmma_pass(comm, su, rank, u, v, b, nullptr, result.dense);
+        spmma_pass(comm, su, rank, u, v, b, vals, result.dense);
         return;
       }
       case Mode::SDDMM: {
@@ -388,11 +499,13 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         PhaseScope scope(comm.stats(), Phase::Computation);
         for (int j = 0; j < L; ++j) {
           const auto& pc = piece(su, rank, j);
-          std::vector<Scalar> vals(pc.coo.size());
-          hadamard_values(pc.coo.values,
-                          dots[static_cast<std::size_t>(j)], vals);
+          std::vector<Scalar> vals_j(pc.coo.size());
+          hadamard_values(vals != nullptr
+                              ? (*vals)[static_cast<std::size_t>(j)]
+                              : pc.coo.values,
+                          dots[static_cast<std::size_t>(j)], vals_j);
           comm.stats().add_flops(pc.nnz());
-          scatter_values(vals, pc.entries, result.sddmm_values);
+          scatter_values(vals_j, pc.entries, result.sddmm_values);
         }
         return;
       }
@@ -408,8 +521,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
             pack_dense(DenseMatrix(su.b_blk, su.r)),
             [&](int j, MessageWords& block) {
               auto acc = unpack_dense(block, su.b_blk, su.r);
-              comm.stats().add_flops(
-                  spmm_b(piece(su, rank, j).csr, a_work, acc));
+              comm.stats().add_flops(spmm_b(kernel_csr(j), a_work, acc));
               block = pack_dense(acc);
             },
             &pro);
@@ -420,7 +532,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("1.5D-DenseShift: unknown mode");
-  }, WorldOptions{options().faults, {}, 0});
+  }, wo);
   return result;
 }
 
@@ -445,9 +557,27 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
+    // Fault mode reads the rank's piece values through the checkpoint
+    // store's live copy instead of the shared setup table.
+    const std::vector<Scalar>* live = ckpt ? &ckpt->values(rank) : nullptr;
+    const auto live_vals = live_piece_values(su, rank, live);
+    const auto* vals = live != nullptr ? &live_vals : nullptr;
+    std::vector<CsrMatrix> live_csr;
+    if (vals != nullptr) {
+      for (int j = 0; j < L; ++j) {
+        live_csr.push_back(csr_with_values(
+            piece(su, rank, j).csr, (*vals)[static_cast<std::size_t>(j)]));
+      }
+    }
+    const auto kernel_csr = [&](int j) -> const CsrMatrix& {
+      return vals != nullptr ? live_csr[static_cast<std::size_t>(j)]
+                             : piece(su, rank, j).csr;
+    };
     for (int rep = 0; rep < repetitions; ++rep) {
       if (elision == Elision::LocalKernelFusion) {
         // Single propagation loop with the fused local kernel. The fused
@@ -459,15 +589,20 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
         const ShiftPrologue pro =
             replication_prologue(comm, su, u, v, a, fused_a);
         DenseMatrix partial(su.mL, su.r);
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(partial); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          partial = unpack_dense(words, su.mL, su.r);
+        };
         b_loop(comm, su, u, v, /*mutates=*/false,
                pack_dense(b.row_block(b_row0(su, v, u),
                                       b_row0(su, v, u) + su.b_blk)),
                [&](int j, MessageWords& block) {
                  const auto bj = unpack_dense(block, su.b_blk, su.r);
-                 comm.stats().add_flops(fusedmm_a(
-                     piece(su, rank, j).csr, fused_a, bj, partial));
+                 comm.stats().add_flops(
+                     fusedmm_a(kernel_csr(j), fused_a, bj, partial));
                },
-               &pro);
+               &pro, &hooks);
         reduce_partial(comm, su, u, v, partial, result.output);
         continue;
       }
@@ -480,10 +615,12 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
         PhaseScope scope(comm.stats(), Phase::Computation);
         for (int j = 0; j < L; ++j) {
           const auto& pc = piece(su, rank, j);
-          auto& vals = r_values[static_cast<std::size_t>(j)];
-          vals.resize(pc.coo.size());
-          hadamard_values(pc.coo.values,
-                          dots[static_cast<std::size_t>(j)], vals);
+          auto& vals_j = r_values[static_cast<std::size_t>(j)];
+          vals_j.resize(pc.coo.size());
+          hadamard_values(vals != nullptr
+                              ? (*vals)[static_cast<std::size_t>(j)]
+                              : pc.coo.values,
+                          dots[static_cast<std::size_t>(j)], vals_j);
           comm.stats().add_flops(pc.nnz());
         }
       }
@@ -517,7 +654,7 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
                     b_row0(su, v, u), 0);
       }
     }
-  }, WorldOptions{options().faults, {}, 0});
+  }, wo);
   return result;
 }
 
@@ -672,14 +809,50 @@ class SparseShift15D final : public DistAlgorithm {
   void s_loop(Comm& comm, const Setup& su, int u, int v, bool mutates,
               MessageWords start,
               const std::function<void(int, MessageWords&)>& body,
-              const ShiftPrologue* prologue = nullptr) const {
+              const ShiftPrologue* prologue = nullptr,
+              const ShiftJournalHooks* state = nullptr) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
         ring_channel(layer, u, kTagShift, mutates, std::move(start));
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
-    }, prologue);
+    }, prologue, nullptr, state);
+  }
+
+  /// The rank's home piece values — the rank-local sparse memory the
+  /// checkpoint store snapshots (non-home pieces conceptually arrive via
+  /// the ring payload from their own — also checkpointed — owners).
+  std::vector<Scalar> shard_values(const Setup& su, int rank) const {
+    const auto& v = piece(su, grid_.v_of(rank), grid_.u_of(rank)).coo.values;
+    return {v.begin(), v.end()};
+  }
+
+  /// Crash recovery for the unreplicated sparse-shift family: snapshot
+  /// every rank's home piece values into the checkpoint store before the
+  /// world runs; on_crash restores the scrubbed shard through the
+  /// digest check and the journaled shift loops resume past the last
+  /// jointly completed step.
+  WorldOptions fault_options(const Setup& su,
+                             std::optional<CheckpointStore>& ckpt) const {
+    WorldOptions wo;
+    wo.faults = options().faults;
+    wo.max_recoveries = options().max_recoveries;
+    wo.checkpoint_interval = options().checkpoint_interval;
+    if (wo.faults == nullptr || !wo.faults->enabled() ||
+        wo.faults->crashes.empty()) {
+      return wo;
+    }
+    ckpt.emplace(p());
+    for (int rank = 0; rank < p(); ++rank) {
+      ckpt->save_shard(rank, shard_values(su, rank));
+    }
+    CheckpointStore* cp = &*ckpt;
+    wo.on_crash = [cp](const CrashInfo& crash) {
+      cp->scrub(crash.rank);
+      cp->restore(crash.rank);
+    };
+    return wo;
   }
 
   /// Replicate A and circulate the home piece's dot payload for L steps
@@ -746,19 +919,37 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
     result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
                                Scalar{0});
   }
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     const auto b_local = local_b(su, u, v, b);
+    // Fault mode reads the rank's home piece values through the
+    // checkpoint store's live copy instead of the shared setup table
+    // (non-home pieces conceptually arrive via the ring payload).
+    const std::vector<Scalar>* live = ckpt ? &ckpt->values(rank) : nullptr;
+    const CsrMatrix live_home =
+        live != nullptr ? csr_with_values(piece(su, v, u).csr, *live)
+                        : CsrMatrix();
+    const auto kernel_csr = [&](int j) -> const CsrMatrix& {
+      return live != nullptr && j == u ? live_home : piece(su, v, j).csr;
+    };
     switch (mode) {
       case Mode::SpMMA: {
         DenseMatrix partial(su.m, su.rL);
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(partial); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          partial = unpack_dense(words, su.m, su.rL);
+        };
         s_loop(comm, su, u, v, /*mutates=*/false,
                pack_triplets(piece(su, v, u).coo),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
-                     spmm_a(piece(su, v, j).csr, b_local, partial));
-               });
+                     spmm_a(kernel_csr(j), b_local, partial));
+               },
+               nullptr, &hooks);
         reduce_partial(comm, su, u, v, partial, result.dense);
         return;
       }
@@ -770,7 +961,10 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, v, u);
         std::vector<Scalar> vals(home.coo.size());
-        hadamard_values(home.coo.values, dots.values, vals);
+        hadamard_values(live != nullptr
+                            ? std::span<const Scalar>(*live)
+                            : std::span<const Scalar>(home.coo.values),
+                        dots.values, vals);
         comm.stats().add_flops(home.nnz());
         scatter_values(vals, home.entries, result.sddmm_values);
         return;
@@ -783,13 +977,18 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         const ShiftPrologue pro =
             replication_prologue(comm, su, u, v, a, a_work);
         DenseMatrix b_out(su.n / c(), su.rL);
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(b_out); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          b_out = unpack_dense(words, su.n / c(), su.rL);
+        };
         s_loop(comm, su, u, v, /*mutates=*/false,
                pack_triplets(piece(su, v, u).coo),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
-                     spmm_b(piece(su, v, j).csr, a_work, b_out));
+                     spmm_b(kernel_csr(j), a_work, b_out));
                },
-               &pro);
+               &pro, &hooks);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.dense, b_out,
                     static_cast<Index>(v) * (su.n / c()),
@@ -798,7 +997,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
     }
     fail("1.5D-SparseShift: unknown mode");
-  }, WorldOptions{options().faults, {}, 0});
+  }, wo);
   return result;
 }
 
@@ -812,10 +1011,15 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     const auto b_local = local_b(su, u, v, b);
+    // Fault mode reads the rank's home piece values through the
+    // checkpoint store's live copy instead of the shared setup table.
+    const std::vector<Scalar>* live = ckpt ? &ckpt->values(rank) : nullptr;
     for (int rep = 0; rep < repetitions; ++rep) {
       // SDDMM pass: dot products circulate with the pieces (streamed
       // replication prologue under Pipelined).
@@ -823,8 +1027,11 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
       std::vector<Scalar> r_values(piece(su, v, u).coo.size());
       {
         PhaseScope scope(comm.stats(), Phase::Computation);
-        hadamard_values(piece(su, v, u).coo.values, dots.values,
-                        r_values);
+        hadamard_values(
+            live != nullptr
+                ? std::span<const Scalar>(*live)
+                : std::span<const Scalar>(piece(su, v, u).coo.values),
+            dots.values, r_values);
         comm.stats().add_flops(piece(su, v, u).nnz());
       }
       // SpMM pass: pieces circulate carrying the SDDMM output values.
@@ -832,13 +1039,19 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
       r_piece.values = r_values;
       if (orientation == FusedOrientation::A) {
         DenseMatrix partial(su.m, su.rL);
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(partial); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          partial = unpack_dense(words, su.m, su.rL);
+        };
         s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
                [&](int j, MessageWords& block) {
                  const auto payload = unpack_triplets(block);
                  comm.stats().add_flops(spmm_a(
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      b_local, partial));
-               });
+               },
+               nullptr, &hooks);
         reduce_partial(comm, su, u, v, partial, result.output);
       } else {
         // Unelided sequence: the SpMM-B pass replicates A again instead
@@ -852,6 +1065,11 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
           pro = replication_prologue(comm, su, u, v, a, discard);
         }
         DenseMatrix b_out(su.n / c(), su.rL);
+        ShiftJournalHooks hooks;
+        hooks.pack_state = [&] { return pack_dense(b_out); };
+        hooks.unpack_state = [&](const MessageWords& words) {
+          b_out = unpack_dense(words, su.n / c(), su.rL);
+        };
         s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
                [&](int j, MessageWords& block) {
                  const auto payload = unpack_triplets(block);
@@ -859,14 +1077,14 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      a_work, b_out));
                },
-               &pro);
+               &pro, &hooks);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.output, b_out,
                     static_cast<Index>(v) * (su.n / c()),
                     static_cast<Index>(u) * su.rL);
       }
     }
-  }, WorldOptions{options().faults, {}, 0});
+  }, wo);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
 #include "runtime/collectives.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/recovery.hpp"
 #include "runtime/world.hpp"
 
@@ -226,19 +227,25 @@ class DenseRepl25D final : public DistAlgorithm {
   /// as replicated along its row ring (the ring traffic materializes a
   /// copy of every circulating piece on every ring peer), and on_crash
   /// scrubs the crashed rank and rebuilds the shard from a digest-valid
-  /// survivor; q == 1 rings have no redundancy and the reconstruct
-  /// throws WorldError instead. The kernels then read home-piece values
-  /// through the store (see live_values) so the scrub/rebuild cycle
-  /// touches the data the computation actually uses.
+  /// survivor. When no peer survives (q == 1 rings have no redundancy)
+  /// recovery falls back to the digest-verified checkpoint store and the
+  /// restored bytes are adopted back into the replica store. The kernels
+  /// then read home-piece values through the store (see live_values) so
+  /// the scrub/rebuild cycle touches the data the computation actually
+  /// uses.
   WorldOptions fault_options(const Setup& su,
-                             std::optional<ReplicaStore>& store) const {
+                             std::optional<ReplicaStore>& store,
+                             std::optional<CheckpointStore>& ckpt) const {
     WorldOptions wo;
     wo.faults = options().faults;
+    wo.max_recoveries = options().max_recoveries;
+    wo.checkpoint_interval = options().checkpoint_interval;
     if (wo.faults == nullptr || !wo.faults->enabled() ||
         wo.faults->crashes.empty()) {
       return wo;
     }
     store.emplace(p());
+    ckpt.emplace(p());
     for (int rank = 0; rank < p(); ++rank) {
       const int u = grid_.u_of(rank), v = grid_.v_of(rank),
                 w = grid_.w_of(rank);
@@ -246,14 +253,21 @@ class DenseRepl25D final : public DistAlgorithm {
       for (const int m : grid_.row_members(u, w)) {
         if (m != rank) peers.push_back(m);
       }
-      store->set_shard(rank, piece(su, u, k_at(u, v, 0), w).coo.values,
-                       std::move(peers));
+      const auto& shard = piece(su, u, k_at(u, v, 0), w).coo.values;
+      ckpt->save_shard(rank, {shard.begin(), shard.end()});
+      store->set_shard(rank, shard, std::move(peers));
     }
     store->finalize();
     ReplicaStore* sp = &*store;
-    wo.on_crash = [sp](const CrashInfo& crash) {
+    CheckpointStore* cp = &*ckpt;
+    wo.on_crash = [sp, cp](const CrashInfo& crash) {
       sp->scrub(crash.rank);
-      sp->reconstruct(crash.rank);
+      if (sp->can_reconstruct(crash.rank)) {
+        sp->reconstruct(crash.rank);
+      } else {
+        cp->restore(crash.rank);
+        sp->adopt(crash.rank, cp->values(crash.rank));
+      }
     };
     return wo;
   }
@@ -351,7 +365,8 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   }
   const int q = grid_.q();
   std::optional<ReplicaStore> store;
-  const WorldOptions wo = fault_options(su, store);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, store, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -491,7 +506,8 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
   std::optional<ReplicaStore> store;
-  const WorldOptions wo = fault_options(su, store);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, store, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -756,16 +772,22 @@ class SparseRepl25D final : public DistAlgorithm {
   /// value_split[w] slice of cell (u, v), replicated across the c fiber
   /// ranks by every gather_values call — so the fiber members are the
   /// peers a crashed slice is rebuilt from, and c == 1 fibers have no
-  /// redundancy (reconstruct throws WorldError).
+  /// redundancy — recovery then falls back to the digest-verified
+  /// checkpoint store and adopts the restored bytes into the replica
+  /// store).
   WorldOptions fault_options(const Setup& su,
-                             std::optional<ReplicaStore>& store) const {
+                             std::optional<ReplicaStore>& store,
+                             std::optional<CheckpointStore>& ckpt) const {
     WorldOptions wo;
     wo.faults = options().faults;
+    wo.max_recoveries = options().max_recoveries;
+    wo.checkpoint_interval = options().checkpoint_interval;
     if (wo.faults == nullptr || !wo.faults->enabled() ||
         wo.faults->crashes.empty()) {
       return wo;
     }
     store.emplace(p());
+    ckpt.emplace(p());
     for (int rank = 0; rank < p(); ++rank) {
       const int u = grid_.u_of(rank), v = grid_.v_of(rank),
                 w = grid_.w_of(rank);
@@ -779,13 +801,20 @@ class SparseRepl25D final : public DistAlgorithm {
       for (const int m : grid_.fiber_members(u, v)) {
         if (m != rank) peers.push_back(m);
       }
+      ckpt->save_shard(rank, {shard.begin(), shard.end()});
       store->set_shard(rank, std::move(shard), std::move(peers));
     }
     store->finalize();
     ReplicaStore* sp = &*store;
-    wo.on_crash = [sp](const CrashInfo& crash) {
+    CheckpointStore* cp = &*ckpt;
+    wo.on_crash = [sp, cp](const CrashInfo& crash) {
       sp->scrub(crash.rank);
-      sp->reconstruct(crash.rank);
+      if (sp->can_reconstruct(crash.rank)) {
+        sp->reconstruct(crash.rank);
+      } else {
+        cp->restore(crash.rank);
+        sp->adopt(crash.rank, cp->values(crash.rank));
+      }
     };
     return wo;
   }
@@ -808,7 +837,8 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   }
   const int q = grid_.q();
   std::optional<ReplicaStore> store;
-  const WorldOptions wo = fault_options(su, store);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, store, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
@@ -949,7 +979,8 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
   std::optional<ReplicaStore> store;
-  const WorldOptions wo = fault_options(su, store);
+  std::optional<CheckpointStore> ckpt;
+  const WorldOptions wo = fault_options(su, store, ckpt);
   result.stats = run_spmd(p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),

@@ -235,10 +235,14 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
     }
     if (journal != nullptr && resumable) {
       StepJournal::Snapshot snap;
-      snap.blocks.reserve(channels.size());
-      for (const auto& ch : channels) snap.blocks.push_back(ch.block);
-      if (state != nullptr && state->pack_state) {
-        snap.state = state->pack_state();
+      // Non-retained steps (checkpoint interval > 1) skip the copy but
+      // still record completion, advancing the resume watermark.
+      if (journal->wants_snapshot(step)) {
+        snap.blocks.reserve(channels.size());
+        for (const auto& ch : channels) snap.blocks.push_back(ch.block);
+        if (state != nullptr && state->pack_state) {
+          snap.state = state->pack_state();
+        }
       }
       journal->record_step(comm.rank(), loop_id, step, std::move(snap));
     }

@@ -1,5 +1,7 @@
 #include "runtime/fault.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <sstream>
 
@@ -88,6 +90,8 @@ CrashSpec parse_crash(const std::string& text) {
         "' needs <rank>@<where>:<n>");
   CrashSpec spec;
   spec.rank = static_cast<int>(parse_long(text.substr(0, at), "crash rank"));
+  check(spec.rank >= 0, "fault spec: crash rank must be >= 0 in '", text,
+        "'");
   const std::string where = text.substr(at + 1);
   const std::size_t colon = where.find(':');
   check(colon != std::string::npos, "fault spec: crash trigger '", text,
@@ -126,42 +130,82 @@ MessageFaultSpec parse_message(const std::string& text) {
   spec.dest =
       static_cast<int>(parse_long(parts[1].substr(arrow + 2), "dest"));
   spec.tag = static_cast<int>(parse_long(parts[2], "tag"));
-  spec.seq =
-      static_cast<std::uint64_t>(parse_long(parts[3], "sequence number"));
+  const long seq = parse_long(parts[3], "sequence number");
+  check(spec.source >= 0 && spec.dest >= 0 && spec.tag >= 0 && seq >= 0,
+        "fault spec: message fault '", text,
+        "' endpoints, tag, and sequence number must be >= 0");
+  spec.seq = static_cast<std::uint64_t>(seq);
   return spec;
+}
+
+/// Shortest decimal that round-trips the rate through strtod — the
+/// replay-string pin parse(to_replay_string(p)) == p needs exact rates,
+/// which ostream's default 6-digit precision does not give.
+std::string rate_string(double rate) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), rate);
+  check(ec == std::errc(), "fault spec: unprintable rate");
+  return {buf, end};
 }
 
 } // namespace
 
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
+  // Scalar keys may appear at most once — a repeated key in a replay
+  // string is always a transcription error, not an intent.
+  bool seen[7] = {};
+  const auto once = [&](int slot, const char* key) {
+    check(!seen[slot], "fault spec: duplicate key '", key, "'");
+    seen[slot] = true;
+  };
   for (const std::string& field : split(spec, ',')) {
-    if (field.empty()) continue;
+    check(!field.empty(),
+          "fault spec: empty field (trailing or doubled comma?)");
     const std::size_t eq = field.find('=');
     check(eq != std::string::npos, "fault spec: field '", field,
           "' is not key=value");
     const std::string key = field.substr(0, eq);
     const std::string value = field.substr(eq + 1);
     if (key == "seed") {
-      plan.seed = static_cast<std::uint64_t>(parse_long(value, "seed"));
+      once(0, "seed");
+      const long seed = parse_long(value, "seed");
+      // A negative seed would print back as a huge unsigned value and
+      // break the exact replay round trip.
+      check(seed >= 0, "fault spec: seed must be >= 0");
+      plan.seed = static_cast<std::uint64_t>(seed);
     } else if (key == "drop") {
+      once(1, "drop");
       plan.drop_rate = parse_rate(value, "drop");
     } else if (key == "dup") {
+      once(2, "dup");
       plan.dup_rate = parse_rate(value, "dup");
     } else if (key == "corrupt") {
+      once(3, "corrupt");
       plan.corrupt_rate = parse_rate(value, "corrupt");
     } else if (key == "delay") {
+      once(4, "delay");
       plan.delay_rate = parse_rate(value, "delay");
     } else if (key == "timeout_ms") {
+      once(5, "timeout_ms");
       plan.timeout_ms = static_cast<int>(parse_long(value, "timeout_ms"));
       check(plan.timeout_ms > 0, "fault spec: timeout_ms must be > 0");
     } else if (key == "attempts") {
+      once(6, "attempts");
       plan.max_attempts = static_cast<int>(parse_long(value, "attempts"));
       check(plan.max_attempts > 0, "fault spec: attempts must be > 0");
     } else if (key == "crash") {
-      plan.crashes.push_back(parse_crash(value));
+      const CrashSpec crash = parse_crash(value);
+      check(std::find(plan.crashes.begin(), plan.crashes.end(), crash) ==
+                plan.crashes.end(),
+            "fault spec: duplicate crash trigger '", field, "'");
+      plan.crashes.push_back(crash);
     } else if (key == "msg") {
-      plan.messages.push_back(parse_message(value));
+      const MessageFaultSpec msg = parse_message(value);
+      check(std::find(plan.messages.begin(), plan.messages.end(), msg) ==
+                plan.messages.end(),
+            "fault spec: duplicate message fault '", field, "'");
+      plan.messages.push_back(msg);
     } else {
       fail("fault spec: unknown key '", key, "'");
     }
@@ -172,10 +216,12 @@ FaultPlan parse_fault_plan(const std::string& spec) {
 std::string to_replay_string(const FaultPlan& plan) {
   std::ostringstream out;
   out << "seed=" << plan.seed;
-  if (plan.drop_rate > 0) out << ",drop=" << plan.drop_rate;
-  if (plan.dup_rate > 0) out << ",dup=" << plan.dup_rate;
-  if (plan.corrupt_rate > 0) out << ",corrupt=" << plan.corrupt_rate;
-  if (plan.delay_rate > 0) out << ",delay=" << plan.delay_rate;
+  if (plan.drop_rate > 0) out << ",drop=" << rate_string(plan.drop_rate);
+  if (plan.dup_rate > 0) out << ",dup=" << rate_string(plan.dup_rate);
+  if (plan.corrupt_rate > 0) {
+    out << ",corrupt=" << rate_string(plan.corrupt_rate);
+  }
+  if (plan.delay_rate > 0) out << ",delay=" << rate_string(plan.delay_rate);
   out << ",timeout_ms=" << plan.timeout_ms
       << ",attempts=" << plan.max_attempts;
   for (const auto& c : plan.crashes) {

@@ -52,6 +52,8 @@ struct MessageFaultSpec {
   int dest = -1;
   int tag = -1;
   std::uint64_t seq = 0; ///< per-(source, dest, tag) sequence number
+
+  bool operator==(const MessageFaultSpec&) const = default;
 };
 
 /// Crash rank `rank` when it performs its `op_index`-th send/receive in
@@ -64,6 +66,8 @@ struct CrashSpec {
   bool any_phase = true;
   int op_index = 0;
   int step = -1; ///< >= 0 selects the shift-step trigger instead
+
+  bool operator==(const CrashSpec&) const = default;
 };
 
 /// The full injection schedule for one world run.
@@ -88,6 +92,8 @@ struct FaultPlan {
     return drop_rate > 0 || dup_rate > 0 || corrupt_rate > 0 ||
            delay_rate > 0 || !messages.empty();
   }
+
+  bool operator==(const FaultPlan&) const = default;
 };
 
 /// Parse the CLI / CI replay grammar:
@@ -95,11 +101,15 @@ struct FaultPlan {
 ///   crash=2@prop:3,crash=1@step:0,crash=0@any:5
 /// Crash triggers: <rank>@step:<s>, or <rank>@{repl|prop|comp|any}:<n>
 /// (the rank's n-th comm operation in that phase). Throws dsk::Error on
-/// malformed specs.
+/// anything malformed: unknown or repeated scalar keys, empty fields
+/// (trailing commas), negative ranks / endpoints / rates, and duplicate
+/// crash or message specs.
 FaultPlan parse_fault_plan(const std::string& spec);
 
 /// Inverse of parse_fault_plan for the deterministic replay string
-/// printed when a randomized soak run fails.
+/// printed when a randomized soak run fails. Exact round trip:
+/// parse_fault_plan(to_replay_string(p)) == p for every parseable plan
+/// (rates print with shortest-round-trip formatting).
 std::string to_replay_string(const FaultPlan& plan);
 
 /// Everything known about a rank crash, carried from the injection point

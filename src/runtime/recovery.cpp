@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace dsk {
 
@@ -51,10 +51,15 @@ void StepJournal::record_step(int rank, int loop_id, int step,
   auto& loop = ranks_[static_cast<std::size_t>(rank)]
                    .loops[static_cast<std::size_t>(loop_id)];
   if (!loop.resumable) return;
-  if (static_cast<std::size_t>(step) >= loop.done.size()) {
-    loop.done.resize(static_cast<std::size_t>(step) + 1);
+  // Non-retained steps (checkpoint interval > 1) still advance the
+  // completion watermark; seal() rounds the resume point down to a
+  // retained snapshot.
+  if (wants_snapshot(step)) {
+    if (static_cast<std::size_t>(step) >= loop.done.size()) {
+      loop.done.resize(static_cast<std::size_t>(step) + 1);
+    }
+    loop.done[static_cast<std::size_t>(step)] = std::move(snapshot);
   }
-  loop.done[static_cast<std::size_t>(step)] = std::move(snapshot);
   if (step == loop.last + 1) loop.last = step;
 }
 
@@ -75,26 +80,18 @@ void StepJournal::seal() {
       }
       resume = std::min(resume, r.loops[id].last);
     }
-    resume_[id] = ok ? resume : -1;
+    if (ok) {
+      // Round down to the newest step whose snapshot was retained
+      // under the checkpoint interval.
+      while (resume >= 0 && !wants_snapshot(resume)) --resume;
+    }
+    resume_[id] = ok && resume >= 0 ? resume : -1;
   }
 }
 
 void StepJournal::begin_attempt() {
   for (auto& r : ranks_) r.cursor = 0;
 }
-
-namespace {
-
-std::uint64_t values_digest(const std::vector<Scalar>& values) {
-  static_assert(sizeof(Scalar) == sizeof(std::uint64_t));
-  if (values.empty()) return fnv1a_words(nullptr, 0);
-  MessageWords words(values.size());
-  std::memcpy(words.data(), values.data(),
-              values.size() * sizeof(Scalar));
-  return fnv1a_words(words.data(), words.size());
-}
-
-} // namespace
 
 ReplicaStore::ReplicaStore(int num_ranks)
     : entries_(static_cast<std::size_t>(num_ranks)) {}
@@ -156,6 +153,48 @@ ReplicaStore::Repair ReplicaStore::reconstruct(int rank) {
   }
   // The re-spawned rank also re-fetches the replica copies it is
   // responsible for, from their (intact) owners.
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    const auto& owner = entries_[r];
+    for (const int peer : owner.peers) {
+      if (peer != rank) continue;
+      check(owner.valid, "ReplicaStore: owner ", r,
+            " invalid while refilling replicas");
+      e.replicas[static_cast<int>(r)] = owner.owned;
+      repair.words += static_cast<std::uint64_t>(owner.owned.size());
+    }
+  }
+  return repair;
+}
+
+bool ReplicaStore::can_reconstruct(int rank) const {
+  const auto& e = entries_[static_cast<std::size_t>(rank)];
+  for (const int peer : e.peers) {
+    const auto& holder = entries_[static_cast<std::size_t>(peer)];
+    const auto it = holder.replicas.find(rank);
+    if (it == holder.replicas.end()) continue;
+    if (values_digest(it->second) == e.digest) return true;
+  }
+  return false;
+}
+
+ReplicaStore::Repair ReplicaStore::adopt(int rank,
+                                         std::vector<Scalar> values) {
+  auto& e = entries_[static_cast<std::size_t>(rank)];
+  if (values_digest(values) != e.digest) {
+    CrashInfo info;
+    info.rank = rank;
+    throw WorldError("checkpoint adoption failed: restored values for "
+                     "rank " +
+                         std::to_string(rank) +
+                         " do not match the shard's recorded digest",
+                     info, "");
+  }
+  e.owned = std::move(values);
+  e.valid = true;
+  Repair repair;
+  repair.words = static_cast<std::uint64_t>(e.owned.size());
+  // Same replica refill a peer-sourced reconstruct performs: the
+  // re-spawned rank re-fetches the copies it retains for others.
   for (std::size_t r = 0; r < entries_.size(); ++r) {
     const auto& owner = entries_[r];
     for (const int peer : owner.peers) {

@@ -59,6 +59,17 @@ class StepJournal {
   /// At the start of each attempt: rewind every rank's loop-id counter.
   void begin_attempt();
 
+  /// Checkpoint cadence: retain only every interval-th step snapshot
+  /// (1 = every step, the default; 0 and negatives clamp to 1). seal()
+  /// rounds each resume point down to the newest retained snapshot.
+  void set_interval(int interval) { interval_ = interval > 0 ? interval : 1; }
+
+  /// True when the snapshot taken after `step` is retained under the
+  /// configured interval — callers skip building the blob otherwise.
+  bool wants_snapshot(int step) const {
+    return (step + 1) % interval_ == 0;
+  }
+
   /// Total steps skipped by journal resume across all ranks (diagnostic;
   /// atomic because every rank thread counts concurrently).
   std::uint64_t resumed_steps() const {
@@ -83,6 +94,7 @@ class StepJournal {
   };
   std::vector<RankLog> ranks_;
   std::vector<int> resume_; ///< sealed per-loop resume step
+  int interval_ = 1;
   std::atomic<std::uint64_t> resumed_steps_{0};
 };
 
@@ -124,6 +136,17 @@ class ReplicaStore {
   /// Rebuild the rank's shard (and its retained replicas) from a
   /// digest-valid peer. Throws WorldError when no valid replica survives.
   Repair reconstruct(int rank);
+
+  /// True when reconstruct() would succeed: some surviving peer holds a
+  /// digest-valid replica of the rank's shard.
+  bool can_reconstruct(int rank) const;
+
+  /// Fallback when no replica survives: install externally checkpointed
+  /// values as the rank's shard (verified against the recorded digest)
+  /// and refill the replica copies the rank retains for others. The
+  /// Repair's source_rank is -1 — the bytes came from stable storage,
+  /// not a peer.
+  Repair adopt(int rank, std::vector<Scalar> values);
 
   std::uint64_t digest(int rank) const;
 

@@ -257,10 +257,26 @@ class WorldStats {
     resumed_steps_ = resumed_steps;
   }
 
+  /// Graceful degradation: set when a permanently lost rank made the
+  /// driver re-plan the padded problem onto a smaller surviving world
+  /// instead of erroring. The stats then describe the degraded run.
+  bool degraded() const { return degraded_to_ > 0; }
+  int degraded_rank() const { return degraded_rank_; }
+  int degraded_from() const { return degraded_from_; }
+  int degraded_to() const { return degraded_to_; }
+  void set_degradation(int failed_rank, int from_ranks, int to_ranks) {
+    degraded_rank_ = failed_rank;
+    degraded_from_ = from_ranks;
+    degraded_to_ = to_ranks;
+  }
+
  private:
   std::vector<RankStats> ranks_;
   int recoveries_ = 0;
   std::uint64_t resumed_steps_ = 0;
+  int degraded_rank_ = -1;
+  int degraded_from_ = 0;
+  int degraded_to_ = 0;
 };
 
 } // namespace dsk

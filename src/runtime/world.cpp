@@ -458,8 +458,13 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
     injector = std::make_unique<FaultInjector>(*plan, num_ranks_);
     if (!plan->crashes.empty()) {
       journal = std::make_unique<StepJournal>(num_ranks_);
+      journal->set_interval(options.checkpoint_interval);
     }
   }
+  // Every failure that escapes a fault-mode run carries the plan's
+  // replay string: a soak log alone is enough to reproduce it.
+  const std::string replay =
+      plan != nullptr ? " [replay: " + to_replay_string(*plan) + "]" : "";
 
   int recoveries = 0;
   for (;;) {
@@ -493,7 +498,7 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!crash && !first_error) crash = e.crash();
           }
-          abort_all(e.what());
+          abort_all(e.what() + replay);
         } catch (const WorldAbortError&) {
           // A consequence of someone else's failure; the root cause is
           // already recorded (or is a crash being handled).
@@ -502,13 +507,13 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
-          abort_all(e.what());
+          abort_all(e.what() + replay);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
-          abort_all("unknown error");
+          abort_all("unknown error" + replay);
         }
         std::string graph;
         if (note_exit(r, &graph)) {
@@ -518,7 +523,7 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
               CrashInfo none;
               watchdog_error.emplace(
                   "deadlock: all remaining ranks are blocked after rank " +
-                      std::to_string(r) + " exited; " + graph,
+                      std::to_string(r) + " exited; " + graph + replay,
                   none, graph);
             }
           }
@@ -532,6 +537,17 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
     }
 
     if (first_error) {
+      if (!replay.empty()) {
+        try {
+          std::rethrow_exception(first_error);
+        } catch (const WorldError& e) {
+          throw WorldError(e.what() + replay, e.crash(), e.wait_graph());
+        } catch (const WorldAbortError& e) {
+          throw WorldAbortError(e.what() + replay);
+        } catch (...) {
+          throw;
+        }
+      }
       std::rethrow_exception(first_error);
     }
     if (crash) {
@@ -552,7 +568,7 @@ WorldStats SimWorld::run(const std::function<void(Comm&)>& body,
                            (options.on_crash
                                 ? " (recovery budget exhausted); "
                                 : " (no recovery handler); ") +
-                           graph,
+                           graph + replay,
                        *crash, graph);
     }
     if (watchdog_error) {

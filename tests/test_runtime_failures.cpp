@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/collectives.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/world.hpp"
 
 namespace dsk {
@@ -135,6 +136,46 @@ TEST(RuntimeFailure, AbortCarriesRootCauseToBlockedRanks) {
         << message;
     EXPECT_NE(message.find("exploded spectacularly"), std::string::npos)
         << message;
+  }
+}
+
+TEST(RuntimeFailure, FaultedRunErrorsEmbedTheReplayString) {
+  // When a run fails under a fault plan, the structured error must carry
+  // the plan's deterministic replay string so the exact failure can be
+  // reproduced from the message alone — both in the root-cause WorldError
+  // and in the WorldAbortError every blocked rank sees.
+  const FaultPlan plan = parse_fault_plan("seed=11,crash=1@any:0");
+  SimWorld world(2);
+  std::string abort_message;
+  try {
+    // No on_crash handler: the crash is terminal and the world aborts.
+    world.run(
+        [&](Comm& comm) {
+          if (comm.rank() == 1) {
+            comm.send<Scalar>(0, kTagUser, std::vector<Scalar>{1.0});
+          }
+          try {
+            if (comm.rank() == 0) comm.recv<Scalar>(1, kTagUser);
+          } catch (const WorldAbortError& e) {
+            abort_message = e.what();
+            throw;
+          }
+        },
+        WorldOptions{&plan, {}, 0});
+    FAIL() << "expected dsk::WorldError";
+  } catch (const WorldError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(e.crash().rank, 1);
+    EXPECT_NE(what.find("no recovery handler"), std::string::npos) << what;
+    EXPECT_NE(what.find("[replay: "), std::string::npos) << what;
+    EXPECT_NE(what.find("seed=11"), std::string::npos) << what;
+    EXPECT_NE(what.find("crash=1@any:0"), std::string::npos) << what;
+  }
+  if (!abort_message.empty()) {
+    EXPECT_NE(abort_message.find("[replay: "), std::string::npos)
+        << abort_message;
+    EXPECT_NE(abort_message.find("crash=1@any:0"), std::string::npos)
+        << abort_message;
   }
 }
 

@@ -42,9 +42,18 @@
 ///                 "seed=7,drop=0.02,corrupt=0.01" injects message
 ///                 faults healed by the checksummed retransmit layer;
 ///                 "crash=3@prop:2" crashes rank 3 at its third
-///                 propagation op — 2.5D drivers recover from replicas,
-///                 1.5D/1D report a structured WorldError. Outputs stay
+///                 propagation op — 2.5D drivers recover from replicas
+///                 (checkpoint fallback when no peer survives), 1.5D/1D
+///                 restore from the checkpoint store. Outputs stay
 ///                 bit-identical to the fault-free run.
+///     --checkpoint-interval N  journal/checkpoint snapshot cadence in
+///                 shift steps (0 = every step; requires --faults)
+///     --max-recoveries N  recovery-attempt budget before the crash is
+///                 treated as permanent (default 4; requires --faults)
+///     --degrade   when recovery is impossible or the budget is spent,
+///                 re-shard onto the largest valid smaller grid and
+///                 re-run from the checkpointed inputs instead of
+///                 failing (requires --faults)
 ///     --no-verify skip the serial reference check (large inputs)
 ///
 /// Examples:
@@ -92,6 +101,11 @@ struct Options {
   Index r = 32;
   Index chunk_rows = 0;
   bool chunk_rows_set = false;
+  int checkpoint_interval = 0;
+  bool checkpoint_interval_set = false;
+  int max_recoveries = 4;
+  bool max_recoveries_set = false;
+  bool degrade = false;
   std::uint64_t seed = 1;
   int reps = 1;
 };
@@ -130,6 +144,15 @@ Options parse(int argc, char** argv) {
       opt.chunk_rows = std::atoll(next());
       opt.chunk_rows_set = true;
     }
+    else if (arg == "--checkpoint-interval") {
+      opt.checkpoint_interval = std::atoi(next());
+      opt.checkpoint_interval_set = true;
+    }
+    else if (arg == "--max-recoveries") {
+      opt.max_recoveries = std::atoi(next());
+      opt.max_recoveries_set = true;
+    }
+    else if (arg == "--degrade") opt.degrade = true;
     else if (arg == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--reps") opt.reps = std::atoi(next());
     else if (arg == "--help" || arg == "-h") usage_and_exit("help");
@@ -202,6 +225,23 @@ int main(int argc, char** argv) {
     usage_and_exit("--chunk-rows must be a row count (or 0 for auto)");
   }
   algo_options.chunk_rows = opt.chunk_rows;
+  if (opt.faults.empty() &&
+      (opt.checkpoint_interval_set || opt.max_recoveries_set ||
+       opt.degrade)) {
+    usage_and_exit("--checkpoint-interval, --max-recoveries, and --degrade "
+                   "only apply with --faults; refusing to silently ignore "
+                   "them");
+  }
+  if (opt.checkpoint_interval_set && opt.checkpoint_interval < 0) {
+    usage_and_exit("--checkpoint-interval must be a step count "
+                   "(or 0 for every step)");
+  }
+  if (opt.max_recoveries_set && opt.max_recoveries < 0) {
+    usage_and_exit("--max-recoveries must be >= 0");
+  }
+  algo_options.checkpoint_interval = opt.checkpoint_interval;
+  algo_options.max_recoveries = opt.max_recoveries;
+  algo_options.degrade = opt.degrade;
 
   try {
     FaultPlan fault_plan;
@@ -310,10 +350,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(retry.duplicates_dropped),
                   static_cast<unsigned long long>(retry.corrupt_dropped),
                   static_cast<unsigned long long>(retry.reordered));
-      std::printf("recoveries: %d rank crash(es) repaired from replicas, "
-                  "%llu journaled shift steps resumed\n",
+      std::printf("recoveries: %d rank crash(es) repaired (replicas or "
+                  "checkpoint restore), %llu journaled shift steps "
+                  "resumed\n",
                   stats.recoveries(),
                   static_cast<unsigned long long>(stats.resumed_steps()));
+      if (stats.degraded()) {
+        std::printf("degraded: rank %d lost for good; re-planned from "
+                    "p = %d onto p = %d surviving ranks\n",
+                    stats.degraded_rank(), stats.degraded_from(),
+                    stats.degraded_to());
+      }
     }
     std::printf("\nhost wall time: %.3fs (simulation, not performance)\n",
                 wall);
