@@ -45,7 +45,13 @@ class JsonRecords {
   class Record {
    public:
     Record& field(const std::string& key, const std::string& value) {
-      fields_.emplace_back(key, "\"" + escape(value) + "\"");
+      std::string quoted;
+      const std::string escaped = escape(value);
+      quoted.reserve(escaped.size() + 2);
+      quoted += '"';
+      quoted += escaped;
+      quoted += '"';
+      fields_.emplace_back(key, std::move(quoted));
       return *this;
     }
     Record& field(const std::string& key, const char* value) {

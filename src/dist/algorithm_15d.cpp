@@ -806,7 +806,7 @@ class SparseShift15D final : public DistAlgorithm {
   }
 
   /// Circulate the layer's S pieces for L steps.
-  void s_loop(Comm& comm, const Setup& su, int u, int v, bool mutates,
+  void s_loop(Comm& comm, int u, int v, bool mutates,
               MessageWords start,
               const std::function<void(int, MessageWords&)>& body,
               const ShiftPrologue* prologue = nullptr,
@@ -943,7 +943,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         hooks.unpack_state = [&](const MessageWords& words) {
           partial = unpack_dense(words, su.m, su.rL);
         };
-        s_loop(comm, su, u, v, /*mutates=*/false,
+        s_loop(comm, u, v, /*mutates=*/false,
                pack_triplets(piece(su, v, u).coo),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
@@ -982,7 +982,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         hooks.unpack_state = [&](const MessageWords& words) {
           b_out = unpack_dense(words, su.n / c(), su.rL);
         };
-        s_loop(comm, su, u, v, /*mutates=*/false,
+        s_loop(comm, u, v, /*mutates=*/false,
                pack_triplets(piece(su, v, u).coo),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
@@ -1044,7 +1044,7 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
         hooks.unpack_state = [&](const MessageWords& words) {
           partial = unpack_dense(words, su.m, su.rL);
         };
-        s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
+        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece),
                [&](int j, MessageWords& block) {
                  const auto payload = unpack_triplets(block);
                  comm.stats().add_flops(spmm_a(
@@ -1070,7 +1070,7 @@ FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
         hooks.unpack_state = [&](const MessageWords& words) {
           b_out = unpack_dense(words, su.n / c(), su.rL);
         };
-        s_loop(comm, su, u, v, /*mutates=*/false, pack_triplets(r_piece),
+        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece),
                [&](int j, MessageWords& block) {
                  const auto payload = unpack_triplets(block);
                  comm.stats().add_flops(spmm_b(

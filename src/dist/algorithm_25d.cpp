@@ -881,7 +881,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         hooks.unpack_state = [&](const MessageWords& words) {
           dots = unpack_values(words);
         };
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
           const auto bk =
@@ -922,7 +922,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
           const auto bk =
               unpack_dense(channels[1].block, su.nq, su.rqc);
@@ -949,7 +949,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
           auto acc = unpack_dense(channels[1].block, su.nq, su.rqc);
@@ -1022,7 +1022,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
         hooks.unpack_state = [&](const MessageWords& words) {
           dots = unpack_values(words);
         };
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
           const auto bk =
@@ -1059,7 +1059,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           auto acc = unpack_dense(channels[0].block, su.mq, su.rqc);
           const auto bk =
               unpack_dense(channels[1].block, su.nq, su.rqc);
@@ -1083,7 +1083,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
-        run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
+        run_shift_loop(comm, options().schedule, q, channels, [&](int) {
           const auto ak =
               unpack_dense(channels[0].block, su.mq, su.rqc);
           auto acc = unpack_dense(channels[1].block, su.nq, su.rqc);

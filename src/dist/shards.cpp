@@ -30,7 +30,7 @@ MessageWords pack_triplets(const Triplets& t) {
         t.cols.size(), ", ", t.values.size(), ")");
   const std::size_t n = t.size();
   MessageWords words;
-  words.reserve(3 * n + 1);
+  words.reserve(triplets_words(n));
   words.push_back(static_cast<std::uint64_t>(n));
   for (const Index r : t.rows) words.push_back(static_cast<std::uint64_t>(r));
   for (const Index c : t.cols) words.push_back(static_cast<std::uint64_t>(c));
@@ -41,8 +41,8 @@ MessageWords pack_triplets(const Triplets& t) {
 Triplets unpack_triplets(const MessageWords& words) {
   check(!words.empty(), "unpack_triplets: empty message");
   const auto n = static_cast<std::size_t>(words[0]);
-  check(words.size() == 3 * n + 1, "unpack_triplets: message has ",
-        words.size(), " words, expected ", 3 * n + 1, " for ", n,
+  check(words.size() == triplets_words(n), "unpack_triplets: message has ",
+        words.size(), " words, expected ", triplets_words(n), " for ", n,
         " triplets");
   Triplets t;
   t.rows.reserve(n);
@@ -70,8 +70,7 @@ MessageWords pack_dense(const DenseMatrix& m) {
 }
 
 DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols) {
-  check(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) ==
-            words.size(),
+  check(dense_words(rows, cols) == words.size(),
         "unpack_dense: ", words.size(), " words do not form a ", rows, " x ",
         cols, " matrix");
   std::vector<Scalar> values(words.size());

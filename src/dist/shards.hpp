@@ -32,11 +32,24 @@ struct Triplets {
   std::size_t size() const { return values.size(); }
 };
 
-/// Serialize: [count, rows..., cols..., values...] = 3*nnz + 1 words.
+/// Wire cost of a triplet block: [count, rows..., cols..., values...]
+/// = 3*nnz + 1 words — exactly the paper's sparse-shift charge. The
+/// pack/unpack pair below and every modeled sparse-shift cost must stay
+/// in lockstep with this function (dsk_lint check P1).
+inline std::uint64_t triplets_words(std::size_t nnz) {
+  return 3 * static_cast<std::uint64_t>(nnz) + 1;
+}
+
+/// Serialize: triplets_words(t.size()) words.
 MessageWords pack_triplets(const Triplets& t);
 
 /// Deserialize; throws on truncated or trailing-garbage messages.
 Triplets unpack_triplets(const MessageWords& words);
+
+/// Wire cost of a dense block: values only, shapes travel out of band.
+inline std::uint64_t dense_words(Index rows, Index cols) {
+  return static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+}
 
 /// Serialize a dense matrix's values (row-major, no header).
 MessageWords pack_dense(const DenseMatrix& m);
@@ -44,7 +57,13 @@ MessageWords pack_dense(const DenseMatrix& m);
 /// Deserialize into a rows x cols matrix; throws on size mismatch.
 DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols);
 
-/// Serialize a bare value vector (no header; length known out of band).
+/// Wire cost of a bare value vector (no header; length known out of
+/// band).
+inline std::uint64_t values_words(std::size_t count) {
+  return static_cast<std::uint64_t>(count);
+}
+
+/// Serialize a bare value vector.
 MessageWords pack_values(std::span<const Scalar> values);
 
 std::vector<Scalar> unpack_values(const MessageWords& words);

@@ -1,0 +1,17 @@
+// dsk_lint fixture: D1 violation. The range-for below iterates an
+// unordered_set straight into an output vector — the exact PR-5
+// generator bug class: contents are deterministic, iteration order is
+// stdlib-dependent, so whatever consumes `out` diverges across
+// platforms.
+#include <unordered_set>
+#include <vector>
+
+using Index = long;
+
+std::vector<Index> sampled_columns(const std::unordered_set<Index>& seen) {
+  std::vector<Index> out;
+  for (const Index column : seen) { // D1: order escapes into `out`
+    out.push_back(column);
+  }
+  return out;
+}

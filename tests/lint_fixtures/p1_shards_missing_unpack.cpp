@@ -1,0 +1,18 @@
+// dsk_lint fixture: P1 violation. A wire-format file (basename matches
+// the shards/collectives scope) declaring a pack_ function with no
+// matching unpack_ — the receiver of this message cannot exist, or
+// worse, decodes it by hand and drifts from the packer.
+#include <cstdint>
+#include <vector>
+
+using MessageWords = std::vector<std::uint64_t>;
+
+inline std::uint64_t header_words(std::size_t count) { return count + 1; }
+
+MessageWords pack_header(std::size_t count) {
+  MessageWords words;
+  words.reserve(header_words(count));
+  words.push_back(static_cast<std::uint64_t>(count));
+  return words;
+}
+// P1: no unpack_header anywhere.

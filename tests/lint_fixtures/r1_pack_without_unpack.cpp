@@ -1,0 +1,21 @@
+// dsk_lint fixture: R1 violation. A driver registers a journal pack
+// hook but never the matching unpack hook — snapshots are written on
+// every step, and a recovered attempt has no way to restore them, so
+// the resumed run silently recomputes from stale accumulators.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+using MessageWords = std::vector<std::uint64_t>;
+
+struct ShiftJournalHooks {
+  std::function<MessageWords()> pack_state;
+  std::function<void(const MessageWords&)> unpack_state;
+};
+
+void register_hooks(ShiftJournalHooks& hooks,
+                    const std::vector<std::uint64_t>& partial) {
+  hooks.pack_state = [&] { // R1: no .unpack_state registered
+    return MessageWords(partial.begin(), partial.end());
+  };
+}

@@ -1,0 +1,15 @@
+// dsk_lint fixture: R1 violation. A restore path in a recovery-scope
+// file (basename matches checkpoint/recovery) that installs bytes
+// without verifying any digest — corruption in stable storage becomes
+// a silent wrong answer instead of a structured error.
+#include <cstdint>
+#include <vector>
+
+struct Entry {
+  std::vector<double> stable;
+  std::vector<double> live;
+};
+
+void restore(Entry& e) { // R1: trusts bytes, never checks a digest
+  e.live = e.stable;
+}

@@ -1,0 +1,30 @@
+// dsk_lint fixture: W1 violations. (1) The unnamed PhaseScope
+// temporary is destroyed at the semicolon, so the kernel below it is
+// charged to the WRONG phase — the classic misattribution bug the
+// named-scope rule exists for. (2) The timed receive retries forever
+// with no attempt cap: a wedged peer turns into a silent hang that the
+// deadlock watchdog cannot prove (timed waiters are exempt).
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+using MessageWords = std::vector<std::uint64_t>;
+
+// (PhaseScope itself is deliberately NOT declared here: a file that
+// declares the class is its defining header and is exempt from the
+// unnamed-temporary rule. Fixtures are never compiled.)
+enum class Phase { Computation };
+struct RankStats {};
+struct Mailbox {
+  std::optional<MessageWords> receive_for(int, int,
+                                          std::chrono::milliseconds);
+};
+
+void compute_step(RankStats& stats, Mailbox& box) {
+  PhaseScope(stats, Phase::Computation); // W1: dies immediately
+  for (;;) {
+    auto msg = box.receive_for(0, 7, std::chrono::milliseconds(10));
+    if (msg) break; // W1: no bounded retry cap around the timed receive
+  }
+}

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "dist/shards.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/world.hpp"
 
@@ -500,13 +501,13 @@ TEST_P(CollectiveSweep, SendrecvColsDeliversSupportAndPinsWords) {
           }
         }
       });
-      const std::uint64_t dense_words =
+      const std::uint64_t dense_hop_words =
           static_cast<std::uint64_t>(kBlockRows) * kWidth;
       for (int rank = 0; rank < g; ++rank) {
         if (g == 1) break; // self-exchange still moves one message here
         const auto& rows = hop_rows[static_cast<std::size_t>(
             (rank - 1 + g) % g)]; // what this rank SENDS
-        std::uint64_t want_words = dense_words;
+        std::uint64_t want_words = dense_hop_words;
         if (mode == PropagationMode::SparseCols ||
             (mode == PropagationMode::Auto &&
              sparse_cols_hop_wins(rows.size(), kBlockRows, kWidth))) {
@@ -520,11 +521,63 @@ TEST_P(CollectiveSweep, SendrecvColsDeliversSupportAndPinsWords) {
         // support costs the extra index words).
         if (mode != PropagationMode::SparseCols) {
           EXPECT_LE(stats.rank(rank).phase(Phase::Propagation).words_sent,
-                    dense_words);
+                    dense_hop_words);
         }
       }
     }
   }
+}
+
+/// The cols-block wire triple directly: pack produces exactly
+/// sparse_cols_words words, unpack restores the dense payload with
+/// zeros off-support, and the empty support ships nothing — the
+/// pack/unpack/words lockstep dsk_lint's P1 check requires a test to
+/// pin.
+TEST(ColsBlockWire, PackUnpackWordsStayInLockstep) {
+  const auto dense = pack_dense(member_block(3));
+  const std::vector<Index> support = {0, 2, 5};
+  const auto packed =
+      pack_cols_block(dense, kBlockRows, kWidth, support);
+  EXPECT_EQ(packed.size(), sparse_cols_words(support.size(), kWidth));
+  const auto restored =
+      unpack_cols_block(packed, kBlockRows, kWidth, support);
+  const auto want = member_block(3);
+  const auto got = unpack_dense(restored, kBlockRows, kWidth);
+  std::vector<char> on_support(static_cast<std::size_t>(kBlockRows), 0);
+  for (const Index row : support) {
+    on_support[static_cast<std::size_t>(row)] = 1;
+  }
+  for (Index i = 0; i < kBlockRows; ++i) {
+    for (Index j = 0; j < kWidth; ++j) {
+      const Scalar expect = on_support[static_cast<std::size_t>(i)] != 0
+                                ? want(i, j)
+                                : Scalar{0};
+      EXPECT_EQ(got(i, j), expect) << "row " << i << " col " << j;
+    }
+  }
+
+  // Empty support: the packer still emits its count header, but the
+  // wire cost is zero because every caller skips the hop outright —
+  // which is exactly what sparse_cols_words(0, w) == 0 accounts for.
+  const std::vector<Index> empty;
+  const auto empty_packed = pack_cols_block(dense, kBlockRows, kWidth, empty);
+  EXPECT_EQ(empty_packed.size(), 1u);
+  EXPECT_EQ(empty_packed.front(), 0u);
+  EXPECT_EQ(sparse_cols_words(0, kWidth), 0u);
+  const auto empty_restored =
+      unpack_cols_block(empty_packed, kBlockRows, kWidth, empty);
+  EXPECT_TRUE(std::all_of(empty_restored.begin(), empty_restored.end(),
+                          [](std::uint64_t w) { return w == 0; }));
+
+  // Truncated and trailing-garbage messages are rejected.
+  auto corrupt = packed;
+  corrupt.pop_back();
+  EXPECT_THROW(unpack_cols_block(corrupt, kBlockRows, kWidth, support),
+               Error);
+  corrupt = packed;
+  corrupt.push_back(0);
+  EXPECT_THROW(unpack_cols_block(corrupt, kBlockRows, kWidth, support),
+               Error);
 }
 
 /// A rank that throws inside a chunk callback mid-pipeline (its peers
@@ -585,7 +638,9 @@ TEST(SparseCollectives, AutoDecidesPerRankNotOnGroupTotals) {
 INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectiveSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
                          [](const auto& param_info) {
-                           return "g" + std::to_string(param_info.param);
+                           std::string name = "g";
+                           name += std::to_string(param_info.param);
+                           return name;
                          });
 
 TEST(OverlapModel, BoundedByBulkSynchronous) {

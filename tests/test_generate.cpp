@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "dist/shards.hpp"
+#include "runtime/fault.hpp"
 #include "sparse/generate.hpp"
 
 namespace dsk {
@@ -134,6 +136,35 @@ TEST(Phi, MatchesDefinition) {
   // phi = nnz / (n*r) = 64*4 / (128*16) = 0.125
   EXPECT_DOUBLE_EQ(phi_ratio(s, 16), 0.125);
   EXPECT_THROW(phi_ratio(s, 0), Error);
+}
+
+/// Golden checksums of the generators' packed-triplet output. The
+/// rejection path of erdos_renyi_fixed_row collects its columns in an
+/// unordered_set whose ITERATION order is stdlib-dependent; the
+/// canonical copy-then-sort (generate.cpp) makes the (column, value)
+/// pairing platform-independent, and these constants pin that: if any
+/// stdlib-ordered structure leaks back into the draw sequence, the
+/// checksum moves and this fails — the dsk_lint D1 bug class, caught at
+/// test time rather than as a poisoned committed bench baseline.
+TEST(GeneratorDeterminism, GoldenChecksumsPinStdlibIndependence) {
+  const auto checksum = [](const CooMatrix& s) {
+    Triplets t;
+    for (Index k = 0; k < s.nnz(); ++k) {
+      t.rows.push_back(s.entry(k).row);
+      t.cols.push_back(s.entry(k).col);
+      t.values.push_back(s.entry(k).value);
+    }
+    const auto words = pack_triplets(t);
+    return fnv1a_words(words.data(), words.size());
+  };
+
+  Rng er_rng(42);
+  const auto er = erdos_renyi_fixed_row(64, 4096, 8, er_rng);
+  EXPECT_EQ(checksum(er), 0x0831bcbbd3b086e1ull);
+
+  Rng rmat_rng(42);
+  const auto rm = rmat(1 << 10, 1 << 10, 4096, rmat_rng);
+  EXPECT_EQ(checksum(rm), 0x41297fedfd8408d6ull);
 }
 
 } // namespace

@@ -26,6 +26,27 @@ TEST(Shards, EmptyTripletsAreOneWord) {
   EXPECT_EQ(unpack_triplets(words).size(), 0u);
 }
 
+// Each wire format's *_words cost function must equal the packed
+// message size exactly — the pack/unpack/words lockstep dsk_lint's P1
+// check requires a test to pin.
+TEST(Shards, WordsFunctionsMatchPackedSizes) {
+  Triplets t;
+  t.rows = {0, 2, 2, 5};
+  t.cols = {1, 0, 3, 2};
+  t.values = {1.0, -2.0, 3.5, 0.25};
+  EXPECT_EQ(pack_triplets(t).size(), triplets_words(t.size()));
+  EXPECT_EQ(triplets_words(0), 1u);
+  EXPECT_EQ(triplets_words(4), 13u);
+
+  DenseMatrix m(3, 5);
+  EXPECT_EQ(pack_dense(m).size(), dense_words(3, 5));
+  EXPECT_EQ(dense_words(0, 7), 0u);
+
+  const std::vector<Scalar> values = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pack_values(values).size(), values_words(values.size()));
+  EXPECT_EQ(values_words(0), 0u);
+}
+
 TEST(Shards, TripletsRejectCorruptMessages) {
   Triplets t;
   t.rows = {1};

@@ -13,12 +13,23 @@ workload change) fails the build, while timing jitter never does.
 
 Usage:
   check_bench_words.py BASELINE.json FRESH.json [NAME]
+  check_bench_words.py --schema FILE.json [FILE.json ...]
+
+--schema is a self-check over committed (or freshly generated) bench
+JSONs without needing a second file to diff against: every record must
+be a flat object whose keys are identifier-shaped, whose key fields are
+scalars, whose value fields are numbers (or null — the benches emit
+null for non-finite timings), and record keys must be unique. It guards
+the interchange format itself, so a bench emitting malformed or
+colliding records fails CI even before the word-count diff runs.
 
 Exit status: 0 when all deterministic fields match, 1 on any drift
-(missing records, extra records, or changed values), 2 on bad input.
+(missing records, extra records, or changed values) or schema
+violation, 2 on bad input.
 """
 
 import json
+import re
 import sys
 
 # Wall-clock noise, never compared.
@@ -38,6 +49,9 @@ KEY_FIELDS = (
     "mode",
     "replication",
     "propagation",
+    "kernel",
+    "impl",
+    "threads",
     "p",
     "c",
     "n",
@@ -82,7 +96,90 @@ def describe(key):
     return ", ".join(f"{name}={value}" for name, value in key)
 
 
+# Field names are C-identifier-shaped: they come straight from string
+# literals in the benches, so anything else is an escaping bug.
+FIELD_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def schema_problems(path, records):
+    """Structural complaints about one bench JSON, as strings."""
+    problems = []
+    if not isinstance(records, list):
+        return [f"{path}: top level must be a JSON array of records"]
+    if not records:
+        problems.append(f"{path}: empty record list")
+    seen = {}
+    for i, record in enumerate(records):
+        where = f"{path}[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not a JSON object")
+            continue
+        for name, value in record.items():
+            if not FIELD_NAME_RE.match(name):
+                problems.append(
+                    f"{where}: field name {name!r} is not "
+                    f"identifier-shaped")
+            if isinstance(value, (dict, list)):
+                problems.append(
+                    f"{where}: field {name} is nested "
+                    f"({type(value).__name__}); records must be flat")
+            elif name in KEY_FIELDS:
+                if not isinstance(value, (str, int)):
+                    problems.append(
+                        f"{where}: key field {name}={value!r} must be a "
+                        f"string or integer")
+            elif isinstance(value, bool) or not isinstance(
+                    value, (int, float, type(None))):
+                problems.append(
+                    f"{where}: value field {name}={value!r} must be a "
+                    f"number or null")
+        if not any(f in record for f in KEY_FIELDS):
+            problems.append(
+                f"{where}: record carries none of the key fields "
+                f"{KEY_FIELDS}")
+        # Uniqueness matters only for the diff-gated interchange records
+        # (tagged with "bench"); measurement logs like
+        # BENCH_local_kernels.json repeat configurations on purpose.
+        if "bench" in record:
+            key = record_key(record)
+            if key in seen:
+                problems.append(
+                    f"{where}: duplicate record key (first at index "
+                    f"{seen[key]}): {describe(key)}")
+            else:
+                seen[key] = i
+    return problems
+
+
+def schema_main(paths):
+    if not paths:
+        print("check_bench_words: --schema needs at least one JSON file")
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as handle:
+                records = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"check_bench_words: cannot read {path}: {error}")
+            return 2
+        problems = schema_problems(path, records)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"  {problem}")
+            print(f"check_bench_words: --schema: {path}: "
+                  f"{len(problems)} problem(s)")
+        else:
+            count = len(records)
+            print(f"check_bench_words: --schema: {path}: OK "
+                  f"({count} records)")
+    return 1 if failed else 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--schema":
+        return schema_main(argv[2:])
     if len(argv) not in (3, 4):
         print(__doc__)
         return 2

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Assert that dsk_lint goes RED on a seeded-violation fixture: exit
+# status must be exactly 1 (findings) and the output must contain a
+# finding of the expected check. Used by the lint_fixture_* ctest
+# entries so the linter itself is regression-tested.
+#
+# Usage: expect_violation.sh CHECK FILE...
+set -u
+check="$1"
+shift
+out="$(python3 "$(dirname "$0")/dsk_lint.py" --engine tokenizer "$@" 2>&1)"
+status=$?
+printf '%s\n' "$out"
+if [ "$status" -ne 1 ]; then
+  echo "expect_violation: expected exit 1 (findings), got $status"
+  exit 1
+fi
+if ! printf '%s\n' "$out" | grep -q ": ${check}: "; then
+  echo "expect_violation: expected a ${check} finding in the output"
+  exit 1
+fi
+echo "expect_violation: OK (${check} reported, exit 1)"
+exit 0
