@@ -1,0 +1,192 @@
+/// Serving-layer benchmark: what the immutable Plan / execute split and
+/// the request batcher buy at request time.
+///
+/// Two comparisons, both with exact word counts from the simulator:
+///  1. Batching — k narrow scoring requests served one kernel pass each
+///     (width = the grid's minimum r multiple) vs the same k requests
+///     coalesced into r-wide batched passes at the width_dispatch sweet
+///     spot r = 32. Propagation words scale with the pass count, not the
+///     total column count, so batching must never move more words.
+///  2. Cross-call replication cache — the first SDDMM against a resident
+///     plan gathers the stationary factor (cold words), the second rides
+///     the cache (warm words must be ZERO), and the ratio is the whole
+///     replication phase of every steady-state serving call.
+///
+/// Timing fields (*_seconds) are the deterministic machine-model
+/// projections, excluded from the words gate like all timings. The
+/// committed BENCH_serving.json is diffed by check_bench_words.py in CI;
+/// this binary also self-gates (exit 1) if batching or caching loses.
+
+#include "bench_common.hpp"
+#include "dist/plan.hpp"
+#include "dist/problem.hpp"
+#include "dist/replication_cache.hpp"
+#include "runtime/world.hpp"
+
+using namespace dsk;
+using namespace dsk::bench;
+
+namespace {
+
+std::uint64_t comm_words(const WorldStats& stats) {
+  return stats.max_words(Phase::Replication) +
+         stats.max_words(Phase::Propagation);
+}
+
+std::uint64_t comm_messages(const WorldStats& stats) {
+  return stats.max_messages(Phase::Replication) +
+         stats.max_messages(Phase::Propagation);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = out_path_from_args(argc, argv);
+  print_header("Serving: batched passes and the cross-call "
+               "replication cache");
+
+  const Index n = 1024 * env_scale();
+  const Index d = 8;
+  const int p = 8;
+  const Index batch_r = 32;
+  const int requests = 32;
+  const auto machine = MachineModel::cori_knl();
+
+  JsonRecords records;
+  bool ok = true;
+
+  std::printf("n = %lld, nnz/row = %lld, p = %d, %d requests; words are "
+              "per-rank maxima\n\n",
+              static_cast<long long>(n), static_cast<long long>(d), p,
+              requests);
+  std::printf("%-18s %2s %7s %12s %12s %7s %10s %10s\n", "algorithm", "c",
+              "narrow", "k*narrow", "batched", "ratio", "cold repl",
+              "warm repl");
+
+  struct Family {
+    AlgorithmKind kind;
+    int c;
+    /// 2.5D-SparseRepl replicates sparsity-sized value lists, not dense
+    /// factor blocks — the dense-block cache deliberately skips it.
+    bool cacheable;
+  };
+  const Family families[] = {
+      {AlgorithmKind::DenseShift15D, 2, true},
+      {AlgorithmKind::SparseShift15D, 2, true},
+      {AlgorithmKind::DenseRepl25D, 2, true},
+      {AlgorithmKind::SparseRepl25D, 2, false},
+  };
+
+  for (const Family& fam : families) {
+    Rng rng(4242);
+    CooMatrix s = erdos_renyi_fixed_row(n, n, d, rng);
+    const Index narrow_r = dims_requirement(fam.kind, p, fam.c).r_multiple;
+    DenseMatrix a(s.rows(), batch_r), b(s.cols(), batch_r);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const PaddedProblem padded = pad_problem(fam.kind, p, fam.c, s, a, b);
+
+    DenseMatrix a_narrow(padded.s.rows(), narrow_r);
+    DenseMatrix b_narrow(padded.s.cols(), narrow_r);
+    for (Index i = 0; i < a_narrow.rows(); ++i) {
+      for (Index j = 0; j < narrow_r; ++j) a_narrow(i, j) = padded.a(i, j);
+    }
+
+    const Plan plan_narrow =
+        make_plan(fam.kind, p, fam.c, padded.s, narrow_r);
+    const Plan plan_batch =
+        make_plan(fam.kind, p, fam.c, padded.s, batch_r);
+    SimWorld world(p);
+    ExecuteOptions exec;
+    exec.world = &world;
+
+    // k requests, one narrow pass each.
+    const auto one_narrow =
+        plan_narrow.execute(Mode::SpMMB, padded.s, a_narrow, b_narrow,
+                            exec);
+    const std::uint64_t narrow_words = comm_words(one_narrow.stats);
+    const std::uint64_t narrow_total =
+        narrow_words * static_cast<std::uint64_t>(requests);
+
+    // The same k requests coalesced into 32-wide batched passes.
+    const auto one_batch =
+        plan_batch.execute(Mode::SpMMB, padded.s, padded.a, padded.b,
+                           exec);
+    const auto passes = static_cast<std::uint64_t>(
+        (requests + batch_r - 1) / batch_r);
+    const std::uint64_t batched_total =
+        comm_words(one_batch.stats) * passes;
+    const double ratio =
+        batched_total > 0
+            ? static_cast<double>(narrow_total) /
+                  static_cast<double>(batched_total)
+            : 1.0;
+    if (batched_total > narrow_total) ok = false;
+
+    // Cross-call cache on the stationary-factor SDDMM.
+    ReplicationCache cache(p);
+    ExecuteOptions cached = exec;
+    cached.cache = &cache;
+    const auto cold = plan_batch.execute(Mode::SDDMM, padded.s, padded.a,
+                                         padded.b, cached);
+    const auto warm = plan_batch.execute(Mode::SDDMM, padded.s, padded.a,
+                                         padded.b, cached);
+    const std::uint64_t cold_repl =
+        cold.stats.max_words(Phase::Replication);
+    const std::uint64_t warm_repl =
+        warm.stats.max_words(Phase::Replication);
+    if (fam.cacheable && warm_repl != 0) ok = false;
+
+    const std::uint64_t narrow_msgs =
+        comm_messages(one_narrow.stats) *
+        static_cast<std::uint64_t>(requests);
+    const std::uint64_t batched_msgs =
+        comm_messages(one_batch.stats) * passes;
+    if (batched_msgs > narrow_msgs) ok = false;
+
+    std::printf("%-18s %2d %7lld %12llu %12llu %6.2fx %10llu %10llu\n",
+                to_string(fam.kind).c_str(), fam.c,
+                static_cast<long long>(narrow_r),
+                static_cast<unsigned long long>(narrow_total),
+                static_cast<unsigned long long>(batched_total), ratio,
+                static_cast<unsigned long long>(cold_repl),
+                static_cast<unsigned long long>(warm_repl));
+
+    records.add()
+        .field("bench", "serving")
+        .field("algorithm", to_string(fam.kind))
+        .field("p", p)
+        .field("c", fam.c)
+        .field("n", static_cast<std::int64_t>(padded.s.rows()))
+        .field("nnz", static_cast<std::int64_t>(padded.s.nnz()))
+        .field("requests", requests)
+        .field("narrow_r", static_cast<std::int64_t>(narrow_r))
+        .field("batch_r", static_cast<std::int64_t>(batch_r))
+        .field("narrow_words_total", narrow_total)
+        .field("batched_words_total", batched_total)
+        .field("narrow_messages_total", narrow_msgs)
+        .field("batched_messages_total", batched_msgs)
+        .field("batching_wins", batched_total <= narrow_total &&
+                                        batched_msgs <= narrow_msgs
+                                    ? 1
+                                    : 0)
+        .field("cold_replication_words", cold_repl)
+        .field("warm_replication_words", warm_repl)
+        .field("cache_warm_is_free",
+               !fam.cacheable || warm_repl == 0 ? 1 : 0)
+        .field("narrow_modeled_seconds",
+               one_narrow.stats.modeled_kernel_seconds(machine) *
+                   requests)
+        .field("batched_modeled_seconds",
+               one_batch.stats.modeled_kernel_seconds(machine) *
+                   static_cast<double>(passes));
+  }
+
+  std::printf("\nbatched passes %s; warm cache replication words %s\n",
+              ok ? "never move more words than narrow ones"
+                 : "REGRESSED vs narrow passes",
+              ok ? "are zero" : "are NONZERO");
+  const int rc = finish_records(records, out);
+  if (rc != 0) return rc;
+  return ok ? 0 : 1;
+}

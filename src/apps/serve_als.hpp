@@ -1,0 +1,151 @@
+#pragma once
+/// \file serve_als.hpp
+/// The serving layer's first tenant: an ALS recommender that trains once
+/// (apps/als.hpp), then answers scoring requests from resident state —
+/// an immutable Plan per request width (dist/plan.hpp), one resident
+/// SimWorld reused by every request, and a cross-call ReplicationCache
+/// for the stationary factor. Requests batch through apps/serving.hpp.
+///
+/// Scoring: a request for user u builds the user-similarity column
+///   sim_u[i] = <a_i, a_u>                        (local, factor-space)
+/// and one batched SpMMB pass over the ratings
+///   scores = S^T · [sim_{u_1} | ... | sim_{u_k}]
+/// ranks every item by similarity-weighted popularity. Column j of the
+/// batched pass is bit-identical to serving request j alone, so the
+/// batcher is a pure traffic optimization. The per-batch request matrix
+/// is never cacheable (it changes every call); the cache serves
+/// observed_rmse, whose SDDMM replicates the stationary factor A —
+/// after the first call its replication traffic drops to zero until the
+/// server reshards or degrades.
+///
+/// Failure story (PR-6/7 carried through the Plan): faults armed in
+/// AlsServerConfig::exec apply to serving requests. Recoverable crashes
+/// heal inside the run; an unrecoverable crash with exec.degrade set
+/// makes that request degrade one-shot internally, after which the
+/// server re-plans once onto the shrunken grid (shrink_config), rebuilds
+/// its resident world and cache fault-free, and keeps serving.
+///
+/// Load balance: every pass records WorldStats::load_imbalance. When it
+/// exceeds reshard_threshold between batches, the server draws a new
+/// random row permutation (moving hot user rows apart), rebuilds the
+/// Plan, and invalidates the cache — scores are permutation-invariant,
+/// so responses are unchanged.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "apps/als.hpp"
+#include "apps/serving.hpp"
+#include "common/rng.hpp"
+#include "dist/plan.hpp"
+#include "dist/replication_cache.hpp"
+#include "runtime/world.hpp"
+
+namespace dsk {
+
+struct AlsServerConfig {
+  AlsConfig train;                  ///< trained fault-free at startup
+  /// Serving-time execution knobs (schedule / replication / propagation
+  /// / faults); faults are cleared automatically after a degrade.
+  AlgorithmOptions exec;
+  Index batch_width = 128;          ///< max requests per kernel pass
+  /// Reshard when a pass's load_imbalance exceeds this (0 = never).
+  double reshard_threshold = 0.0;
+  std::uint64_t reshard_seed = 0xBA7C4;
+};
+
+struct Recommendation {
+  Index item = 0;
+  Scalar score = 0;
+};
+
+/// Counters the server accumulates across requests (tests and the CLI
+/// read these; setup_builds staying 0 is the resident-plan guarantee).
+struct ServeReport {
+  int requests = 0;      ///< scoring requests answered
+  int batches = 0;       ///< batched kernel passes run
+  int rmse_calls = 0;
+  int setup_builds = 0;  ///< per-request setup builds (resident plan: 0)
+  int plan_builds = 0;   ///< Plans built (lazy widths + rebuilds)
+  int replans = 0;       ///< resident rebuilds (degrade or reshard)
+  int reshards = 0;
+  bool degraded = false;
+  int degraded_rank = -1;
+  int degraded_from = 0;
+  int degraded_to = 0;
+  double last_imbalance = 1.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class AlsServer {
+ public:
+  /// Train the factorization and build the resident serving state.
+  /// `ratings` is the users x items observation matrix (sorted unique).
+  AlsServer(const CooMatrix& ratings, const AlsServerConfig& config);
+  ~AlsServer();
+
+  int p() const { return p_; }
+  int c() const { return c_; }
+  Index users() const { return ratings_.rows(); }
+  Index items() const { return ratings_.cols(); }
+  const std::vector<Scalar>& loss_history() const { return loss_history_; }
+  const ServeReport& report() const { return report_; }
+
+  /// Top-k unrated items for each requested user, served in batched
+  /// kernel passes of up to batch_width requests.
+  std::vector<std::vector<Recommendation>> top_k(
+      std::span<const Index> user_ids, int k);
+
+  /// One user through an unbatched narrow pass (the minimal planned
+  /// width) — the baseline the batcher is measured against.
+  std::vector<Recommendation> top_k_one(Index user, int k);
+
+  /// RMSE of the model over the observed entries, via one SDDMM against
+  /// the resident plan; the stationary factor rides the replication
+  /// cache, so repeat calls move zero replication words.
+  Scalar observed_rmse();
+
+  /// Force a reshard now (new row permutation, plan rebuild, cache
+  /// invalidation) — the imbalance trigger calls this automatically.
+  void reshard();
+
+ private:
+  void build_resident();
+  const Plan& score_plan(Index width);
+  std::vector<Scalar> similarity_column(Index user) const;
+  std::vector<Recommendation> extract_top_k(const DenseMatrix& scores,
+                                            Index column, Index user,
+                                            int k) const;
+  void absorb(const WorldStats& stats);
+  void retire_cache();
+
+  AlsServerConfig config_;
+  AlgorithmOptions exec_;    ///< current exec options (faults drop on degrade)
+  CooMatrix ratings_;        ///< original-order observations
+  std::vector<std::vector<Index>> rated_;  ///< per user: rated items, sorted
+  DenseMatrix a_;            ///< user factors, original order, trained width
+  DenseMatrix b_;            ///< item factors
+  std::vector<Scalar> loss_history_;
+
+  int p_ = 0, c_ = 0;        ///< current grid (shrinks on degrade)
+  std::vector<Index> perm_;  ///< original user row -> resident row
+  CooMatrix s_pad_;          ///< permuted + padded ratings
+  CooMatrix mask_pad_;       ///< indicator of s_pad_ (rmse plan input)
+  DenseMatrix a_pad_;        ///< permuted + padded user factors
+  DenseMatrix b_pad_;
+  Index width_multiple_ = 1; ///< current grid's r divisibility
+
+  std::map<Index, Plan> score_plans_;  ///< lazy, keyed by pass width
+  std::optional<Plan> rmse_plan_;
+  std::unique_ptr<SimWorld> world_;
+  std::unique_ptr<ReplicationCache> cache_;
+  std::uint64_t retired_hits_ = 0;   ///< hits of caches dropped by rebuilds
+  std::uint64_t retired_misses_ = 0;
+  Rng reshard_rng_;
+  ServeReport report_;
+};
+
+} // namespace dsk

@@ -1,0 +1,53 @@
+#include "apps/serving.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsk {
+
+Index snap_batch_width(Index pending, Index max_width, Index multiple) {
+  check(pending >= 1, "snap_batch_width: no pending requests");
+  check(max_width >= 1 && multiple >= 1,
+        "snap_batch_width: max_width and multiple must be positive");
+  Index width = std::min(pending, max_width);
+  for (const Index spot : {Index{32}, Index{64}, Index{128}}) {
+    if (spot >= width && spot <= max_width) {
+      width = spot;
+      break;
+    }
+  }
+  return (width + multiple - 1) / multiple * multiple;
+}
+
+RequestBatcher::RequestBatcher(Index rows, Index max_width, Index multiple)
+    : rows_(rows), max_width_(max_width), multiple_(multiple) {
+  check(rows >= 1, "RequestBatcher: rows must be positive");
+  check(max_width >= 1 && multiple >= 1,
+        "RequestBatcher: max_width and multiple must be positive");
+}
+
+void RequestBatcher::enqueue(std::vector<Scalar> column) {
+  check(static_cast<Index>(column.size()) == rows_,
+        "RequestBatcher: column has ", column.size(), " entries, need ",
+        rows_);
+  pending_.push_back(std::move(column));
+}
+
+RequestBatcher::Batch RequestBatcher::take() {
+  check(!pending_.empty(), "RequestBatcher: take() with nothing pending");
+  Batch batch;
+  batch.real = std::min(pending(), max_width_);
+  const Index width = snap_batch_width(batch.real, max_width_, multiple_);
+  batch.columns = DenseMatrix(rows_, width);
+  for (Index j = 0; j < batch.real; ++j) {
+    const auto& column = pending_.front();
+    for (Index i = 0; i < rows_; ++i) {
+      batch.columns(i, j) = column[static_cast<std::size_t>(i)];
+    }
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+} // namespace dsk

@@ -1,0 +1,60 @@
+#pragma once
+/// \file serving.hpp
+/// Request batching for the serving layer (dist/plan.hpp): many narrow
+/// right-hand sides coalesce into one wide kernel pass. A request is a
+/// single column; serving them one at a time pays the per-call
+/// replication traffic once per request, while a batched pass pays it
+/// once per batch (and lands on the local kernels' specialized widths —
+/// width_dispatch peaks at r in {32, 64, 128}). Column j of a batched
+/// SpMM output equals the unbatched output for request j bit-exactly:
+/// the kernels never mix columns, so batching changes traffic, not
+/// results.
+
+#include <deque>
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+
+namespace dsk {
+
+/// Snap a pending-request count to a kernel sweet-spot width: the
+/// smallest of {32, 64, 128} that fits at least min(pending, max_width)
+/// requests and does not exceed max_width, rounded up to `multiple`
+/// (the plan's width divisibility; see dims_requirement). When
+/// max_width is below every sweet spot the count itself is rounded up
+/// to `multiple`.
+Index snap_batch_width(Index pending, Index max_width = 128,
+                       Index multiple = 1);
+
+/// FIFO coalescer: enqueue request columns, take() packs up to
+/// max_width of them into one rows x snapped-width matrix. Trailing
+/// pad columns are zero — harmless extra width that keeps every pass
+/// on a planned width.
+class RequestBatcher {
+ public:
+  RequestBatcher(Index rows, Index max_width = 128, Index multiple = 1);
+
+  Index rows() const { return rows_; }
+  Index max_width() const { return max_width_; }
+  Index pending() const { return static_cast<Index>(pending_.size()); }
+
+  /// Queue one request column (must have exactly rows() entries).
+  void enqueue(std::vector<Scalar> column);
+
+  struct Batch {
+    DenseMatrix columns; ///< rows x snapped width, request j in column j
+    Index real = 0;      ///< leading columns that carry requests
+  };
+
+  /// Pack the oldest min(pending, max_width) requests into one pass.
+  /// Throws when nothing is pending.
+  Batch take();
+
+ private:
+  Index rows_;
+  Index max_width_;
+  Index multiple_;
+  std::deque<std::vector<Scalar>> pending_;
+};
+
+} // namespace dsk

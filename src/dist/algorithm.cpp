@@ -4,7 +4,9 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "dist/families.hpp"
+#include "dist/replication_cache.hpp"
 #include "dist/grid.hpp"
 #include "dist/problem.hpp"
 #include "local/sddmm.hpp"
@@ -77,16 +79,51 @@ CooMatrix checkpointed_input(const CooMatrix& s, CheckpointStore& inputs) {
 
 } // namespace
 
+std::shared_ptr<const PlanData> DistAlgorithm::make_plan_data(
+    const CooMatrix& s, Index r) const {
+  check(s.is_sorted_unique(), to_string(kind_),
+        ": sparse input must be sorted with unique entries "
+        "(call sort_and_combine first)");
+  validate_dims(s.rows(), s.cols(), r);
+  return do_make_plan(s, r);
+}
+
 KernelResult DistAlgorithm::run_kernel(Mode mode, const CooMatrix& s,
                                        const DenseMatrix& a,
                                        const DenseMatrix& b) const {
   validate_inputs(*this, s, a, b);
-  if (!degrade_armed(options_)) return do_run_kernel(mode, s, a, b);
+  Timer timer;
+  const auto plan = do_make_plan(s, a.cols());
+  const double setup_seconds = timer.seconds();
+  ExecContext ctx;
+  ctx.plan = plan.get();
+  KernelResult out = run_planned_kernel(ctx, mode, s, a, b);
+  out.stats.set_setup(1, setup_seconds);
+  return out;
+}
+
+KernelResult DistAlgorithm::run_kernel(const ExecContext& ctx, Mode mode,
+                                       const CooMatrix& s,
+                                       const DenseMatrix& a,
+                                       const DenseMatrix& b) const {
+  check(ctx.plan != nullptr, to_string(kind_),
+        ": ExecContext carries no plan; build one with make_plan_data");
+  validate_inputs(*this, s, a, b);
+  KernelResult out = run_planned_kernel(ctx, mode, s, a, b);
+  out.stats.set_setup(0, 0.0);
+  return out;
+}
+
+KernelResult DistAlgorithm::run_planned_kernel(const ExecContext& ctx,
+                                               Mode mode, const CooMatrix& s,
+                                               const DenseMatrix& a,
+                                               const DenseMatrix& b) const {
+  if (!degrade_armed(options_)) return do_run_kernel(ctx, mode, s, a, b);
   CheckpointStore inputs(1);
   inputs.save_shard(0, std::vector<Scalar>(s.values().begin(),
                                            s.values().end()));
   try {
-    return do_run_kernel(mode, s, a, b);
+    return do_run_kernel(ctx, mode, s, a, b);
   } catch (const WorldError& e) {
     if (e.crash().rank < 0) throw;
     // shrink_and_replan: the crashed rank is permanently lost; re-shard
@@ -125,14 +162,48 @@ FusedResult DistAlgorithm::run_fusedmm(FusedOrientation orientation,
   check(repetitions >= 1, "run_fusedmm: repetitions must be positive, got ",
         repetitions);
   validate_inputs(*this, s, a, b);
+  Timer timer;
+  const auto plan = do_make_plan(s, a.cols());
+  const double setup_seconds = timer.seconds();
+  ExecContext ctx;
+  ctx.plan = plan.get();
+  FusedResult out =
+      run_planned_fusedmm(ctx, orientation, elision, s, a, b, repetitions);
+  out.stats.set_setup(1, setup_seconds);
+  return out;
+}
+
+FusedResult DistAlgorithm::run_fusedmm(const ExecContext& ctx,
+                                       FusedOrientation orientation,
+                                       Elision elision, const CooMatrix& s,
+                                       const DenseMatrix& a,
+                                       const DenseMatrix& b,
+                                       int repetitions) const {
+  check(ctx.plan != nullptr, to_string(kind_),
+        ": ExecContext carries no plan; build one with make_plan_data");
+  check(supports(elision), to_string(kind_), " does not support ",
+        to_string(elision));
+  check(repetitions >= 1, "run_fusedmm: repetitions must be positive, got ",
+        repetitions);
+  validate_inputs(*this, s, a, b);
+  FusedResult out =
+      run_planned_fusedmm(ctx, orientation, elision, s, a, b, repetitions);
+  out.stats.set_setup(0, 0.0);
+  return out;
+}
+
+FusedResult DistAlgorithm::run_planned_fusedmm(
+    const ExecContext& ctx, FusedOrientation orientation, Elision elision,
+    const CooMatrix& s, const DenseMatrix& a, const DenseMatrix& b,
+    int repetitions) const {
   if (!degrade_armed(options_)) {
-    return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+    return do_run_fusedmm(ctx, orientation, elision, s, a, b, repetitions);
   }
   CheckpointStore inputs(1);
   inputs.save_shard(0, std::vector<Scalar>(s.values().begin(),
                                            s.values().end()));
   try {
-    return do_run_fusedmm(orientation, elision, s, a, b, repetitions);
+    return do_run_fusedmm(ctx, orientation, elision, s, a, b, repetitions);
   } catch (const WorldError& e) {
     if (e.crash().rank < 0) throw;
     const auto [p2, c2] = shrink_config(kind_, p_, c_);
@@ -217,6 +288,33 @@ void scatter_values(std::span<const Scalar> local,
   }
 }
 
+WorldStats run_in(SimWorld* world, int num_ranks,
+                  const std::function<void(Comm&)>& body,
+                  const WorldOptions& options) {
+  if (world == nullptr) return run_spmd(num_ranks, body, options);
+  check(world->size() == num_ranks, "run_in: resident world has ",
+        world->size(), " ranks, driver needs ", num_ranks);
+  return world->run(body, options);
+}
+
+ReplicationCache* usable_cache(const ExecContext& ctx,
+                               const AlgorithmOptions& options) {
+  if (ctx.cache == nullptr) return nullptr;
+  if (options.faults != nullptr && options.faults->enabled()) return nullptr;
+  if (options.schedule == ShiftSchedule::Pipelined) return nullptr;
+  return ctx.cache;
+}
+
+CacheUse cache_use(const ExecContext& ctx, const AlgorithmOptions& options) {
+  CacheUse use;
+  use.cache = usable_cache(ctx, options);
+  if (use.cache != nullptr) {
+    use.hit = use.cache->complete();
+    use.cache->note_run(use.hit);
+  }
+  return use;
+}
+
 namespace {
 
 /// The PETSc-like 1D block-row baseline (paper Section VI-A): S, A, and
@@ -235,20 +333,26 @@ class Baseline1D final : public DistAlgorithm {
   }
 
  protected:
-  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
-                             const DenseMatrix& a,
+  std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                               Index r) const override {
+    return std::make_shared<Snapshot>(make_setup(s, r));
+  }
+
+  KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                             const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b) const override {
     check(mode == Mode::SpMMA,
           "1D-Baseline supports SpMMA only (the paper's baseline runs "
           "FusedMM as two SpMM calls)");
     KernelResult result;
     result.dense = DenseMatrix(s.rows(), b.cols());
-    result.stats = run(s, a, b, /*fused=*/false, /*repetitions=*/1,
+    result.stats = run(ctx, a, b, /*fused=*/false, /*repetitions=*/1,
                        result.dense);
     return result;
   }
 
-  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision,
+  FusedResult do_run_fusedmm(const ExecContext& ctx,
+                             FusedOrientation orientation, Elision,
                              const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b,
                              int repetitions) const override {
@@ -256,7 +360,8 @@ class Baseline1D final : public DistAlgorithm {
           "1D-Baseline supports FusedMM orientation A only");
     FusedResult result;
     result.output = DenseMatrix(s.rows(), b.cols());
-    result.stats = run(s, a, b, /*fused=*/true, repetitions, result.output);
+    result.stats = run(ctx, a, b, /*fused=*/true, repetitions,
+                       result.output);
     return result;
   }
 
@@ -271,6 +376,18 @@ class Baseline1D final : public DistAlgorithm {
     /// needs[k][o]: global B rows rank k fetches from owner o.
     std::vector<std::vector<std::vector<Index>>> needs;
   };
+
+  struct Snapshot final : PlanData {
+    explicit Snapshot(Setup setup) : su(std::move(setup)) {}
+    Setup su;
+  };
+
+  const Setup& setup_of(const ExecContext& ctx) const {
+    const auto* snap = dynamic_cast<const Snapshot*>(ctx.plan);
+    check(snap != nullptr,
+          "1D-Baseline: ExecContext plan was not built by this driver");
+    return snap->su;
+  }
 
   Setup make_setup(const CooMatrix& s, Index r) const {
     Setup su;
@@ -415,13 +532,13 @@ class Baseline1D final : public DistAlgorithm {
     return wo;
   }
 
-  WorldStats run(const CooMatrix& s, const DenseMatrix& a,
+  WorldStats run(const ExecContext& ctx, const DenseMatrix& a,
                  const DenseMatrix& b, bool fused, int repetitions,
                  DenseMatrix& out) const {
-    const Setup su = make_setup(s, b.cols());
+    const Setup& su = setup_of(ctx);
     std::optional<CheckpointStore> ckpt;
     const WorldOptions wo = fault_options(su, ckpt);
-    return run_spmd(p(), [&](Comm& comm) {
+    return run_in(ctx.world, p(), [&](Comm& comm) {
       const int rank = comm.rank();
       const auto& shard = su.shards[static_cast<std::size_t>(rank)];
       // Fault mode reads the shard values through the checkpoint store's

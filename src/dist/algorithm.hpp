@@ -95,6 +95,34 @@ struct KernelResult {
   WorldStats stats;
 };
 
+class SimWorld;
+class ReplicationCache;
+
+/// Type-erased per-driver setup snapshot (grid, shards, support unions,
+/// compression schedules) built once by `DistAlgorithm::make_plan_data`
+/// and reusable across calls. Each driver derives its own snapshot and
+/// rejects foreign ones, so a plan can only be executed by the driver
+/// configuration that built it. Immutable after construction.
+struct PlanData {
+  PlanData() = default;
+  PlanData(const PlanData&) = delete;
+  PlanData& operator=(const PlanData&) = delete;
+  virtual ~PlanData() = default;
+};
+
+/// Per-call execution context for the plan/execute path. `plan` is the
+/// prebuilt setup snapshot (null = build fresh inside the call); `world`
+/// is an optional resident SimWorld to run on instead of a one-shot
+/// world (must match the driver's p); `cache` is an optional cross-call
+/// replicated-factor cache (see dist/replication_cache.hpp) consulted by
+/// the blocking replication prologues — ignored by families whose
+/// replication is already sparsity-sized and whenever faults are armed.
+struct ExecContext {
+  const PlanData* plan = nullptr;
+  SimWorld* world = nullptr;
+  ReplicationCache* cache = nullptr;
+};
+
 /// Result of a FusedMM call: the A-shaped (orientation A) or B-shaped
 /// (orientation B) global output.
 struct FusedResult {
@@ -123,12 +151,31 @@ class DistAlgorithm {
   /// multiples advertised by dims_requirement in dist/problem.hpp).
   void validate_dims(Index m, Index n, Index r) const;
 
+  /// Build this driver's setup snapshot for (s, r) without running
+  /// anything: grid placement, shards, row/col support unions, and
+  /// compression schedules. The snapshot is immutable and reusable —
+  /// pass it back through ExecContext::plan to skip per-call setup.
+  /// Prefer the `Plan` wrapper in dist/plan.hpp, which also fingerprints
+  /// the inputs the snapshot was built from.
+  std::shared_ptr<const PlanData> make_plan_data(const CooMatrix& s,
+                                                 Index r) const;
+
   /// Run one unified kernel over the simulated machine and gather the
   /// global result. Inputs: s sorted with unique entries, a sized
   /// s.rows() x r, b sized s.cols() x r. SpMMA reads only b, SpMMB only
-  /// a, SDDMM both.
+  /// a, SDDMM both. Builds the setup fresh (stats report one setup
+  /// build) and runs on a one-shot world.
   KernelResult run_kernel(Mode mode, const CooMatrix& s,
                           const DenseMatrix& a, const DenseMatrix& b) const;
+
+  /// Plan/execute variant: run against a prebuilt snapshot (and
+  /// optionally a resident world and replication cache). ctx.plan must
+  /// come from this driver configuration's make_plan_data for the same
+  /// (s, r); stats report zero setup builds. Bit-identical to the fresh
+  /// overload.
+  KernelResult run_kernel(const ExecContext& ctx, Mode mode,
+                          const CooMatrix& s, const DenseMatrix& a,
+                          const DenseMatrix& b) const;
 
   /// Run FusedMM (SDDMM feeding SpMM) `repetitions` times with the given
   /// eliding strategy; communication scales exactly linearly in
@@ -137,17 +184,36 @@ class DistAlgorithm {
                           const CooMatrix& s, const DenseMatrix& a,
                           const DenseMatrix& b, int repetitions = 1) const;
 
+  /// Plan/execute variant of run_fusedmm (see the kernel overload).
+  FusedResult run_fusedmm(const ExecContext& ctx,
+                          FusedOrientation orientation, Elision elision,
+                          const CooMatrix& s, const DenseMatrix& a,
+                          const DenseMatrix& b, int repetitions = 1) const;
+
  protected:
-  virtual KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
+  virtual std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                                       Index r) const = 0;
+  virtual KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                                     const CooMatrix& s,
                                      const DenseMatrix& a,
                                      const DenseMatrix& b) const = 0;
-  virtual FusedResult do_run_fusedmm(FusedOrientation orientation,
+  virtual FusedResult do_run_fusedmm(const ExecContext& ctx,
+                                     FusedOrientation orientation,
                                      Elision elision, const CooMatrix& s,
                                      const DenseMatrix& a,
                                      const DenseMatrix& b,
                                      int repetitions) const = 0;
 
  private:
+  KernelResult run_planned_kernel(const ExecContext& ctx, Mode mode,
+                                  const CooMatrix& s, const DenseMatrix& a,
+                                  const DenseMatrix& b) const;
+  FusedResult run_planned_fusedmm(const ExecContext& ctx,
+                                  FusedOrientation orientation,
+                                  Elision elision, const CooMatrix& s,
+                                  const DenseMatrix& a, const DenseMatrix& b,
+                                  int repetitions) const;
+
   AlgorithmKind kind_;
   int p_;
   int c_;

@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "dist/families.hpp"
 #include "dist/grid.hpp"
+#include "dist/replication_cache.hpp"
 #include "dist/problem.hpp"
 #include "local/sddmm.hpp"
 #include "local/spmm.hpp"
@@ -40,10 +41,15 @@ class DenseShift15D final : public DistAlgorithm {
   bool supports(Elision) const override { return true; }
 
  protected:
-  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
-                             const DenseMatrix& a,
+  std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                               Index r) const override {
+    return std::make_shared<Snapshot>(make_setup(s, r));
+  }
+  KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                             const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b) const override;
-  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+  FusedResult do_run_fusedmm(const ExecContext& ctx,
+                             FusedOrientation orientation, Elision elision,
                              const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b,
                              int repetitions) const override;
@@ -62,6 +68,18 @@ class DenseShift15D final : public DistAlgorithm {
     /// contiguous — the wants table of the row-sparse collectives.
     std::vector<std::vector<Index>> support;
   };
+
+  struct Snapshot final : PlanData {
+    explicit Snapshot(Setup setup) : su(std::move(setup)) {}
+    Setup su;
+  };
+
+  const Setup& setup_of(const ExecContext& ctx) const {
+    const auto* snap = dynamic_cast<const Snapshot*>(ctx.plan);
+    check(snap != nullptr,
+          "1.5D-DenseShift: ExecContext plan was not built by this driver");
+    return snap->su;
+  }
 
   Setup make_setup(const CooMatrix& s, Index r) const {
     const int L = grid_.layer_size();
@@ -131,15 +149,21 @@ class DenseShift15D final : public DistAlgorithm {
 
   /// Fiber all-gather of the rank's canonical A block into its full
   /// layer-row of A (row-sparse per options().replication: only rows the
-  /// fiber members' pieces touch need to travel).
+  /// fiber members' pieces touch need to travel). On a cache-hit run the
+  /// parked working block comes back with zero replication traffic; on a
+  /// miss run the gathered block is parked for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
-                          const DenseMatrix& a) const {
+                          const DenseMatrix& a,
+                          const CacheUse& cu = {}) const {
+    if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
-    return fiber.allgatherv_rows(a.row_block(row0, row0 + su.a_blk),
-                                 fiber_wants(su, u),
-                                 options().replication);
+    DenseMatrix out = fiber.allgatherv_rows(
+        a.row_block(row0, row0 + su.a_blk), fiber_wants(su, u),
+        options().replication);
+    if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
+    return out;
   }
 
   /// Pipelined replicate_a: same words and result, streamed in
@@ -294,7 +318,8 @@ class DenseShift15D final : public DistAlgorithm {
   /// unconditionally, an unarmed one is ignored).
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, const DenseMatrix& a,
-                                     DenseMatrix& dest) const {
+                                     DenseMatrix& dest,
+                                     const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
       pro.replicate = [this, &comm, &su, u, v, &a,
@@ -302,7 +327,7 @@ class DenseShift15D final : public DistAlgorithm {
         replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, a);
+      dest = replicate_a(comm, su, u, v, a, cu);
     }
     return pro;
   }
@@ -316,7 +341,8 @@ class DenseShift15D final : public DistAlgorithm {
   /// Returns the working block and dots[j] for the rank's L pieces.
   std::pair<DenseMatrix, std::vector<std::vector<Scalar>>>
   replicate_and_dots(Comm& comm, const Setup& su, int rank, int u, int v,
-                     const DenseMatrix& a, const DenseMatrix& b) const {
+                     const DenseMatrix& a, const DenseMatrix& b,
+                     const CacheUse& cu = {}) const {
     const int L = grid_.layer_size();
     DenseMatrix a_work;
     std::vector<std::vector<Scalar>> dots(static_cast<std::size_t>(L));
@@ -345,7 +371,7 @@ class DenseShift15D final : public DistAlgorithm {
       b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body,
              &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, a);
+      a_work = replicate_a(comm, su, u, v, a, cu);
       // The per-piece dot vectors are stationary state (each dots[j] is
       // written wholly at step j); journal them so a recovered attempt
       // resumes with the completed pieces' dots intact.
@@ -452,10 +478,11 @@ class DenseShift15D final : public DistAlgorithm {
   Grid15D grid_;
 };
 
-KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
+KernelResult DenseShift15D::do_run_kernel(const ExecContext& ctx,
+                                          Mode mode, const CooMatrix& s,
                                           const DenseMatrix& a,
                                           const DenseMatrix& b) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   KernelResult result;
   if (mode == Mode::SpMMA) {
     result.dense = DenseMatrix(su.m, su.r);
@@ -466,9 +493,13 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
                                Scalar{0});
   }
   const int L = grid_.layer_size();
+  // SpMMA never replicates A (its replication phase is the output
+  // reduce-scatter), so only the A-consuming modes consult the cache.
+  const CacheUse cu =
+      mode == Mode::SpMMA ? CacheUse{} : cache_use(ctx, options());
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     // Fault mode reads the rank's piece values through the checkpoint
@@ -494,7 +525,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       }
       case Mode::SDDMM: {
         const auto [a_work, dots] =
-            replicate_and_dots(comm, su, rank, u, v, a, b);
+            replicate_and_dots(comm, su, rank, u, v, a, b, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         for (int j = 0; j < L; ++j) {
@@ -515,7 +546,7 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         // the Pipelined gain here is the chunked fiber stream itself.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, a, a_work);
+            replication_prologue(comm, su, u, v, a, a_work, cu);
         const auto home = b_loop(
             comm, su, u, v, /*mutates=*/true,
             pack_dense(DenseMatrix(su.b_blk, su.r)),
@@ -536,7 +567,8 @@ KernelResult DenseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
   return result;
 }
 
-FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
+FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
+                                          FusedOrientation orientation,
                                           Elision elision,
                                           const CooMatrix& s,
                                           const DenseMatrix& a,
@@ -546,20 +578,25 @@ FusedResult DenseShift15D::do_run_fusedmm(FusedOrientation orientation,
       elision == Elision::LocalKernelFusion) {
     // The fused local kernel co-locates full rows of the OUTPUT-side
     // matrix; for a B-shaped output that is the transposed problem:
-    // FusedMMB(S, A, B) = FusedMMA(S^T, B, A).
+    // FusedMMB(S, A, B) = FusedMMA(S^T, B, A). The transposed problem
+    // needs its own setup snapshot (the caller's plan describes s, not
+    // s^T), built here per call.
     auto st = s.transposed();
     st.sort_and_combine();
-    return do_run_fusedmm(FusedOrientation::A, elision, st, b, a,
+    const auto tplan = do_make_plan(st, b.cols());
+    ExecContext tctx = ctx;
+    tctx.plan = tplan.get();
+    return do_run_fusedmm(tctx, FusedOrientation::A, elision, st, b, a,
                           repetitions);
   }
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   const int L = grid_.layer_size();
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     // Fault mode reads the rank's piece values through the checkpoint
@@ -671,10 +708,15 @@ class SparseShift15D final : public DistAlgorithm {
   }
 
  protected:
-  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
-                             const DenseMatrix& a,
+  std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                               Index r) const override {
+    return std::make_shared<Snapshot>(make_setup(s, r));
+  }
+  KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                             const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b) const override;
-  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+  FusedResult do_run_fusedmm(const ExecContext& ctx,
+                             FusedOrientation orientation, Elision elision,
                              const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b,
                              int repetitions) const override;
@@ -695,6 +737,18 @@ class SparseShift15D final : public DistAlgorithm {
     /// position v's wants in the row-sparse collectives.
     std::vector<std::vector<Index>> layer_support;
   };
+
+  struct Snapshot final : PlanData {
+    explicit Snapshot(Setup setup) : su(std::move(setup)) {}
+    Setup su;
+  };
+
+  const Setup& setup_of(const ExecContext& ctx) const {
+    const auto* snap = dynamic_cast<const Snapshot*>(ctx.plan);
+    check(snap != nullptr,
+          "1.5D-SparseShift: ExecContext plan was not built by this driver");
+    return snap->su;
+  }
 
   Setup make_setup(const CooMatrix& s, Index r) const {
     const int L = grid_.layer_size();
@@ -746,14 +800,20 @@ class SparseShift15D final : public DistAlgorithm {
 
   /// Fiber all-gather of the canonical A blocks into the full-m slice
   /// A[:, u-th width slice] (row-sparse per options().replication).
+  /// Cache-hit runs return the parked slice with zero replication
+  /// traffic; miss runs park the gathered slice for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
-                          const DenseMatrix& a) const {
+                          const DenseMatrix& a,
+                          const CacheUse& cu = {}) const {
+    if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
-    return fiber.allgatherv_rows(
+    DenseMatrix out = fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
                     static_cast<Index>(u) * su.rL, su.rL),
         su.layer_support, options().replication);
+    if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
+    return out;
   }
 
   /// Pipelined replicate_a: same words and result, streamed in chunk-row
@@ -780,7 +840,8 @@ class SparseShift15D final : public DistAlgorithm {
   /// unconditionally, an unarmed one is ignored).
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, const DenseMatrix& a,
-                                     DenseMatrix& dest) const {
+                                     DenseMatrix& dest,
+                                     const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
       pro.replicate = [this, &comm, &su, u, v, &a,
@@ -788,7 +849,7 @@ class SparseShift15D final : public DistAlgorithm {
         replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, a);
+      dest = replicate_a(comm, su, u, v, a, cu);
     }
     return pro;
   }
@@ -864,7 +925,7 @@ class SparseShift15D final : public DistAlgorithm {
   /// replicated slice and the home piece's accumulated dot payload.
   std::pair<DenseMatrix, Triplets> sddmm_pass(
       Comm& comm, const Setup& su, int u, int v, const DenseMatrix& a,
-      const DenseMatrix& b_local) const {
+      const DenseMatrix& b_local, const CacheUse& cu = {}) const {
     const int L = grid_.layer_size();
     DenseMatrix a_work;
     Triplets start = piece(su, v, u).coo;
@@ -897,7 +958,7 @@ class SparseShift15D final : public DistAlgorithm {
       };
       run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, a);
+      a_work = replicate_a(comm, su, u, v, a, cu);
       run_shift_loop(comm, options().schedule, L, {&ch, 1}, body);
     }
     return {std::move(a_work), unpack_triplets(ch.block)};
@@ -906,10 +967,11 @@ class SparseShift15D final : public DistAlgorithm {
   Grid15D grid_;
 };
 
-KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
+KernelResult SparseShift15D::do_run_kernel(const ExecContext& ctx,
+                                           Mode mode, const CooMatrix& s,
                                            const DenseMatrix& a,
                                            const DenseMatrix& b) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   KernelResult result;
   if (mode == Mode::SpMMA) {
     result.dense = DenseMatrix(su.m, su.r);
@@ -919,9 +981,13 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
     result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
                                Scalar{0});
   }
+  // SpMMA never replicates A (its replication phase is the output
+  // reduce-scatter), so only the A-consuming modes consult the cache.
+  const CacheUse cu =
+      mode == Mode::SpMMA ? CacheUse{} : cache_use(ctx, options());
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     const auto b_local = local_b(su, u, v, b);
@@ -956,7 +1022,8 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
       case Mode::SDDMM: {
         // After L shifts the resident payload is the home piece again,
         // its dot products accumulated over every width slice.
-        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, a, b_local);
+        const auto [a_work, dots] =
+            sddmm_pass(comm, su, u, v, a, b_local, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, v, u);
@@ -975,7 +1042,7 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
         // still forwarded before replication starts.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, a, a_work);
+            replication_prologue(comm, su, u, v, a, a_work, cu);
         DenseMatrix b_out(su.n / c(), su.rL);
         ShiftJournalHooks hooks;
         hooks.pack_state = [&] { return pack_dense(b_out); };
@@ -1001,19 +1068,20 @@ KernelResult SparseShift15D::do_run_kernel(Mode mode, const CooMatrix& s,
   return result;
 }
 
-FusedResult SparseShift15D::do_run_fusedmm(FusedOrientation orientation,
+FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
+                                           FusedOrientation orientation,
                                            Elision elision,
-                                           const CooMatrix& s,
+                                           const CooMatrix&,
                                            const DenseMatrix& a,
                                            const DenseMatrix& b,
                                            int repetitions) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank);
     const auto b_local = local_b(su, u, v, b);

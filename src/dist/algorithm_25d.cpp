@@ -20,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "dist/families.hpp"
+#include "dist/replication_cache.hpp"
 #include "dist/grid.hpp"
 #include "local/schedule.hpp"
 #include "local/sddmm.hpp"
@@ -45,10 +46,15 @@ class DenseRepl25D final : public DistAlgorithm {
   }
 
  protected:
-  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
-                             const DenseMatrix& a,
+  std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                               Index r) const override {
+    return std::make_shared<Snapshot>(make_setup(s, r));
+  }
+  KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                             const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b) const override;
-  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+  FusedResult do_run_fusedmm(const ExecContext& ctx,
+                             FusedOrientation orientation, Elision elision,
                              const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b,
                              int repetitions) const override;
@@ -67,6 +73,18 @@ class DenseRepl25D final : public DistAlgorithm {
     /// fiber's c member supports are contiguous in fiber (w) order.
     std::vector<std::vector<Index>> support;
   };
+
+  struct Snapshot final : PlanData {
+    explicit Snapshot(Setup setup) : su(std::move(setup)) {}
+    Setup su;
+  };
+
+  const Setup& setup_of(const ExecContext& ctx) const {
+    const auto* snap = dynamic_cast<const Snapshot*>(ctx.plan);
+    check(snap != nullptr,
+          "2.5D-DenseRepl: ExecContext plan was not built by this driver");
+    return snap->su;
+  }
 
   Setup make_setup(const CooMatrix& s, Index r) const {
     const int q = grid_.q();
@@ -122,15 +140,21 @@ class DenseRepl25D final : public DistAlgorithm {
   }
 
   /// Fiber all-gather of the rank's canonical A chunk into its m/q x r/q
-  /// working block (row-sparse per options().replication).
+  /// working block (row-sparse per options().replication). On a cache
+  /// hit the parked block is returned without touching the wire; on a
+  /// filling run the gathered block is parked for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
-                          int w, const DenseMatrix& a) const {
+                          int w, const DenseMatrix& a,
+                          const CacheUse& cu = {}) const {
+    if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
-    return fiber.allgatherv_rows(
+    DenseMatrix out = fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
                     static_cast<Index>(v) * su.rq, su.rq),
         fiber_wants(su, u), options().replication);
+    if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
+    return out;
   }
 
   /// Pipelined replicate_a: same words and result, streamed in chunk-row
@@ -158,7 +182,8 @@ class DenseRepl25D final : public DistAlgorithm {
   /// unconditionally, an unarmed one is ignored).
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, int w, const DenseMatrix& a,
-                                     DenseMatrix& dest) const {
+                                     DenseMatrix& dest,
+                                     const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
       pro.replicate = [this, &comm, &su, u, v, w, &a,
@@ -166,7 +191,7 @@ class DenseRepl25D final : public DistAlgorithm {
         replicate_a_pipelined(comm, su, u, v, w, a, dest, deliver);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, w, a);
+      dest = replicate_a(comm, su, u, v, w, a, cu);
     }
     return pro;
   }
@@ -297,7 +322,8 @@ class DenseRepl25D final : public DistAlgorithm {
   std::pair<DenseMatrix, Triplets> sddmm_pass(Comm& comm, const Setup& su,
                                               int u, int v, int w,
                                               const DenseMatrix& a,
-                                              const DenseMatrix& b) const {
+                                              const DenseMatrix& b,
+                                              const CacheUse& cu = {}) const {
     const int q = grid_.q();
     const int k0 = k_at(u, v, 0);
     const auto row_ring = grid_.row_members(u, w);
@@ -341,7 +367,7 @@ class DenseRepl25D final : public DistAlgorithm {
       };
       run_shift_loop(comm, options().schedule, q, channels, body, &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, w, a);
+      a_work = replicate_a(comm, su, u, v, w, a, cu);
       run_shift_loop(comm, options().schedule, q, channels, body);
     }
     return {std::move(a_work), unpack_triplets(channels[0].block)};
@@ -350,10 +376,11 @@ class DenseRepl25D final : public DistAlgorithm {
   Grid25D grid_;
 };
 
-KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
+KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
+                                         const CooMatrix& s,
                                          const DenseMatrix& a,
                                          const DenseMatrix& b) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   KernelResult result;
   if (mode == Mode::SpMMA) {
     result.dense = DenseMatrix(su.m, su.r);
@@ -367,7 +394,12 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  // One driver-thread cache decision for the whole run; SpMMA never
+  // consults the cache (its Replication phase is the output
+  // reduce-scatter, not a reusable input gather).
+  const CacheUse cu =
+      mode == Mode::SpMMA ? CacheUse{} : cache_use(ctx, options());
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
               w = grid_.w_of(rank);
@@ -447,7 +479,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         return;
       }
       case Mode::SDDMM: {
-        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b);
+        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, u, k0, w);
@@ -465,7 +497,7 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
         // still forwarded before replication starts.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, w, a, a_work);
+            replication_prologue(comm, su, u, v, w, a, a_work, cu);
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
                          pack_triplets(home_triplets()));
@@ -494,13 +526,14 @@ KernelResult DenseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   return result;
 }
 
-FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
+FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
+                                         FusedOrientation orientation,
                                          Elision elision,
-                                         const CooMatrix& s,
+                                         const CooMatrix&,
                                          const DenseMatrix& a,
                                          const DenseMatrix& b,
                                          int repetitions) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   const int q = grid_.q();
   FusedResult result;
   result.output = DenseMatrix(
@@ -508,7 +541,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
               w = grid_.w_of(rank);
@@ -640,10 +673,15 @@ class SparseRepl25D final : public DistAlgorithm {
   }
 
  protected:
-  KernelResult do_run_kernel(Mode mode, const CooMatrix& s,
-                             const DenseMatrix& a,
+  std::shared_ptr<const PlanData> do_make_plan(const CooMatrix& s,
+                                               Index r) const override {
+    return std::make_shared<Snapshot>(make_setup(s, r));
+  }
+  KernelResult do_run_kernel(const ExecContext& ctx, Mode mode,
+                             const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b) const override;
-  FusedResult do_run_fusedmm(FusedOrientation orientation, Elision elision,
+  FusedResult do_run_fusedmm(const ExecContext& ctx,
+                             FusedOrientation orientation, Elision elision,
                              const CooMatrix& s, const DenseMatrix& a,
                              const DenseMatrix& b,
                              int repetitions) const override;
@@ -660,6 +698,18 @@ class SparseRepl25D final : public DistAlgorithm {
     /// monotone offsets into the cell's entry range).
     std::vector<std::vector<Index>> value_split;
   };
+
+  struct Snapshot final : PlanData {
+    explicit Snapshot(Setup setup) : su(std::move(setup)) {}
+    Setup su;
+  };
+
+  const Setup& setup_of(const ExecContext& ctx) const {
+    const auto* snap = dynamic_cast<const Snapshot*>(ctx.plan);
+    check(snap != nullptr,
+          "2.5D-SparseRepl: ExecContext plan was not built by this driver");
+    return snap->su;
+  }
 
   Setup make_setup(const CooMatrix& s, Index r) const {
     const int q = grid_.q();
@@ -822,10 +872,11 @@ class SparseRepl25D final : public DistAlgorithm {
   Grid25D grid_;
 };
 
-KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
+KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
+                                          const CooMatrix& s,
                                           const DenseMatrix& a,
                                           const DenseMatrix& b) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   KernelResult result;
   if (mode == Mode::SpMMA) {
     result.dense = DenseMatrix(su.m, su.r);
@@ -839,7 +890,7 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
               w = grid_.w_of(rank);
@@ -968,12 +1019,13 @@ KernelResult SparseRepl25D::do_run_kernel(Mode mode, const CooMatrix& s,
   return result;
 }
 
-FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
-                                          Elision, const CooMatrix& s,
+FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
+                                          FusedOrientation orientation,
+                                          Elision, const CooMatrix&,
                                           const DenseMatrix& a,
                                           const DenseMatrix& b,
                                           int repetitions) const {
-  const Setup su = make_setup(s, a.cols());
+  const Setup& su = setup_of(ctx);
   const int q = grid_.q();
   FusedResult result;
   result.output = DenseMatrix(
@@ -981,7 +1033,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(FusedOrientation orientation,
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
-  result.stats = run_spmd(p(), [&](Comm& comm) {
+  result.stats = run_in(ctx.world, p(), [&](Comm& comm) {
     const int rank = comm.rank();
     const int u = grid_.u_of(rank), v = grid_.v_of(rank),
               w = grid_.w_of(rank);

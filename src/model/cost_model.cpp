@@ -311,4 +311,21 @@ ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
   return bounds;
 }
 
+double amortized_setup_share(double build_seconds, double request_seconds,
+                             int requests) {
+  const double total =
+      build_seconds + request_seconds * static_cast<double>(requests);
+  return total > 0.0 ? build_seconds / total : 0.0;
+}
+
+double batching_words_ratio(AlgorithmKind kind, const CostInputs& in,
+                            int k) {
+  check(k >= 1, "batching_words_ratio: k must be >= 1");
+  const double narrow = kernel_cost(kind, in).total_words();
+  CostInputs wide = in;
+  wide.r = in.r * static_cast<double>(k);
+  const double batched = kernel_cost(kind, wide).total_words();
+  return batched > 0.0 ? narrow * static_cast<double>(k) / batched : 1.0;
+}
+
 } // namespace dsk

@@ -124,4 +124,21 @@ ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
                                PropagationMode propagation =
                                    PropagationMode::Dense);
 
+/// Serving-layer plan-cost accounting (dist/plan.hpp): the fraction of
+/// total wall time spent in the one-time plan build after `requests`
+/// executions that each take `request_seconds`. Goes to zero as the
+/// resident Plan amortizes its setup; the classic per-call path holds it
+/// constant at build/(build + request). Returns 0 for zero requests with
+/// zero build time, 1 for zero-cost requests with a nonzero build.
+double amortized_setup_share(double build_seconds, double request_seconds,
+                             int requests);
+
+/// Modeled per-rank traffic ratio of serving `k` narrow width-r
+/// requests one kernel call at a time versus one batched k*r-wide call
+/// (the serving batcher's coalescing, apps/serving.hpp): words(k calls
+/// at in.r) / words(1 call at k*in.r). Greater than 1 means batching
+/// wins on traffic — replication words are paid once instead of k times
+/// while propagation scales with total width either way.
+double batching_words_ratio(AlgorithmKind kind, const CostInputs& in, int k);
+
 } // namespace dsk

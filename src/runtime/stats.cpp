@@ -114,6 +114,21 @@ double WorldStats::measured_kernel_seconds() const {
   return worst;
 }
 
+double WorldStats::load_imbalance() const {
+  if (ranks_.empty()) return 1.0;
+  double worst = 0.0;
+  double sum = 0.0;
+  for (const auto& r : ranks_) {
+    const auto c = r.total();
+    const double load =
+        static_cast<double>(c.words_sent) + static_cast<double>(c.flops);
+    worst = std::max(worst, load);
+    sum += load;
+  }
+  const double mean = sum / static_cast<double>(ranks_.size());
+  return mean > 0.0 ? worst / mean : 1.0;
+}
+
 double WorldStats::modeled_overlap_seconds(const MachineModel& m) const {
   double worst = 0;
   for (const auto& r : ranks_) {

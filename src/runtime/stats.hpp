@@ -257,6 +257,24 @@ class WorldStats {
     resumed_steps_ = resumed_steps;
   }
 
+  /// Plan/execute accounting: how many times this call built the
+  /// per-driver Setup (grid, shards, support unions, compression
+  /// schedules) and how long those builds took. A fresh `run_kernel` /
+  /// `run_fusedmm` call reports (1, measured); executing a prebuilt
+  /// `Plan` reports (0, 0.0) — the setup was paid once at plan time.
+  int setup_builds() const { return setup_builds_; }
+  double setup_seconds() const { return setup_seconds_; }
+  void set_setup(int builds, double seconds) {
+    setup_builds_ = builds;
+    setup_seconds_ = seconds;
+  }
+
+  /// Load-imbalance ratio: max over ranks of (total words sent + flops)
+  /// divided by the mean over ranks. 1.0 is perfectly balanced; the
+  /// serving layer reshards (new random permutation, new Plan) when
+  /// this drifts past a threshold. Returns 1.0 for empty/idle runs.
+  double load_imbalance() const;
+
   /// Graceful degradation: set when a permanently lost rank made the
   /// driver re-plan the padded problem onto a smaller surviving world
   /// instead of erroring. The stats then describe the degraded run.
@@ -272,6 +290,8 @@ class WorldStats {
 
  private:
   std::vector<RankStats> ranks_;
+  int setup_builds_ = 0;
+  double setup_seconds_ = 0.0;
   int recoveries_ = 0;
   std::uint64_t resumed_steps_ = 0;
   int degraded_rank_ = -1;

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Link check for the repo's markdown documentation.
+
+Every relative link target in the given markdown files must exist on
+disk (anchors are stripped; absolute URLs and mailto links are
+skipped). Catches the classic docs failure mode: a file moves or a
+README section is renamed and the cross-references silently rot.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+Exit status: 0 all targets exist, 1 on broken links, 2 on bad input.
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links; images share the syntax via the optional bang.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def strip_code(text):
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    base = os.path.dirname(os.path.abspath(path))
+    for target in LINK.findall(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    total_links = 0
+    failures = 0
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            print(f"check_doc_links: no such file: {path}", file=sys.stderr)
+            return 2
+        broken = check_file(path)
+        for target, resolved in broken:
+            print(f"{path}: broken link '{target}' -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"check_doc_links: {failures} broken link(s)")
+        return 1
+    print(f"check_doc_links: OK ({len(argv) - 1} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Drift check between `dsk_cli --help` and docs/OPTIONS.md.
+
+The CLI's flag table (kFlags in tools/dsk_cli.cpp) generates --help, so
+parser and usage cannot drift from each other; this script closes the
+remaining gap to the documentation. It parses the flag names and
+defaults out of both sources and requires them to match exactly:
+
+  - every flag --help prints must appear in an OPTIONS.md CLI table row,
+  - every `--flag` row in the OPTIONS.md CLI tables must exist in --help,
+  - the defaults must agree (--help's "(default X)" vs the row's second
+    column; flags with no default use "—" in the doc).
+
+Usage: check_options_doc.py <dsk_cli-binary> <OPTIONS.md>
+Exit status: 0 in sync, 1 on drift, 2 on bad invocation.
+"""
+
+import re
+import subprocess
+import sys
+
+HELP_FLAG = re.compile(r"^  (--[a-z-]+)(?: [A-Z]+)?\s{2,}(.*)$")
+HELP_DEFAULT = re.compile(r"\(default ([^)]*)\)\s*$")
+# A CLI-table row: | `--flag ...` | `default` or — | description |
+DOC_ROW = re.compile(r"^\|\s*`(--[a-z-]+)[^`]*`\s*\|\s*([^|]+?)\s*\|")
+
+
+def parse_help(binary):
+    out = subprocess.run([binary, "--help"], capture_output=True,
+                         text=True, check=True).stdout
+    flags = {}
+    for line in out.splitlines():
+        m = HELP_FLAG.match(line)
+        if not m:
+            continue
+        name, rest = m.group(1), m.group(2)
+        d = HELP_DEFAULT.search(rest)
+        flags[name] = d.group(1) if d else None
+    return flags
+
+
+def parse_doc(path):
+    flags = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = DOC_ROW.match(line)
+            if not m:
+                continue
+            default = m.group(2).strip().strip("`")
+            flags[m.group(1)] = None if default == "—" else default
+    return flags
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        help_flags = parse_help(argv[1])
+    except (OSError, subprocess.CalledProcessError) as e:
+        print(f"check_options_doc: failed to run {argv[1]} --help: {e}",
+              file=sys.stderr)
+        return 2
+    doc_flags = parse_doc(argv[2])
+    if not help_flags:
+        print("check_options_doc: no flags parsed from --help", file=sys.stderr)
+        return 2
+    if not doc_flags:
+        print("check_options_doc: no flag rows parsed from the doc",
+              file=sys.stderr)
+        return 2
+
+    problems = []
+    for name in sorted(set(help_flags) - set(doc_flags)):
+        problems.append(f"{name} is in --help but missing from OPTIONS.md")
+    for name in sorted(set(doc_flags) - set(help_flags)):
+        problems.append(f"{name} is documented but not in --help")
+    for name in sorted(set(help_flags) & set(doc_flags)):
+        if help_flags[name] != doc_flags[name]:
+            problems.append(
+                f"{name}: --help default {help_flags[name]!r} != "
+                f"OPTIONS.md default {doc_flags[name]!r}")
+
+    if problems:
+        print(f"check_options_doc: {len(problems)} drift(s) between "
+              f"--help and {argv[2]}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_options_doc: OK ({len(help_flags)} flags in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,72 +1,32 @@
-/// dsk command-line driver: run any distributed kernel or FusedMM
-/// configuration on a generated or Matrix Market input and print the
-/// verified result quality plus the paper's communication metrics.
+/// dsk command-line driver.
 ///
-/// Usage:
-///   dsk_cli [options]
-///     --op        sddmm | spmma | spmmb | fusedmm-a | fusedmm-b
-///                 (default fusedmm-a)
-///     --algo      dense-shift | sparse-shift | dense-repl | sparse-repl
-///                 | baseline   (default dense-shift)
-///     --elision   none | reuse | fusion      (default none; FusedMM only)
-///     --p N       simulated ranks            (default 16)
-///     --c N       replication factor         (default 1)
-///     --n N       square matrix side         (default 8192)
-///     --d N       nonzeros per row           (default 8)
-///     --r N       embedding width            (default 32)
-///     --mtx F     load a Matrix Market file instead of generating
-///                 (SuiteSparse inputs, paper Table V; --matrix works too)
-///     --rmat      generate R-MAT instead of Erdos-Renyi
-///     --seed N    RNG seed                   (default 1)
-///     --reps N    FusedMM repetitions        (default 1)
-///     --replication dense | sparse | auto    (default dense)
-///                 how the fiber collectives move A-side row blocks:
-///                 sparse ships only supported rows (SpComm3D-style),
-///                 auto picks the cheaper plan per fiber
-///     --propagation dense | sparse | auto    (default dense)
-///                 how the cyclic shifts move the dense B-side blocks:
-///                 sparse ships, per hop, only the rows in the rest of
-///                 the ring trip's column support
-///                 ([count, cols..., values...]), auto decides per hop
-///                 so max-per-rank words never exceed dense
-///     --schedule  db | bsp | pipeline        (default db)
-///                 propagation engine: double-buffered overlap,
-///                 bulk-synchronous, or pipelined (db plus the
-///                 replication all-gather streamed into shift step 0)
-///     --chunk-rows N  rows per replication chunk (pipeline schedule
-///                 only; default 0 = auto, quarter blocks). Rejected
-///                 with any other schedule instead of being silently
-///                 ignored.
-///     --faults S  deterministic fault plan, comma-separated key=value
-///                 spec (see src/runtime/fault.hpp): e.g.
-///                 "seed=7,drop=0.02,corrupt=0.01" injects message
-///                 faults healed by the checksummed retransmit layer;
-///                 "crash=3@prop:2" crashes rank 3 at its third
-///                 propagation op — 2.5D drivers recover from replicas
-///                 (checkpoint fallback when no peer survives), 1.5D/1D
-///                 restore from the checkpoint store. Outputs stay
-///                 bit-identical to the fault-free run.
-///     --checkpoint-interval N  journal/checkpoint snapshot cadence in
-///                 shift steps (0 = every step; requires --faults)
-///     --max-recoveries N  recovery-attempt budget before the crash is
-///                 treated as permanent (default 4; requires --faults)
-///     --degrade   when recovery is impossible or the budget is spent,
-///                 re-shard onto the largest valid smaller grid and
-///                 re-run from the checkpointed inputs instead of
-///                 failing (requires --faults)
-///     --no-verify skip the serial reference check (large inputs)
+/// Two modes:
+///   dsk_cli [options]          run one distributed kernel / FusedMM
+///                              configuration on a generated or Matrix
+///                              Market input, print the verified result
+///                              quality and the paper's communication
+///                              metrics;
+///   dsk_cli serve [options]    train an ALS recommender once, then
+///                              serve scoring requests from a resident
+///                              Plan (apps/serve_als.hpp): batched
+///                              kernel passes, cross-call replication
+///                              cache, crash-degrade-replan.
 ///
-/// Examples:
-///   dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 --c 4
-///   dsk_cli --mtx graph.mtx --algo sparse-shift --elision reuse
-///   dsk_cli --rmat --c 4 --replication auto --schedule bsp
-///   dsk_cli --c 8 --schedule pipeline --chunk-rows 64
+/// Every flag lives in ONE table (kFlags below): the parser walks it to
+/// accept and scope-check flags, and --help prints it. Adding a flag
+/// means adding a table row — usage text cannot drift from the parser,
+/// and docs/OPTIONS.md is diffed against `dsk_cli --help` by
+/// tools/check_options_doc.py in CI.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "apps/serve_als.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "dist/algorithm.hpp"
@@ -83,7 +43,75 @@ namespace {
 
 using namespace dsk;
 
+/// Which mode(s) a flag applies to. Scope violations are hard errors —
+/// a kernel flag in serve mode would otherwise be silently ignored.
+enum class FlagScope { Common, Kernel, Serve };
+
+struct FlagSpec {
+  const char* name;    ///< "--op"
+  const char* metavar; ///< value placeholder, "" for booleans
+  FlagScope scope;
+  const char* def;     ///< printable default, "" if none
+  const char* help;    ///< one line, shown by --help
+};
+
+/// THE flag table. Parser and --help both walk this; docs/OPTIONS.md
+/// mirrors it (CI greps --help against the doc).
+constexpr FlagSpec kFlags[] = {
+    {"--algo", "NAME", FlagScope::Common, "dense-shift",
+     "dense-shift | sparse-shift | dense-repl | sparse-repl | baseline"},
+    {"--p", "N", FlagScope::Common, "16", "simulated ranks"},
+    {"--c", "N", FlagScope::Common, "1", "replication factor"},
+    {"--d", "N", FlagScope::Common, "8",
+     "nonzeros per row (serve: ratings per user)"},
+    {"--r", "N", FlagScope::Common, "32",
+     "embedding width (serve: ALS rank)"},
+    {"--seed", "N", FlagScope::Common, "1", "RNG seed"},
+    {"--replication", "MODE", FlagScope::Common, "dense",
+     "dense | sparse | auto: how fiber collectives move A-side rows"},
+    {"--propagation", "MODE", FlagScope::Common, "dense",
+     "dense | sparse | auto: how cyclic shifts move dense B-side blocks"},
+    {"--schedule", "NAME", FlagScope::Common, "db",
+     "db | bsp | pipeline: propagation engine (all bit-identical)"},
+    {"--faults", "SPEC", FlagScope::Common, "",
+     "deterministic fault plan, e.g. \"seed=7,drop=0.02,crash=3@prop:2\""},
+    {"--checkpoint-interval", "N", FlagScope::Common, "0",
+     "checkpoint cadence in shift steps, 0 = every step (needs --faults)"},
+    {"--max-recoveries", "N", FlagScope::Common, "4",
+     "recovery budget before a crash is permanent (needs --faults)"},
+    {"--degrade", "", FlagScope::Common, "",
+     "shrink-and-replan instead of failing when recovery is spent "
+     "(needs --faults)"},
+    {"--op", "OP", FlagScope::Kernel, "fusedmm-a",
+     "sddmm | spmma | spmmb | fusedmm-a | fusedmm-b"},
+    {"--elision", "MODE", FlagScope::Kernel, "none",
+     "none | reuse | fusion (FusedMM only)"},
+    {"--n", "N", FlagScope::Kernel, "8192", "square matrix side"},
+    {"--mtx", "FILE", FlagScope::Kernel, "",
+     "load a Matrix Market file instead of generating (--matrix too)"},
+    {"--rmat", "", FlagScope::Kernel, "",
+     "generate R-MAT instead of Erdos-Renyi"},
+    {"--reps", "N", FlagScope::Kernel, "1", "FusedMM repetitions"},
+    {"--chunk-rows", "N", FlagScope::Kernel, "0",
+     "pipeline-schedule replication chunk rows (0 = auto)"},
+    {"--no-verify", "", FlagScope::Kernel, "",
+     "skip the serial reference check (large inputs)"},
+    {"--users", "N", FlagScope::Serve, "96",
+     "users in the synthetic ratings matrix"},
+    {"--items", "N", FlagScope::Serve, "64",
+     "items in the synthetic ratings matrix"},
+    {"--requests", "N", FlagScope::Serve, "8",
+     "scoring requests to serve"},
+    {"--batch-width", "N", FlagScope::Serve, "32",
+     "max requests per batched pass: 32 | 64 | 128"},
+    {"--top-k", "N", FlagScope::Serve, "5",
+     "recommendations per request"},
+    {"--reshard-threshold", "X", FlagScope::Serve, "0",
+     "reshard when a pass's load imbalance exceeds X (0 = never)"},
+};
+
 struct Options {
+  bool serve = false;
   std::string op = "fusedmm-a";
   std::string algo = "dense-shift";
   std::string elision = "none";
@@ -108,19 +136,95 @@ struct Options {
   bool degrade = false;
   std::uint64_t seed = 1;
   int reps = 1;
+  Index users = 96;
+  Index items = 64;
+  int requests = 8;
+  Index batch_width = 32;
+  int top_k = 5;
+  double reshard_threshold = 0;
 };
 
+const char* scope_title(FlagScope scope) {
+  switch (scope) {
+    case FlagScope::Common: return "options (both modes)";
+    case FlagScope::Kernel: return "kernel mode (default)";
+    case FlagScope::Serve: return "serve mode (dsk_cli serve)";
+  }
+  return "";
+}
+
+[[noreturn]] void print_help_and_exit() {
+  std::printf(
+      "usage: dsk_cli [options]        run one kernel / FusedMM "
+      "configuration\n"
+      "       dsk_cli serve [options]  train an ALS model, serve batched "
+      "scoring requests\n");
+  for (const FlagScope scope :
+       {FlagScope::Common, FlagScope::Kernel, FlagScope::Serve}) {
+    std::printf("\n%s:\n", scope_title(scope));
+    for (const FlagSpec& flag : kFlags) {
+      if (flag.scope != scope) continue;
+      std::string head = flag.name;
+      if (flag.metavar[0] != '\0') {
+        head += ' ';
+        head += flag.metavar;
+      }
+      std::printf("  %-24s %s", head.c_str(), flag.help);
+      if (flag.def[0] != '\0') std::printf(" (default %s)", flag.def);
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nexamples:\n"
+      "  dsk_cli --op fusedmm-a --algo dense-shift --elision fusion --p 64 "
+      "--c 4\n"
+      "  dsk_cli --mtx graph.mtx --algo sparse-shift --elision reuse\n"
+      "  dsk_cli --c 8 --schedule pipeline --chunk-rows 64\n"
+      "  dsk_cli serve --users 96 --items 64 --requests 8 --batch-width "
+      "32\n");
+  std::exit(0);
+}
+
 [[noreturn]] void usage_and_exit(const char* message) {
-  std::fprintf(stderr, "dsk_cli: %s\nSee the header comment of "
-                       "tools/dsk_cli.cpp for usage.\n",
+  std::fprintf(stderr,
+               "dsk_cli: %s\nRun dsk_cli --help for the flag table.\n",
                message);
   std::exit(2);
 }
 
+const FlagSpec* find_flag(const std::string& arg) {
+  for (const FlagSpec& flag : kFlags) {
+    if (arg == flag.name) return &flag;
+  }
+  return nullptr;
+}
+
 Options parse(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    opt.serve = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") print_help_and_exit();
+    if (arg == "--matrix") arg = "--mtx"; // long-standing alias
+    const FlagSpec* flag = find_flag(arg);
+    if (flag == nullptr) {
+      usage_and_exit(("unknown option " + arg).c_str());
+    }
+    if (opt.serve && flag->scope == FlagScope::Kernel) {
+      usage_and_exit((arg + " does not apply to the serve subcommand; "
+                      "the serving layer chooses the kernel, input, and "
+                      "pass width itself")
+                         .c_str());
+    }
+    if (!opt.serve && flag->scope == FlagScope::Serve) {
+      usage_and_exit(
+          (arg + " only applies to the serve subcommand (dsk_cli serve)")
+              .c_str());
+    }
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage_and_exit(("missing value for " + arg).c_str());
       return argv[++i];
@@ -132,7 +236,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--propagation") opt.propagation = next();
     else if (arg == "--schedule") opt.schedule = next();
     else if (arg == "--faults") opt.faults = next();
-    else if (arg == "--mtx" || arg == "--matrix") opt.matrix_path = next();
+    else if (arg == "--mtx") opt.matrix_path = next();
     else if (arg == "--rmat") opt.use_rmat = true;
     else if (arg == "--no-verify") opt.verify = false;
     else if (arg == "--p") opt.p = std::atoi(next());
@@ -155,8 +259,15 @@ Options parse(int argc, char** argv) {
     else if (arg == "--degrade") opt.degrade = true;
     else if (arg == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--reps") opt.reps = std::atoi(next());
-    else if (arg == "--help" || arg == "-h") usage_and_exit("help");
-    else usage_and_exit(("unknown option " + arg).c_str());
+    else if (arg == "--users") opt.users = std::atoll(next());
+    else if (arg == "--items") opt.items = std::atoll(next());
+    else if (arg == "--requests") opt.requests = std::atoi(next());
+    else if (arg == "--batch-width") opt.batch_width = std::atoll(next());
+    else if (arg == "--top-k") opt.top_k = std::atoi(next());
+    else if (arg == "--reshard-threshold") {
+      opt.reshard_threshold = std::atof(next());
+    }
+    else usage_and_exit(("unhandled option " + arg).c_str());
   }
   return opt;
 }
@@ -204,12 +315,8 @@ ShiftSchedule parse_schedule(const std::string& name) {
   usage_and_exit(("unknown schedule " + name).c_str());
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  const AlgorithmKind kind = parse_algo(opt.algo);
-  const Elision elision = parse_elision(opt.elision);
+/// Shared option validation + AlgorithmOptions assembly (both modes).
+AlgorithmOptions validate_common(const Options& opt) {
   AlgorithmOptions algo_options;
   algo_options.replication = parse_replication(opt.replication);
   algo_options.propagation = parse_propagation(opt.propagation);
@@ -242,6 +349,159 @@ int main(int argc, char** argv) {
   algo_options.checkpoint_interval = opt.checkpoint_interval;
   algo_options.max_recoveries = opt.max_recoveries;
   algo_options.degrade = opt.degrade;
+  return algo_options;
+}
+
+/// Synthetic ratings with planted low-rank structure (the
+/// examples/als_recommender.cpp recipe, sized by flags).
+CooMatrix synthetic_ratings(Index users, Index items, Index per_user,
+                            Rng& rng) {
+  const Index true_rank = 4;
+  DenseMatrix taste(users, true_rank);
+  DenseMatrix appeal(items, true_rank);
+  taste.fill_gaussian(rng, 1.0);
+  appeal.fill_gaussian(rng, 1.0);
+  const CooMatrix pattern =
+      erdos_renyi_fixed_row(users, items, per_user, rng);
+  CooMatrix ratings(users, items);
+  ratings.reserve(pattern.nnz());
+  for (Index k = 0; k < pattern.nnz(); ++k) {
+    const auto e = pattern.entry(k);
+    Scalar dot = 0;
+    for (Index f = 0; f < true_rank; ++f) {
+      dot += taste(e.row, f) * appeal(e.col, f);
+    }
+    ratings.push_back(e.row, e.col, dot + 0.05 * rng.next_gaussian());
+  }
+  ratings.sort_and_combine();
+  return ratings;
+}
+
+int serve_main(const Options& opt, AlgorithmOptions algo_options) {
+  if (opt.batch_width != 32 && opt.batch_width != 64 &&
+      opt.batch_width != 128) {
+    usage_and_exit("--batch-width must be one of the kernel sweet spots "
+                   "32, 64, or 128");
+  }
+  if (algo_options.schedule == ShiftSchedule::Pipelined) {
+    usage_and_exit("serve mode requires a blocking replication schedule "
+                   "(db or bsp): the pipelined stream bypasses the "
+                   "cross-call replication cache the server relies on");
+  }
+  if (opt.requests < 1) usage_and_exit("--requests must be >= 1");
+  if (opt.top_k < 1) usage_and_exit("--top-k must be >= 1");
+  if (opt.reshard_threshold < 0) {
+    usage_and_exit("--reshard-threshold must be >= 0 (0 = never)");
+  }
+
+  FaultPlan fault_plan;
+  if (!opt.faults.empty()) {
+    fault_plan = parse_fault_plan(opt.faults);
+    algo_options.faults = &fault_plan;
+    std::printf("faults: %s\n", to_replay_string(fault_plan).c_str());
+  }
+
+  Rng rng(opt.seed);
+  const CooMatrix ratings =
+      synthetic_ratings(opt.users, opt.items, opt.d, rng);
+  std::printf("serve: %lld users x %lld items, %lld ratings, rank %lld, "
+              "%s p = %d c = %d, batch width %lld\n",
+              static_cast<long long>(opt.users),
+              static_cast<long long>(opt.items),
+              static_cast<long long>(ratings.nnz()),
+              static_cast<long long>(opt.r), opt.algo.c_str(), opt.p,
+              opt.c, static_cast<long long>(opt.batch_width));
+
+  AlsServerConfig config;
+  config.train.rank = opt.r;
+  config.train.kind = parse_algo(opt.algo);
+  config.train.p = opt.p;
+  config.train.c = opt.c;
+  config.train.lambda = 0.05;
+  config.train.cg_iterations = 4;
+  config.train.sweeps = 2;
+  config.train.seed = opt.seed;
+  config.exec = algo_options;
+  config.batch_width = opt.batch_width;
+  config.reshard_threshold = opt.reshard_threshold;
+
+  Timer timer;
+  AlsServer server(ratings, config);
+  std::printf("trained: loss %.1f -> %.1f in %.2fs; resident plan built, "
+              "world of %d ranks up\n",
+              server.loss_history().front(), server.loss_history().back(),
+              timer.seconds(), server.p());
+
+  std::vector<Index> who(static_cast<std::size_t>(opt.requests));
+  for (auto& u : who) u = rng.next_index(0, opt.users);
+  const auto recommendations =
+      server.top_k({who.data(), who.size()}, opt.top_k);
+  const Scalar rmse_cold = server.observed_rmse();
+  const Scalar rmse_warm = server.observed_rmse();
+
+  const ServeReport& report = server.report();
+  std::printf("served %d requests in %d batched passes (%d plans built, "
+              "setup builds during serving: %d)\n",
+              report.requests, report.batches, report.plan_builds,
+              report.setup_builds);
+  std::printf("cache: %llu hit(s), %llu miss(es); load imbalance %.2f; "
+              "%d reshard(s)\n",
+              static_cast<unsigned long long>(report.cache_hits),
+              static_cast<unsigned long long>(report.cache_misses),
+              report.last_imbalance, report.reshards);
+  if (report.degraded) {
+    std::printf("degraded: rank %d lost for good; re-planned from p = %d "
+                "onto p = %d surviving ranks\n",
+                report.degraded_rank, report.degraded_from,
+                report.degraded_to);
+  }
+  std::printf("rmse over observed ratings: %.4f (cold) / %.4f (warm "
+              "cache)\n",
+              rmse_cold, rmse_warm);
+
+  const Index sample = who.front();
+  std::printf("user %lld:", static_cast<long long>(sample));
+  for (const auto& rec : recommendations.front()) {
+    std::printf(" item %lld (%.3f)", static_cast<long long>(rec.item),
+                rec.score);
+  }
+  std::printf("\n");
+
+  // Batched-equals-unbatched spot check: the same user through a fresh
+  // one-request batch and through the narrow unbatched path must agree.
+  const auto batched = server.top_k({&sample, 1}, opt.top_k);
+  const auto narrow = server.top_k_one(sample, opt.top_k);
+  bool ok = batched.front().size() == narrow.size();
+  if (ok) {
+    for (std::size_t i = 0; i < narrow.size(); ++i) {
+      const auto& x = batched.front()[i];
+      const auto& y = narrow[i];
+      if (x.item != y.item || std::abs(x.score - y.score) > 1e-9) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  std::printf("verification batched vs unbatched top-k: %s\n",
+              ok ? "[OK]" : "[FAIL]");
+  return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  AlgorithmOptions algo_options = validate_common(opt);
+  if (opt.serve) {
+    try {
+      return serve_main(opt, algo_options);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "dsk_cli: error: %s\n", e.what());
+      return 1;
+    }
+  }
+  const AlgorithmKind kind = parse_algo(opt.algo);
+  const Elision elision = parse_elision(opt.elision);
 
   try {
     FaultPlan fault_plan;
