@@ -11,12 +11,17 @@
 /// (R-MAT) instance. Section 3 measures the column-support PROPAGATION
 /// collectives the same way: max-per-rank propagation words under the
 /// Dense / SparseCols / Auto modes for every family with dense
-/// circulating blocks. `--out <path>` writes every measurement as JSON
-/// records for the perf-trajectory baseline (BENCH_replication.json);
-/// the process exits nonzero if Auto ever moves more words than Dense
-/// in either section, or if Auto propagation fails to show a STRICT
-/// saving on the R-MAT instance for the compressible families, so CI
-/// catches word regressions.
+/// circulating blocks. Section 4 sweeps the wire codecs
+/// (runtime/wire.hpp): precision x index codec under the Auto
+/// collectives, on the R-MAT instance and a near-dense one where only
+/// header compression makes the sparse path pay. `--out <path>` writes
+/// every measurement as JSON records for the perf-trajectory baseline
+/// (BENCH_replication.json); the process exits nonzero if Auto ever
+/// moves more words than Dense in sections 2-3, if Auto propagation
+/// fails to show a STRICT saving on the R-MAT instance for the
+/// compressible families, or if the Auto index codec ever moves more
+/// words than raw-header Auto (or fails to strictly undercut it on a
+/// near-dense instance), so CI catches word regressions.
 
 #include <cmath>
 
@@ -190,6 +195,135 @@ bool run_propagation_comparison(JsonRecords& records) {
   return gates_hold;
 }
 
+/// Near-dense row support: every 64th row left EMPTY so each 64-row
+/// fiber chunk supports exactly 63 of its 64 rows — inside the narrow
+/// band where raw sparse headers price the row-sparse path out of Auto
+/// (63*(r+1)+1 > 64*r at r=32) but compressed headers price it back in
+/// (63*r + one bitmap word < 64*r).
+Workload make_banded_support_workload(Index n, Index d, Index r,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  const CooMatrix full = erdos_renyi_fixed_row(n, n, d, rng);
+  CooMatrix s(n, n);
+  s.reserve(full.nnz());
+  for (Index k = 0; k < full.nnz(); ++k) {
+    const auto e = full.entry(k);
+    if (e.row % 64 == 63) continue;
+    s.push_back(e.row, e.col, e.value);
+  }
+  s.sort_and_combine();
+  Workload w{std::move(s), DenseMatrix(n, r), DenseMatrix(n, r), r};
+  w.a.fill_random(rng);
+  w.b.fill_random(rng);
+  return w;
+}
+
+std::uint64_t auto_comm_words(AlgorithmKind kind, int p, int c,
+                              const Workload& w, const WireCodec& codec) {
+  AlgorithmOptions options;
+  options.replication = ReplicationMode::Auto;
+  options.propagation = PropagationMode::Auto;
+  options.wire_precision = codec.precision;
+  options.index_codec = codec.index_codec;
+  auto algo = make_algorithm(kind, p, c, options);
+  const auto result = algo->run_fusedmm(FusedOrientation::A,
+                                        Elision::None, w.s, w.a, w.b, 1);
+  return result.stats.max_words(Phase::Replication) +
+         result.stats.max_words(Phase::Propagation);
+}
+
+/// Section 4: wire codecs (runtime/wire.hpp) under the Auto collectives.
+/// Sweeps precision x index codec on the power-law instance plus a
+/// near-dense one where raw sparse headers price the row-sparse path
+/// OUT of Auto (support ~ 0.98 rows: support*(r+1) > rows*r) but the
+/// bitmap codec prices it back IN (support*r + rows/64 < rows*r).
+/// Returns false unless Auto with the Auto index codec — still exact,
+/// full-precision values — moves at most as many max-per-rank words as
+/// today's raw-header Auto on EVERY instance, and strictly fewer on at
+/// least one near-dense instance.
+bool run_wire_comparison(JsonRecords& records) {
+  print_header("Wire codecs: precision x index codec under Auto "
+               "(R-MAT + near-dense)");
+  const Index r = 32;
+  struct Instance {
+    const char* setup;
+    Workload w;
+  };
+  const Index n_rmat = 512 * env_scale();
+  const Index n_dense = 4096;
+  const std::vector<Instance> instances = {
+      {"rmat", make_rmat_workload(n_rmat, 4, r, /*seed=*/777)},
+      {"near-dense", make_banded_support_workload(n_dense, 32, r,
+                                                  /*seed=*/778)},
+  };
+  const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::DenseShift15D, AlgorithmKind::SparseShift15D,
+      AlgorithmKind::DenseRepl25D, AlgorithmKind::SparseRepl25D};
+  const WirePrecision precisions[] = {WirePrecision::Full,
+                                      WirePrecision::F32,
+                                      WirePrecision::BF16};
+  const IndexCodec index_codecs[] = {IndexCodec::Raw,
+                                     IndexCodec::DeltaVarint,
+                                     IndexCodec::Bitmap, IndexCodec::Auto};
+  const int p = 16;
+  const int c = 4;
+  bool never_worse = true;
+  bool strict_win = false;
+  std::printf("%-11s %-18s | %12s %12s | %8s\n", "setup", "algorithm",
+              "raw auto", "codec auto", "saving");
+  for (const auto& inst : instances) {
+    for (const AlgorithmKind kind : kinds) {
+      std::uint64_t baseline = 0;
+      std::uint64_t codec_auto = 0;
+      for (const WirePrecision precision : precisions) {
+        for (const IndexCodec index_codec : index_codecs) {
+          const WireCodec codec{precision, index_codec};
+          const std::uint64_t words =
+              auto_comm_words(kind, p, c, inst.w, codec);
+          if (codec.is_default()) baseline = words;
+          if (precision == WirePrecision::Full &&
+              index_codec == IndexCodec::Auto) {
+            codec_auto = words;
+          }
+          records.add()
+              .field("bench", "fig7_wire")
+              .field("setup", inst.setup)
+              .field("algorithm", to_string(kind))
+              .field("elision", to_string(Elision::None))
+              .field("replication", to_string(ReplicationMode::Auto))
+              .field("propagation", to_string(PropagationMode::Auto))
+              .field("precision", to_string(precision))
+              .field("index_codec", to_string(index_codec))
+              .field("p", p)
+              .field("c", c)
+              .field("n", static_cast<std::int64_t>(inst.w.s.rows()))
+              .field("nnz", static_cast<std::int64_t>(inst.w.s.nnz()))
+              .field("r", static_cast<std::int64_t>(inst.w.r))
+              .field("wire_words", words);
+        }
+      }
+      const double saving =
+          baseline > 0
+              ? 100.0 * (1.0 - static_cast<double>(codec_auto) / baseline)
+              : 0.0;
+      std::printf("%-11s %-18s | %12llu %12llu | %7.1f%%\n", inst.setup,
+                  to_string(kind).c_str(),
+                  static_cast<unsigned long long>(baseline),
+                  static_cast<unsigned long long>(codec_auto), saving);
+      never_worse &= codec_auto <= baseline;
+      if (std::string(inst.setup) == "near-dense") {
+        strict_win |= codec_auto < baseline;
+      }
+    }
+  }
+  std::printf("\nInvariants: codec-auto <= raw-auto on every instance "
+              "— %s; strictly fewer words on a near-dense instance — "
+              "%s.\n",
+              never_worse ? "HOLDS" : "VIOLATED",
+              strict_win ? "HOLDS" : "VIOLATED");
+  return never_worse && strict_win;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -255,7 +389,8 @@ int main(int argc, char** argv) {
 
   const bool auto_bounded = run_mode_comparison(records);
   const bool propagation_bounded = run_propagation_comparison(records);
+  const bool wire_bounded = run_wire_comparison(records);
   const int write_status = finish_records(records, out_path);
   if (write_status != 0) return write_status;
-  return auto_bounded && propagation_bounded ? 0 : 1;
+  return auto_bounded && propagation_bounded && wire_bounded ? 0 : 1;
 }

@@ -157,8 +157,12 @@ std::vector<Recommendation> AlsServer::extract_top_k(
 }
 
 std::vector<std::vector<Recommendation>> AlsServer::top_k(
-    std::span<const Index> user_ids, int k) {
+    std::span<const Index> user_ids, int k, bool exact_ties) {
   check(k >= 1, "AlsServer: top_k needs k >= 1");
+  check(!(exact_ties && exec_.wire_precision == WirePrecision::BF16),
+        "AlsServer: request demands exact top-k ties, but the server's "
+        "bf16 wire precision can merge distinct scores into fabricated "
+        "ties — serve this request from a full or f32 precision server");
   std::vector<std::vector<Recommendation>> out;
   out.reserve(user_ids.size());
   std::size_t taken = 0;
@@ -178,6 +182,8 @@ std::vector<std::vector<Recommendation>> AlsServer::top_k(
     const Index width = batch.columns.cols();
     ExecuteOptions exec;
     exec.world = world_.get();
+    exec.wire_precision = exec_.wire_precision;
+    exec.index_codec = exec_.index_codec;
     const KernelResult result =
         score_plan(width).execute(Mode::SpMMB, s_pad_, batch.columns,
                                   DenseMatrix(s_pad_.cols(), width), exec);
@@ -193,8 +199,13 @@ std::vector<std::vector<Recommendation>> AlsServer::top_k(
   return out;
 }
 
-std::vector<Recommendation> AlsServer::top_k_one(Index user, int k) {
+std::vector<Recommendation> AlsServer::top_k_one(Index user, int k,
+                                                 bool exact_ties) {
   check(k >= 1, "AlsServer: top_k needs k >= 1");
+  check(!(exact_ties && exec_.wire_precision == WirePrecision::BF16),
+        "AlsServer: request demands exact top-k ties, but the server's "
+        "bf16 wire precision can merge distinct scores into fabricated "
+        "ties — serve this request from a full or f32 precision server");
   const Index width = width_multiple_;
   DenseMatrix narrow(s_pad_.rows(), width);
   const auto column = similarity_column(user);
@@ -203,6 +214,8 @@ std::vector<Recommendation> AlsServer::top_k_one(Index user, int k) {
   }
   ExecuteOptions exec;
   exec.world = world_.get();
+  exec.wire_precision = exec_.wire_precision;
+  exec.index_codec = exec_.index_codec;
   const KernelResult result =
       score_plan(width).execute(Mode::SpMMB, s_pad_, narrow,
                                 DenseMatrix(s_pad_.cols(), width), exec);
@@ -217,6 +230,8 @@ Scalar AlsServer::observed_rmse() {
   ExecuteOptions exec;
   exec.world = world_.get();
   exec.cache = cache_.get();
+  exec.wire_precision = exec_.wire_precision;
+  exec.index_codec = exec_.index_codec;
   const KernelResult result =
       rmse_plan_->execute(Mode::SDDMM, mask_pad_, a_pad_, b_pad_, exec);
   report_.rmse_calls += 1;

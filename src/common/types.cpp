@@ -64,4 +64,23 @@ std::string to_string(PropagationMode mode) {
   return "?";
 }
 
+std::string to_string(WirePrecision precision) {
+  switch (precision) {
+    case WirePrecision::Full: return "Full";
+    case WirePrecision::F32: return "F32";
+    case WirePrecision::BF16: return "BF16";
+  }
+  return "?";
+}
+
+std::string to_string(IndexCodec codec) {
+  switch (codec) {
+    case IndexCodec::Raw: return "Raw";
+    case IndexCodec::DeltaVarint: return "DeltaVarint";
+    case IndexCodec::Bitmap: return "Bitmap";
+    case IndexCodec::Auto: return "Auto";
+  }
+  return "?";
+}
+
 } // namespace dsk

@@ -75,6 +75,69 @@ enum class PropagationMode {
   Auto,
 };
 
+/// Value-payload precision on the wire (SparCML direction). Full ships
+/// one 64-bit word per Scalar — the paper's accounting and the exactness
+/// default. F32/BF16 truncate each value to 32/16 bits and pack 2/4 per
+/// word (per row, so chunking never changes the count); decoded values
+/// are widened back to Scalar and every accumulation stays in full
+/// precision, so the error per value is bounded by one rounding step per
+/// wire hop. Quantization is idempotent (re-encoding an already-encoded
+/// value is exact), so forwarding an unmodified block along a ring does
+/// not compound error.
+enum class WirePrecision {
+  Full,
+  F32,
+  BF16,
+};
+
+/// Index-header representation for the sorted support lists in
+/// row/col-support messages. Raw ships one word per index (today's
+/// format); DeltaVarint ships LEB128-coded gaps byte-packed into words;
+/// Bitmap ships a fixed ceil(block_rows/64)-word membership mask. Auto
+/// picks, per message, whichever encodes smallest (ties resolved
+/// Raw < DeltaVarint < Bitmap), so Auto is never larger than Raw. Both
+/// endpoints derive the choice from the shared support tables — no
+/// descriptor word travels on the wire.
+enum class IndexCodec {
+  Raw,
+  DeltaVarint,
+  Bitmap,
+  Auto,
+};
+
+/// The wire-format knobs every message class routes through — see
+/// src/runtime/wire.hpp for the codec layer itself. Default-constructed
+/// codecs reproduce today's byte layout exactly.
+struct WireCodec {
+  WirePrecision precision = WirePrecision::Full;
+  IndexCodec index_codec = IndexCodec::Raw;
+
+  bool is_default() const {
+    return precision == WirePrecision::Full &&
+           index_codec == IndexCodec::Raw;
+  }
+  friend bool operator==(const WireCodec&, const WireCodec&) = default;
+};
+
+/// Values packed per 64-bit word at each precision.
+constexpr std::int64_t wire_values_per_word(WirePrecision precision) {
+  switch (precision) {
+    case WirePrecision::F32: return 2;
+    case WirePrecision::BF16: return 4;
+    case WirePrecision::Full: break;
+  }
+  return 1;
+}
+
+/// Words needed for `count` values of one logical row at `precision`
+/// (rows are padded independently so chunk boundaries cannot change
+/// totals).
+constexpr std::int64_t wire_value_words(std::int64_t count,
+                                        WirePrecision precision) {
+  const std::int64_t per = wire_values_per_word(precision);
+  return (count + per - 1) / per;
+}
+
 /// Cost phases used in the paper's time breakdowns (Figures 5 and 9).
 enum class Phase {
   Replication, ///< all-gather / reduce-scatter along the fiber axis
@@ -93,5 +156,7 @@ std::string to_string(Phase phase);
 std::string to_string(FusedOrientation o);
 std::string to_string(ReplicationMode mode);
 std::string to_string(PropagationMode mode);
+std::string to_string(WirePrecision precision);
+std::string to_string(IndexCodec codec);
 
 } // namespace dsk

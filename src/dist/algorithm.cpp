@@ -17,6 +17,14 @@
 
 namespace dsk {
 
+WireCodec effective_wire_codec(const AlgorithmOptions& options,
+                               const ExecContext& ctx) {
+  WireCodec codec{options.wire_precision, options.index_codec};
+  if (ctx.wire_precision) codec.precision = *ctx.wire_precision;
+  if (ctx.index_codec) codec.index_codec = *ctx.index_codec;
+  return codec;
+}
+
 void DistAlgorithm::validate_dims(Index m, Index n, Index r) const {
   check(m >= 1 && n >= 1 && r >= 1, "validate_dims: empty problem ", m,
         " x ", n, " x ", r);
@@ -131,8 +139,13 @@ KernelResult DistAlgorithm::run_planned_kernel(const ExecContext& ctx,
     // re-run from the checkpointed inputs.
     const auto [p2, c2] = shrink_config(kind_, p_, c_);
     const CooMatrix healed = checkpointed_input(s, inputs);
-    const auto sub = make_algorithm(kind_, p2, c2,
-                                    degraded_options(options_));
+    // Per-call codec overrides would be lost across the re-plan; bake
+    // the effective codec into the degraded driver's options instead.
+    AlgorithmOptions dopts = degraded_options(options_);
+    const WireCodec wc = effective_wire_codec(options_, ctx);
+    dopts.wire_precision = wc.precision;
+    dopts.index_codec = wc.index_codec;
+    const auto sub = make_algorithm(kind_, p2, c2, dopts);
     const PaddedProblem padded = pad_problem(kind_, p2, c2, healed, a, b);
     KernelResult out = sub->run_kernel(mode, padded.s, padded.a, padded.b);
     if (mode == Mode::SpMMA) {
@@ -208,8 +221,11 @@ FusedResult DistAlgorithm::run_planned_fusedmm(
     if (e.crash().rank < 0) throw;
     const auto [p2, c2] = shrink_config(kind_, p_, c_);
     const CooMatrix healed = checkpointed_input(s, inputs);
-    const auto sub = make_algorithm(kind_, p2, c2,
-                                    degraded_options(options_));
+    AlgorithmOptions dopts = degraded_options(options_);
+    const WireCodec wc = effective_wire_codec(options_, ctx);
+    dopts.wire_precision = wc.precision;
+    dopts.index_codec = wc.index_codec;
+    const auto sub = make_algorithm(kind_, p2, c2, dopts);
     const PaddedProblem padded = pad_problem(kind_, p2, c2, healed, a, b);
     FusedResult out = sub->run_fusedmm(orientation, elision, padded.s,
                                        padded.a, padded.b, repetitions);
@@ -449,9 +465,11 @@ class Baseline1D final : public DistAlgorithm {
   }
 
   /// Fetch remote B rows per the plan and assemble the rank's compacted
-  /// working set (distinct columns x r).
-  DenseMatrix fetch_b(Comm& comm, const Setup& su,
-                      const DenseMatrix& b) const {
+  /// working set (distinct columns x r). The reply payload is a bare
+  /// value run (row order fixed by the shared plan, so no index header
+  /// travels) routed through the wire-codec layer.
+  DenseMatrix fetch_b(Comm& comm, const Setup& su, const DenseMatrix& b,
+                      const WireCodec& codec) const {
     const int rank = comm.rank();
     const auto& mine = su.cols[static_cast<std::size_t>(rank)];
     DenseMatrix work(static_cast<Index>(mine.size()), su.r);
@@ -464,11 +482,13 @@ class Baseline1D final : public DistAlgorithm {
             su.needs[static_cast<std::size_t>(t)][static_cast<std::size_t>(
                 rank)];
         if (rows.empty()) continue;
-        WordPacker packer;
+        std::vector<Scalar> values;
+        values.reserve(rows.size() * static_cast<std::size_t>(su.r));
         for (const Index g : rows) {
-          packer.put(std::span<const Scalar>(b.row(g)));
+          const auto row = b.row(g);
+          values.insert(values.end(), row.begin(), row.end());
         }
-        comm.send_words(t, kTagFetchReply, packer.take());
+        comm.send_words(t, kTagFetchReply, encode_values(values, codec));
       }
       for (int o = 0; o < p(); ++o) {
         if (o == rank) continue;
@@ -476,17 +496,18 @@ class Baseline1D final : public DistAlgorithm {
             su.needs[static_cast<std::size_t>(rank)][static_cast<std::size_t>(
                 o)];
         if (rows.empty()) continue;
-        const MessageWords words = comm.recv_words(o, kTagFetchReply);
-        WordReader reader(words);
-        for (const Index g : rows) {
-          const auto row = reader.take<Scalar>(
-              static_cast<std::size_t>(su.r));
+        const auto values = decode_values(
+            comm.recv_words(o, kTagFetchReply),
+            static_cast<std::int64_t>(rows.size()) * su.r, codec);
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+          const Index g = rows[k];
+          const auto* row =
+              values.data() + k * static_cast<std::size_t>(su.r);
           const auto it = std::lower_bound(mine.begin(), mine.end(), g);
           const auto local = static_cast<Index>(
               std::distance(mine.begin(), it));
-          std::copy(row.begin(), row.end(), work.row(local).begin());
+          std::copy(row, row + su.r, work.row(local).begin());
         }
-        check(reader.exhausted(), "1D-Baseline: oversized fetch reply");
       }
     }
     // Local columns straight from the owner's block (no communication).
@@ -536,6 +557,7 @@ class Baseline1D final : public DistAlgorithm {
                  const DenseMatrix& b, bool fused, int repetitions,
                  DenseMatrix& out) const {
     const Setup& su = setup_of(ctx);
+    const WireCodec codec = effective_wire_codec(options(), ctx);
     std::optional<CheckpointStore> ckpt;
     const WorldOptions wo = fault_options(su, ckpt);
     return run_in(ctx.world, p(), [&](Comm& comm) {
@@ -549,11 +571,11 @@ class Baseline1D final : public DistAlgorithm {
           live != nullptr ? csr_with_values(shard.csr, *live) : CsrMatrix();
       const CsrMatrix& scsr = live != nullptr ? live_csr : shard.csr;
       for (int rep = 0; rep < repetitions; ++rep) {
-        DenseMatrix work = fetch_b(comm, su, b);
+        DenseMatrix work = fetch_b(comm, su, b, codec);
         if (fused) {
           // The unfused SDDMM + SpMM pair fetches the same rows twice;
           // the baseline has no elision to offer.
-          work = fetch_b(comm, su, b);
+          work = fetch_b(comm, su, b, codec);
         }
         PhaseScope scope(comm.stats(), Phase::Computation);
         DenseMatrix block(su.row_blk, su.r);

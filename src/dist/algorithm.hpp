@@ -14,6 +14,7 @@
 /// load-balanced inputs.
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,19 @@ struct AlgorithmOptions {
   /// smaller grid and re-run fault-free from the checkpointed inputs
   /// instead of surfacing the WorldError.
   bool degrade = false;
+  /// Wire codec for every block message class (dense hops, row/col
+  /// support messages, circulating triplets, bare value fibers).
+  /// `wire_precision` selects the value encoding: Full keeps the
+  /// historical one-word-per-value layout (and Table III exactness);
+  /// F32 / BF16 pack 2 / 4 values per word, shrinking wire words at a
+  /// documented accuracy cost. `index_codec` selects the support-header
+  /// encoding: Raw keeps the historical one-word-per-index layout;
+  /// DeltaVarint / Bitmap shrink dense-support headers; Auto picks the
+  /// smallest per message. Dot-sum collectives (allreduce / broadcast /
+  /// scalar gathers), checkpoints, and journal snapshots always stay
+  /// full precision — the codec governs block wire traffic only.
+  WirePrecision wire_precision = WirePrecision::Full;
+  IndexCodec index_codec = IndexCodec::Raw;
 };
 
 /// Result of one unified kernel call. `dense` holds the global SpMM
@@ -121,7 +135,17 @@ struct ExecContext {
   const PlanData* plan = nullptr;
   SimWorld* world = nullptr;
   ReplicationCache* cache = nullptr;
+  /// Optional per-call wire-codec overrides (the serving layer threads
+  /// request-level choices through here): when set they replace the
+  /// driver options' wire_precision / index_codec for this call only.
+  std::optional<WirePrecision> wire_precision;
+  std::optional<IndexCodec> index_codec;
 };
+
+/// The wire codec one call runs with: the driver options' settings
+/// unless the ExecContext overrides them per call.
+WireCodec effective_wire_codec(const AlgorithmOptions& options,
+                               const ExecContext& ctx);
 
 /// Result of a FusedMM call: the A-shaped (orientation A) or B-shaped
 /// (orientation B) global output.

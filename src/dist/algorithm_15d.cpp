@@ -153,7 +153,7 @@ class DenseShift15D final : public DistAlgorithm {
   /// parked working block comes back with zero replication traffic; on a
   /// miss run the gathered block is parked for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
-                          const DenseMatrix& a,
+                          const DenseMatrix& a, const WireCodec& codec,
                           const CacheUse& cu = {}) const {
     if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
@@ -161,7 +161,7 @@ class DenseShift15D final : public DistAlgorithm {
     const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
     DenseMatrix out = fiber.allgatherv_rows(
         a.row_block(row0, row0 + su.a_blk), fiber_wants(su, u),
-        options().replication);
+        options().replication, codec);
     if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
     return out;
   }
@@ -173,7 +173,8 @@ class DenseShift15D final : public DistAlgorithm {
   /// the interleaved spans attribute correctly.
   void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
                              const DenseMatrix& a, DenseMatrix& dest,
-                             const ChunkFn& deliver) const {
+                             const ChunkFn& deliver,
+                             const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     const Index row0 = (static_cast<Index>(u) * c() + v) * su.a_blk;
@@ -181,17 +182,18 @@ class DenseShift15D final : public DistAlgorithm {
         a.row_block(row0, row0 + su.a_blk), fiber_wants(su, u),
         options().replication,
         pipeline_chunk_rows(options().chunk_rows, su.a_blk), deliver,
-        dest);
+        dest, codec);
   }
 
   /// Fiber reduce-scatter of the rank's layer-row partial; writes the
   /// rank's m/p output chunk.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v,
-                      const DenseMatrix& partial, DenseMatrix& out) const {
+                      const DenseMatrix& partial, DenseMatrix& out,
+                      const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     auto chunk = fiber.reduce_scatter_rows(partial, fiber_wants(su, u),
-                                           options().replication);
+                                           options().replication, codec);
     place_block(out, chunk,
                 static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
   }
@@ -202,12 +204,14 @@ class DenseShift15D final : public DistAlgorithm {
   /// partial is consumed.
   void reduce_partial_pipelined(Comm& comm, const Setup& su, int u, int v,
                                 DenseMatrix& partial, DenseMatrix& out,
-                                const ChunkFn& prepare) const {
+                                const ChunkFn& prepare,
+                                const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     auto chunk = fiber.reduce_scatter_rows_pipelined(
         partial, fiber_wants(su, u), options().replication,
-        pipeline_chunk_rows(options().chunk_rows, su.a_blk), prepare);
+        pipeline_chunk_rows(options().chunk_rows, su.a_blk), prepare,
+        codec);
     place_block(out, chunk,
                 static_cast<Index>(u) * su.mL + v * su.a_blk, 0);
   }
@@ -217,14 +221,16 @@ class DenseShift15D final : public DistAlgorithm {
   /// consumer at step t is the rank at layer position (j - t) mod L,
   /// touching exactly the rows in its piece-j column support.
   ShiftCompression b_compression(const Setup& su, int u, int v,
-                                 bool mutates) const {
+                                 bool mutates,
+                                 const WireCodec& codec) const {
     const int L = grid_.layer_size();
     return make_ring_compression(
         options().propagation, su.b_blk, su.r, L, u, mutates,
         [this, &su, v, L](int origin, int step) -> std::span<const Index> {
           const int consumer = ((origin - step) % L + L) % L;
           return piece(su, grid_.rank_of(consumer, v), origin).col_support;
-        });
+        },
+        codec);
   }
 
   /// Circulate the layer's B blocks (or B-shaped accumulators) for L
@@ -235,13 +241,14 @@ class DenseShift15D final : public DistAlgorithm {
   MessageWords b_loop(Comm& comm, const Setup& su, int u, int v,
                       bool mutates, MessageWords start,
                       const std::function<void(int, MessageWords&)>& body,
+                      const WireCodec& codec,
                       const ShiftPrologue* prologue = nullptr,
                       const ShiftJournalHooks* state = nullptr) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch =
         ring_channel(layer, u, kTagShift, mutates, std::move(start));
-    const ShiftCompression comp = b_compression(su, u, v, mutates);
+    const ShiftCompression comp = b_compression(su, u, v, mutates, codec);
     ch.compression = &comp;
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, [&](int t) {
       body((u + t) % L, ch.block);
@@ -319,15 +326,16 @@ class DenseShift15D final : public DistAlgorithm {
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, const DenseMatrix& a,
                                      DenseMatrix& dest,
+                                     const WireCodec& codec,
                                      const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
-      pro.replicate = [this, &comm, &su, u, v, &a,
-                       &dest](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
+      pro.replicate = [this, &comm, &su, u, v, &a, &dest,
+                       codec](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, dest, deliver, codec);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, a, cu);
+      dest = replicate_a(comm, su, u, v, a, codec, cu);
     }
     return pro;
   }
@@ -342,6 +350,7 @@ class DenseShift15D final : public DistAlgorithm {
   std::pair<DenseMatrix, std::vector<std::vector<Scalar>>>
   replicate_and_dots(Comm& comm, const Setup& su, int rank, int u, int v,
                      const DenseMatrix& a, const DenseMatrix& b,
+                     const WireCodec& codec,
                      const CacheUse& cu = {}) const {
     const int L = grid_.layer_size();
     DenseMatrix a_work;
@@ -362,16 +371,16 @@ class DenseShift15D final : public DistAlgorithm {
       d0.assign(p0.coo.size(), Scalar{0});
       ShiftPrologue pro;
       pro.replicate = [&](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver);
+        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver, codec);
       };
       pro.compute_chunk = [&](Index row0, Index row1) {
         comm.stats().add_flops(masked_dot_products_rows(
             p0.csr, a_work, b0, d0, row0, row1));
       };
       b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body,
-             &pro);
+             codec, &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, a, cu);
+      a_work = replicate_a(comm, su, u, v, a, codec, cu);
       // The per-piece dot vectors are stationary state (each dots[j] is
       // written wholly at step j); journal them so a recovered attempt
       // resumes with the completed pieces' dots intact.
@@ -397,7 +406,7 @@ class DenseShift15D final : public DistAlgorithm {
         }
       };
       b_loop(comm, su, u, v, /*mutates=*/false, pack_dense(b0), body,
-             nullptr, &hooks);
+             codec, nullptr, &hooks);
     }
     return {std::move(a_work), std::move(dots)};
   }
@@ -413,7 +422,7 @@ class DenseShift15D final : public DistAlgorithm {
   void spmma_pass(Comm& comm, const Setup& su, int rank, int u, int v,
                   const DenseMatrix& b,
                   const std::vector<std::vector<Scalar>>* values,
-                  DenseMatrix& out) const {
+                  DenseMatrix& out, const WireCodec& codec) const {
     const int L = grid_.layer_size();
     const auto layer = grid_.layer_members(v);
     DenseMatrix partial(su.mL, su.r);
@@ -422,7 +431,7 @@ class DenseShift15D final : public DistAlgorithm {
         pack_dense(b.row_block(b_row0(su, v, u),
                                b_row0(su, v, u) + su.b_blk)));
     const ShiftCompression comp =
-        b_compression(su, u, v, /*mutates=*/false);
+        b_compression(su, u, v, /*mutates=*/false, codec);
     ch.compression = &comp;
     const auto body = [&](int t) {
       const int j = (u + t) % L;
@@ -462,7 +471,8 @@ class DenseShift15D final : public DistAlgorithm {
             spmm_a_rows(*s_last, b_last, partial, row0, row1));
       };
       epi.reduce = [&](const ChunkFn& prepare) {
-        reduce_partial_pipelined(comm, su, u, v, partial, out, prepare);
+        reduce_partial_pipelined(comm, su, u, v, partial, out, prepare,
+                                 codec);
       };
     }
     ShiftJournalHooks hooks;
@@ -472,7 +482,7 @@ class DenseShift15D final : public DistAlgorithm {
     };
     run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, nullptr,
                    &epi, &hooks);
-    if (!pipelined()) reduce_partial(comm, su, u, v, partial, out);
+    if (!pipelined()) reduce_partial(comm, su, u, v, partial, out, codec);
   }
 
   Grid15D grid_;
@@ -493,6 +503,7 @@ KernelResult DenseShift15D::do_run_kernel(const ExecContext& ctx,
                                Scalar{0});
   }
   const int L = grid_.layer_size();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   // SpMMA never replicates A (its replication phase is the output
   // reduce-scatter), so only the A-consuming modes consult the cache.
   const CacheUse cu =
@@ -520,12 +531,12 @@ KernelResult DenseShift15D::do_run_kernel(const ExecContext& ctx,
     };
     switch (mode) {
       case Mode::SpMMA: {
-        spmma_pass(comm, su, rank, u, v, b, vals, result.dense);
+        spmma_pass(comm, su, rank, u, v, b, vals, result.dense, codec);
         return;
       }
       case Mode::SDDMM: {
         const auto [a_work, dots] =
-            replicate_and_dots(comm, su, rank, u, v, a, b, cu);
+            replicate_and_dots(comm, su, rank, u, v, a, b, codec, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         for (int j = 0; j < L; ++j) {
@@ -546,7 +557,7 @@ KernelResult DenseShift15D::do_run_kernel(const ExecContext& ctx,
         // the Pipelined gain here is the chunked fiber stream itself.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, a, a_work, cu);
+            replication_prologue(comm, su, u, v, a, a_work, codec, cu);
         const auto home = b_loop(
             comm, su, u, v, /*mutates=*/true,
             pack_dense(DenseMatrix(su.b_blk, su.r)),
@@ -555,7 +566,7 @@ KernelResult DenseShift15D::do_run_kernel(const ExecContext& ctx,
               comm.stats().add_flops(spmm_b(kernel_csr(j), a_work, acc));
               block = pack_dense(acc);
             },
-            &pro);
+            codec, &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.dense, unpack_dense(home, su.b_blk, su.r),
                     b_row0(su, v, u), 0);
@@ -591,6 +602,7 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
   }
   const Setup& su = setup_of(ctx);
   const int L = grid_.layer_size();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
@@ -624,7 +636,7 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
         // the chunked fiber messages).
         DenseMatrix fused_a;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, a, fused_a);
+            replication_prologue(comm, su, u, v, a, fused_a, codec);
         DenseMatrix partial(su.mL, su.r);
         ShiftJournalHooks hooks;
         hooks.pack_state = [&] { return pack_dense(partial); };
@@ -639,13 +651,13 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
                  comm.stats().add_flops(
                      fusedmm_a(kernel_csr(j), fused_a, bj, partial));
                },
-               &pro, &hooks);
-        reduce_partial(comm, su, u, v, partial, result.output);
+               codec, &pro, &hooks);
+        reduce_partial(comm, su, u, v, partial, result.output, codec);
         continue;
       }
       // SDDMM pass.
       const auto [a_work, dots] =
-          replicate_and_dots(comm, su, rank, u, v, a, b);
+          replicate_and_dots(comm, su, rank, u, v, a, b, codec);
       std::vector<std::vector<Scalar>> r_values(
           static_cast<std::size_t>(L));
       {
@@ -663,7 +675,8 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
       }
       // SpMM pass on the SDDMM output values.
       if (orientation == FusedOrientation::A) {
-        spmma_pass(comm, su, rank, u, v, b, &r_values, result.output);
+        spmma_pass(comm, su, rank, u, v, b, &r_values, result.output,
+                   codec);
       } else {
         // Unelided sequence: the SpMM pass replicates A again instead
         // of reusing the SDDMM pass's copy (the gathered bits are the
@@ -672,7 +685,7 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
         DenseMatrix discard;
         ShiftPrologue pro;
         if (elision == Elision::None) {
-          pro = replication_prologue(comm, su, u, v, a, discard);
+          pro = replication_prologue(comm, su, u, v, a, discard, codec);
         }
         const auto home = b_loop(
             comm, su, u, v, /*mutates=*/true,
@@ -685,7 +698,7 @@ FusedResult DenseShift15D::do_run_fusedmm(const ExecContext& ctx,
                   a_work, acc));
               block = pack_dense(acc);
             },
-            &pro);
+            codec, &pro);
         PhaseScope scope(comm.stats(), Phase::Computation);
         place_block(result.output, unpack_dense(home, su.b_blk, su.r),
                     b_row0(su, v, u), 0);
@@ -803,7 +816,7 @@ class SparseShift15D final : public DistAlgorithm {
   /// Cache-hit runs return the parked slice with zero replication
   /// traffic; miss runs park the gathered slice for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
-                          const DenseMatrix& a,
+                          const DenseMatrix& a, const WireCodec& codec,
                           const CacheUse& cu = {}) const {
     if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
@@ -811,7 +824,7 @@ class SparseShift15D final : public DistAlgorithm {
     DenseMatrix out = fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
                     static_cast<Index>(u) * su.rL, su.rL),
-        su.layer_support, options().replication);
+        su.layer_support, options().replication, codec);
     if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
     return out;
   }
@@ -820,14 +833,16 @@ class SparseShift15D final : public DistAlgorithm {
   /// pieces with `deliver` fired per finalized slice row range.
   void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
                              const DenseMatrix& a, DenseMatrix& dest,
-                             const ChunkFn& deliver) const {
+                             const ChunkFn& deliver,
+                             const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     fiber.allgatherv_rows_pipelined(
         dense_block(a, static_cast<Index>(v) * su.mc, su.mc,
                     static_cast<Index>(u) * su.rL, su.rL),
         su.layer_support, options().replication,
-        pipeline_chunk_rows(options().chunk_rows, su.mc), deliver, dest);
+        pipeline_chunk_rows(options().chunk_rows, su.mc), deliver, dest,
+        codec);
   }
 
   bool pipelined() const {
@@ -841,15 +856,16 @@ class SparseShift15D final : public DistAlgorithm {
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, const DenseMatrix& a,
                                      DenseMatrix& dest,
+                                     const WireCodec& codec,
                                      const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
-      pro.replicate = [this, &comm, &su, u, v, &a,
-                       &dest](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, a, dest, deliver);
+      pro.replicate = [this, &comm, &su, u, v, &a, &dest,
+                       codec](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, a, dest, deliver, codec);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, a, cu);
+      dest = replicate_a(comm, su, u, v, a, codec, cu);
     }
     return pro;
   }
@@ -857,11 +873,12 @@ class SparseShift15D final : public DistAlgorithm {
   /// Fiber reduce-scatter of the full-m SpMM-A partial slice; writes the
   /// rank's mc x rL chunk of the output.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v,
-                      const DenseMatrix& partial, DenseMatrix& out) const {
+                      const DenseMatrix& partial, DenseMatrix& out,
+                      const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u));
     auto chunk = fiber.reduce_scatter_rows(partial, su.layer_support,
-                                           options().replication);
+                                           options().replication, codec);
     place_block(out, chunk, static_cast<Index>(v) * su.mc,
                 static_cast<Index>(u) * su.rL);
   }
@@ -925,43 +942,44 @@ class SparseShift15D final : public DistAlgorithm {
   /// replicated slice and the home piece's accumulated dot payload.
   std::pair<DenseMatrix, Triplets> sddmm_pass(
       Comm& comm, const Setup& su, int u, int v, const DenseMatrix& a,
-      const DenseMatrix& b_local, const CacheUse& cu = {}) const {
+      const DenseMatrix& b_local, const WireCodec& codec,
+      const CacheUse& cu = {}) const {
     const int L = grid_.layer_size();
     DenseMatrix a_work;
     Triplets start = piece(su, v, u).coo;
     start.values.assign(start.size(), Scalar{0});
     const auto layer = grid_.layer_members(v);
     ShiftChannel ch = ring_channel(layer, u, kTagShift, /*mutates=*/true,
-                                   pack_triplets(start));
+                                   pack_triplets(start, codec));
     const auto body = [&](int t) {
       const int j = (u + t) % L;
-      auto payload = unpack_triplets(ch.block);
+      auto payload = unpack_triplets(ch.block, codec);
       comm.stats().add_flops(masked_dot_products(
           piece(su, v, j).csr, a_work, b_local, payload.values));
-      ch.block = pack_triplets(payload);
+      ch.block = pack_triplets(payload, codec);
     };
     if (pipelined()) {
       const auto& home = piece(su, v, u);
       std::vector<Scalar> d0(home.coo.size(), Scalar{0});
       ShiftPrologue pro;
       pro.replicate = [&](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver);
+        replicate_a_pipelined(comm, su, u, v, a, a_work, deliver, codec);
       };
       pro.compute_chunk = [&](Index row0, Index row1) {
         comm.stats().add_flops(masked_dot_products_rows(
             home.csr, a_work, b_local, d0, row0, row1));
       };
       pro.finish_step0 = [&] {
-        auto payload = unpack_triplets(ch.block);
+        auto payload = unpack_triplets(ch.block, codec);
         payload.values = std::move(d0);
-        ch.block = pack_triplets(payload);
+        ch.block = pack_triplets(payload, codec);
       };
       run_shift_loop(comm, options().schedule, L, {&ch, 1}, body, &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, a, cu);
+      a_work = replicate_a(comm, su, u, v, a, codec, cu);
       run_shift_loop(comm, options().schedule, L, {&ch, 1}, body);
     }
-    return {std::move(a_work), unpack_triplets(ch.block)};
+    return {std::move(a_work), unpack_triplets(ch.block, codec)};
   }
 
   Grid15D grid_;
@@ -981,6 +999,7 @@ KernelResult SparseShift15D::do_run_kernel(const ExecContext& ctx,
     result.sddmm_values.assign(static_cast<std::size_t>(s.nnz()),
                                Scalar{0});
   }
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   // SpMMA never replicates A (its replication phase is the output
   // reduce-scatter), so only the A-consuming modes consult the cache.
   const CacheUse cu =
@@ -1010,20 +1029,20 @@ KernelResult SparseShift15D::do_run_kernel(const ExecContext& ctx,
           partial = unpack_dense(words, su.m, su.rL);
         };
         s_loop(comm, u, v, /*mutates=*/false,
-               pack_triplets(piece(su, v, u).coo),
+               pack_triplets(piece(su, v, u).coo, codec),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
                      spmm_a(kernel_csr(j), b_local, partial));
                },
                nullptr, &hooks);
-        reduce_partial(comm, su, u, v, partial, result.dense);
+        reduce_partial(comm, su, u, v, partial, result.dense, codec);
         return;
       }
       case Mode::SDDMM: {
         // After L shifts the resident payload is the home piece again,
         // its dot products accumulated over every width slice.
         const auto [a_work, dots] =
-            sddmm_pass(comm, su, u, v, a, b_local, cu);
+            sddmm_pass(comm, su, u, v, a, b_local, codec, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, v, u);
@@ -1042,7 +1061,7 @@ KernelResult SparseShift15D::do_run_kernel(const ExecContext& ctx,
         // still forwarded before replication starts.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, a, a_work, cu);
+            replication_prologue(comm, su, u, v, a, a_work, codec, cu);
         DenseMatrix b_out(su.n / c(), su.rL);
         ShiftJournalHooks hooks;
         hooks.pack_state = [&] { return pack_dense(b_out); };
@@ -1050,7 +1069,7 @@ KernelResult SparseShift15D::do_run_kernel(const ExecContext& ctx,
           b_out = unpack_dense(words, su.n / c(), su.rL);
         };
         s_loop(comm, u, v, /*mutates=*/false,
-               pack_triplets(piece(su, v, u).coo),
+               pack_triplets(piece(su, v, u).coo, codec),
                [&](int j, MessageWords&) {
                  comm.stats().add_flops(
                      spmm_b(kernel_csr(j), a_work, b_out));
@@ -1076,6 +1095,7 @@ FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
                                            const DenseMatrix& b,
                                            int repetitions) const {
   const Setup& su = setup_of(ctx);
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
@@ -1091,7 +1111,8 @@ FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
     for (int rep = 0; rep < repetitions; ++rep) {
       // SDDMM pass: dot products circulate with the pieces (streamed
       // replication prologue under Pipelined).
-      const auto [a_work, dots] = sddmm_pass(comm, su, u, v, a, b_local);
+      const auto [a_work, dots] =
+          sddmm_pass(comm, su, u, v, a, b_local, codec);
       std::vector<Scalar> r_values(piece(su, v, u).coo.size());
       {
         PhaseScope scope(comm.stats(), Phase::Computation);
@@ -1112,15 +1133,15 @@ FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
         hooks.unpack_state = [&](const MessageWords& words) {
           partial = unpack_dense(words, su.m, su.rL);
         };
-        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece),
+        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece, codec),
                [&](int j, MessageWords& block) {
-                 const auto payload = unpack_triplets(block);
+                 const auto payload = unpack_triplets(block, codec);
                  comm.stats().add_flops(spmm_a(
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      b_local, partial));
                },
                nullptr, &hooks);
-        reduce_partial(comm, su, u, v, partial, result.output);
+        reduce_partial(comm, su, u, v, partial, result.output, codec);
       } else {
         // Unelided sequence: the SpMM-B pass replicates A again instead
         // of reusing the SDDMM pass's copy (result discarded; orientation
@@ -1130,7 +1151,7 @@ FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
         DenseMatrix discard;
         ShiftPrologue pro;
         if (elision == Elision::None) {
-          pro = replication_prologue(comm, su, u, v, a, discard);
+          pro = replication_prologue(comm, su, u, v, a, discard, codec);
         }
         DenseMatrix b_out(su.n / c(), su.rL);
         ShiftJournalHooks hooks;
@@ -1138,9 +1159,9 @@ FusedResult SparseShift15D::do_run_fusedmm(const ExecContext& ctx,
         hooks.unpack_state = [&](const MessageWords& words) {
           b_out = unpack_dense(words, su.n / c(), su.rL);
         };
-        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece),
+        s_loop(comm, u, v, /*mutates=*/false, pack_triplets(r_piece, codec),
                [&](int j, MessageWords& block) {
-                 const auto payload = unpack_triplets(block);
+                 const auto payload = unpack_triplets(block, codec);
                  comm.stats().add_flops(spmm_b(
                      csr_with_values(piece(su, v, j).csr, payload.values),
                      a_work, b_out));

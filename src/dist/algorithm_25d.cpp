@@ -145,6 +145,7 @@ class DenseRepl25D final : public DistAlgorithm {
   /// filling run the gathered block is parked for the next call.
   DenseMatrix replicate_a(Comm& comm, const Setup& su, int u, int v,
                           int w, const DenseMatrix& a,
+                          const WireCodec& codec,
                           const CacheUse& cu = {}) const {
     if (cu.hit) return cu.cache->block(comm.rank());
     PhaseScope scope(comm.stats(), Phase::Replication);
@@ -152,7 +153,7 @@ class DenseRepl25D final : public DistAlgorithm {
     DenseMatrix out = fiber.allgatherv_rows(
         dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
                     static_cast<Index>(v) * su.rq, su.rq),
-        fiber_wants(su, u), options().replication);
+        fiber_wants(su, u), options().replication, codec);
     if (cu.cache != nullptr) cu.cache->store(comm.rank(), out);
     return out;
   }
@@ -161,15 +162,16 @@ class DenseRepl25D final : public DistAlgorithm {
   /// pieces with `deliver` fired per finalized working-block row range.
   void replicate_a_pipelined(Comm& comm, const Setup& su, int u, int v,
                              int w, const DenseMatrix& a,
-                             DenseMatrix& dest,
-                             const ChunkFn& deliver) const {
+                             DenseMatrix& dest, const ChunkFn& deliver,
+                             const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
     fiber.allgatherv_rows_pipelined(
         dense_block(a, static_cast<Index>(u) * su.mq + w * su.mqc, su.mqc,
                     static_cast<Index>(v) * su.rq, su.rq),
         fiber_wants(su, u), options().replication,
-        pipeline_chunk_rows(options().chunk_rows, su.mqc), deliver, dest);
+        pipeline_chunk_rows(options().chunk_rows, su.mqc), deliver, dest,
+        codec);
   }
 
   bool pipelined() const {
@@ -183,15 +185,16 @@ class DenseRepl25D final : public DistAlgorithm {
   ShiftPrologue replication_prologue(Comm& comm, const Setup& su, int u,
                                      int v, int w, const DenseMatrix& a,
                                      DenseMatrix& dest,
+                                     const WireCodec& codec,
                                      const CacheUse& cu = {}) const {
     ShiftPrologue pro;
     if (pipelined()) {
-      pro.replicate = [this, &comm, &su, u, v, w, &a,
-                       &dest](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, w, a, dest, deliver);
+      pro.replicate = [this, &comm, &su, u, v, w, &a, &dest,
+                       codec](const ChunkFn& deliver) {
+        replicate_a_pipelined(comm, su, u, v, w, a, dest, deliver, codec);
       };
     } else {
-      dest = replicate_a(comm, su, u, v, w, a, cu);
+      dest = replicate_a(comm, su, u, v, w, a, codec, cu);
     }
     return pro;
   }
@@ -199,11 +202,12 @@ class DenseRepl25D final : public DistAlgorithm {
   /// Fiber reduce-scatter of the rank's m/q x r/q partial; writes its
   /// canonical chunk of the A-shaped output.
   void reduce_partial(Comm& comm, const Setup& su, int u, int v, int w,
-                      const DenseMatrix& partial, DenseMatrix& out) const {
+                      const DenseMatrix& partial, DenseMatrix& out,
+                      const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
     auto chunk = fiber.reduce_scatter_rows(partial, fiber_wants(su, u),
-                                           options().replication);
+                                           options().replication, codec);
     place_block(out, chunk,
                 static_cast<Index>(u) * su.mq + w * su.mqc,
                 static_cast<Index>(v) * su.rq);
@@ -215,13 +219,13 @@ class DenseRepl25D final : public DistAlgorithm {
   /// partial is consumed.
   void reduce_partial_pipelined(Comm& comm, const Setup& su, int u, int v,
                                 int w, DenseMatrix& partial,
-                                DenseMatrix& out,
-                                const ChunkFn& prepare) const {
+                                DenseMatrix& out, const ChunkFn& prepare,
+                                const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
     auto chunk = fiber.reduce_scatter_rows_pipelined(
         partial, fiber_wants(su, u), options().replication,
-        pipeline_chunk_rows(options().chunk_rows, su.mqc), prepare);
+        pipeline_chunk_rows(options().chunk_rows, su.mqc), prepare, codec);
     place_block(out, chunk,
                 static_cast<Index>(u) * su.mq + w * su.mqc,
                 static_cast<Index>(v) * su.rq);
@@ -232,7 +236,8 @@ class DenseRepl25D final : public DistAlgorithm {
   /// consumer at step t is the row-position u_t = (k - v - t) mod q,
   /// touching exactly the rows in its piece-(u_t, k, w) column support.
   ShiftCompression b_compression(const Setup& su, int u, int v, int w,
-                                 bool mutates) const {
+                                 bool mutates,
+                                 const WireCodec& codec) const {
     const int q = grid_.q();
     return make_ring_compression(
         options().propagation, su.nqc, su.rq, q, k_at(u, v, 0), mutates,
@@ -240,7 +245,8 @@ class DenseRepl25D final : public DistAlgorithm {
                              int step) -> std::span<const Index> {
           const int consumer = ((origin - v - step) % q + q) % q;
           return piece(su, consumer, origin, w).col_support;
-        });
+        },
+        codec);
   }
 
   /// The resident S / B column-block ring index at step t on rank
@@ -323,6 +329,7 @@ class DenseRepl25D final : public DistAlgorithm {
                                               int u, int v, int w,
                                               const DenseMatrix& a,
                                               const DenseMatrix& b,
+                                              const WireCodec& codec,
                                               const CacheUse& cu = {}) const {
     const int q = grid_.q();
     const int k0 = k_at(u, v, 0);
@@ -334,43 +341,44 @@ class DenseRepl25D final : public DistAlgorithm {
     start.values.assign(start.size(), Scalar{0});
     ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
                                     /*mutates=*/true,
-                                    pack_triplets(start));
+                                    pack_triplets(start, codec));
     ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                     /*mutates=*/false, pack_dense(b0));
     const ShiftCompression bcomp =
-        b_compression(su, u, v, w, /*mutates=*/false);
+        b_compression(su, u, v, w, /*mutates=*/false, codec);
     chb.compression = &bcomp;
     ShiftChannel channels[] = {std::move(chs), std::move(chb)};
     const auto body = [&](int t) {
       const int k = k_at(u, v, t);
-      auto payload = unpack_triplets(channels[0].block);
+      auto payload = unpack_triplets(channels[0].block, codec);
       const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
       comm.stats().add_flops(masked_dot_products(
           piece(su, u, k, w).csr, a_work, bk, payload.values));
-      channels[0].block = pack_triplets(payload);
+      channels[0].block = pack_triplets(payload, codec);
     };
     if (pipelined()) {
       const auto& home = piece(su, u, k0, w);
       std::vector<Scalar> d0(home.coo.size(), Scalar{0});
       ShiftPrologue pro;
       pro.replicate = [&](const ChunkFn& deliver) {
-        replicate_a_pipelined(comm, su, u, v, w, a, a_work, deliver);
+        replicate_a_pipelined(comm, su, u, v, w, a, a_work, deliver,
+                              codec);
       };
       pro.compute_chunk = [&](Index row0, Index row1) {
         comm.stats().add_flops(masked_dot_products_rows(
             home.csr, a_work, b0, d0, row0, row1));
       };
       pro.finish_step0 = [&] {
-        auto payload = unpack_triplets(channels[0].block);
+        auto payload = unpack_triplets(channels[0].block, codec);
         payload.values = std::move(d0);
-        channels[0].block = pack_triplets(payload);
+        channels[0].block = pack_triplets(payload, codec);
       };
       run_shift_loop(comm, options().schedule, q, channels, body, &pro);
     } else {
-      a_work = replicate_a(comm, su, u, v, w, a, cu);
+      a_work = replicate_a(comm, su, u, v, w, a, codec, cu);
       run_shift_loop(comm, options().schedule, q, channels, body);
     }
-    return {std::move(a_work), unpack_triplets(channels[0].block)};
+    return {std::move(a_work), unpack_triplets(channels[0].block, codec)};
   }
 
   Grid25D grid_;
@@ -391,6 +399,7 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
                                Scalar{0});
   }
   const int q = grid_.q();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
@@ -433,7 +442,7 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
         // piece's spmm_a rows just in time.
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
-                         pack_triplets(home_triplets()));
+                         pack_triplets(home_triplets(), codec));
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/false,
             pack_dense(b.row_block(b_row0(su, k0, w),
@@ -441,7 +450,7 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
                            .col_block(static_cast<Index>(v) * su.rq,
                                       (v + 1) * static_cast<Index>(su.rq))));
         const ShiftCompression bcomp =
-            b_compression(su, u, v, w, /*mutates=*/false);
+            b_compression(su, u, v, w, /*mutates=*/false, codec);
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         DenseMatrix partial(su.mq, su.rq);
@@ -460,7 +469,7 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
           };
           epi.reduce = [&](const ChunkFn& prepare) {
             reduce_partial_pipelined(comm, su, u, v, w, partial,
-                                     result.dense, prepare);
+                                     result.dense, prepare, codec);
           };
         }
         ShiftJournalHooks hooks;
@@ -474,12 +483,13 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
           comm.stats().add_flops(spmm_a(kernel_csr(k), bk, partial));
         }, nullptr, &epi, &hooks);
         if (!pipelined()) {
-          reduce_partial(comm, su, u, v, w, partial, result.dense);
+          reduce_partial(comm, su, u, v, w, partial, result.dense, codec);
         }
         return;
       }
       case Mode::SDDMM: {
-        const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b, cu);
+        const auto [a_work, dots] =
+            sddmm_pass(comm, su, u, v, w, a, b, codec, cu);
         (void)a_work;
         PhaseScope scope(comm.stats(), Phase::Computation);
         const auto& home = piece(su, u, k0, w);
@@ -497,15 +507,15 @@ KernelResult DenseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
         // still forwarded before replication starts.
         DenseMatrix a_work;
         const ShiftPrologue pro =
-            replication_prologue(comm, su, u, v, w, a, a_work, cu);
+            replication_prologue(comm, su, u, v, w, a, a_work, codec, cu);
         ShiftChannel chs =
             ring_channel(row_ring, v, kTagShift, /*mutates=*/false,
-                         pack_triplets(home_triplets()));
+                         pack_triplets(home_triplets(), codec));
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nqc, su.rq)));
         const ShiftCompression bcomp =
-            b_compression(su, u, v, w, /*mutates=*/true);
+            b_compression(su, u, v, w, /*mutates=*/true, codec);
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
@@ -535,6 +545,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
                                          int repetitions) const {
   const Setup& su = setup_of(ctx);
   const int q = grid_.q();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
@@ -557,7 +568,8 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
       // SDDMM pass: dots circulate with the S pieces, B input blocks
       // circulate on the column ring (streamed replication prologue
       // under Pipelined).
-      const auto [a_work, dots] = sddmm_pass(comm, su, u, v, w, a, b);
+      const auto [a_work, dots] =
+          sddmm_pass(comm, su, u, v, w, a, b, codec);
       std::vector<Scalar> r_values;
       {
         PhaseScope scope(comm.stats(), Phase::Computation);
@@ -574,19 +586,19 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
       DenseMatrix discard;
       ShiftPrologue pro;
       if (elision == Elision::None) {
-        pro = replication_prologue(comm, su, u, v, w, a, discard);
+        pro = replication_prologue(comm, su, u, v, w, a, discard, codec);
       }
       // SpMM pass: the S pieces circulate carrying the SDDMM output.
       Triplets r_piece = piece(su, u, k0, w).coo;
       r_piece.values = r_values;
       ShiftChannel chs = ring_channel(row_ring, v, kTagShift,
                                       /*mutates=*/false,
-                                      pack_triplets(r_piece));
+                                      pack_triplets(r_piece, codec));
       if (orientation == FusedOrientation::A) {
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_block());
         const ShiftCompression bcomp =
-            b_compression(su, u, v, w, /*mutates=*/false);
+            b_compression(su, u, v, w, /*mutates=*/false, codec);
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         DenseMatrix partial(su.mq, su.rq);
@@ -604,7 +616,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
               b_last = unpack_dense(channels[1].block, su.nqc, su.rq);
               s_last = csr_with_values(
                   piece(su, u, k_last, w).csr,
-                  unpack_triplets(channels[0].block).values);
+                  unpack_triplets(channels[0].block, codec).values);
               last_ready = true;
             }
             comm.stats().add_flops(
@@ -612,7 +624,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
           };
           epi.reduce = [&](const ChunkFn& prepare) {
             reduce_partial_pipelined(comm, su, u, v, w, partial,
-                                     result.output, prepare);
+                                     result.output, prepare, codec);
           };
         }
         ShiftJournalHooks hooks;
@@ -622,7 +634,7 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
         };
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
-          const auto payload = unpack_triplets(channels[0].block);
+          const auto payload = unpack_triplets(channels[0].block, codec);
           const auto bk = unpack_dense(channels[1].block, su.nqc, su.rq);
           comm.stats().add_flops(
               spmm_a(csr_with_values(piece(su, u, k, w).csr,
@@ -630,19 +642,19 @@ FusedResult DenseRepl25D::do_run_fusedmm(const ExecContext& ctx,
                      bk, partial));
         }, &pro, &epi, &hooks);
         if (!pipelined()) {
-          reduce_partial(comm, su, u, v, w, partial, result.output);
+          reduce_partial(comm, su, u, v, w, partial, result.output, codec);
         }
       } else {
         ShiftChannel chb = ring_channel(
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nqc, su.rq)));
         const ShiftCompression bcomp =
-            b_compression(su, u, v, w, /*mutates=*/true);
+            b_compression(su, u, v, w, /*mutates=*/true, codec);
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(chs), std::move(chb)};
         run_shift_loop(comm, options().schedule, q, channels, [&](int t) {
           const int k = k_at(u, v, t);
-          const auto payload = unpack_triplets(channels[0].block);
+          const auto payload = unpack_triplets(channels[0].block, codec);
           auto acc = unpack_dense(channels[1].block, su.nqc, su.rq);
           comm.stats().add_flops(
               spmm_b(csr_with_values(piece(su, u, k, w).csr,
@@ -762,7 +774,8 @@ class SparseRepl25D final : public DistAlgorithm {
   /// COLUMN supports. Both directions cover the read-only inputs and
   /// the circulating SpMM accumulators (same supports, prefix unions).
   ShiftCompression a_compression(const Setup& su, int u, int v,
-                                 bool mutates) const {
+                                 bool mutates,
+                                 const WireCodec& codec) const {
     const int q = grid_.q();
     return make_ring_compression(
         options().propagation, su.mq, su.rqc, q, v, mutates,
@@ -770,10 +783,12 @@ class SparseRepl25D final : public DistAlgorithm {
                           int step) -> std::span<const Index> {
           const int consumer = ((origin - step) % q + q) % q;
           return cell(su, u, consumer).row_support;
-        });
+        },
+        codec);
   }
   ShiftCompression b_compression(const Setup& su, int u, int v,
-                                 bool mutates) const {
+                                 bool mutates,
+                                 const WireCodec& codec) const {
     const int q = grid_.q();
     return make_ring_compression(
         options().propagation, su.nq, su.rqc, q, u, mutates,
@@ -781,7 +796,8 @@ class SparseRepl25D final : public DistAlgorithm {
                           int step) -> std::span<const Index> {
           const int consumer = ((origin - step) % q + q) % q;
           return cell(su, consumer, v).col_support;
-        });
+        },
+        codec);
   }
 
   /// All-gather the cell's canonically split values along the fiber;
@@ -797,7 +813,8 @@ class SparseRepl25D final : public DistAlgorithm {
   /// a_compression / b_compression below.
   std::vector<Scalar> gather_values(Comm& comm, const Setup& su, int u,
                                     int v, int w,
-                                    const std::vector<Scalar>* live) const {
+                                    const std::vector<Scalar>* live,
+                                    const WireCodec& codec) const {
     PhaseScope scope(comm.stats(), Phase::Replication);
     Group fiber(comm, grid_.fiber_members(u, v));
     const auto& split = su.value_split[static_cast<std::size_t>(
@@ -813,8 +830,25 @@ class SparseRepl25D final : public DistAlgorithm {
         live != nullptr
             ? std::span<const Scalar>(*live)
             : std::span<const Scalar>(values.data() + begin, end - begin);
-    const auto words = fiber.allgather_words(pack_values(slice));
-    return unpack_values(words);
+    // Low-precision payloads pad each member's last word, so the gathered
+    // stream is decoded member by member against the canonical split
+    // (the counts travel out of band with the plan).
+    std::vector<std::size_t> offsets;
+    const auto words =
+        fiber.allgather_words(pack_values(slice, codec), &offsets);
+    std::vector<Scalar> full;
+    full.reserve(values.size());
+    for (int i = 0; i < c(); ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const MessageWords chunk(
+          words.begin() + static_cast<std::ptrdiff_t>(offsets[ii]),
+          words.begin() + static_cast<std::ptrdiff_t>(offsets[ii + 1]));
+      const auto vals = unpack_values(
+          chunk, static_cast<std::int64_t>(split[ii + 1] - split[ii]),
+          codec);
+      full.insert(full.end(), vals.begin(), vals.end());
+    }
+    return full;
   }
 
   /// Fault-mode world options, mirroring DenseRepl25D::fault_options:
@@ -887,6 +921,7 @@ KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
                                Scalar{0});
   }
   const int q = grid_.q();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   std::optional<ReplicaStore> store;
   std::optional<CheckpointStore> ckpt;
   const WorldOptions wo = fault_options(su, store, ckpt);
@@ -910,7 +945,7 @@ KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
     };
     // The cell's values are canonically split across the fiber; every
     // kernel starts by assembling the full value vector.
-    const auto values_full = gather_values(comm, su, u, v, w, live);
+    const auto values_full = gather_values(comm, su, u, v, w, live, codec);
     switch (mode) {
       case Mode::SDDMM: {
         std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
@@ -919,9 +954,9 @@ KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/false);
+            a_compression(su, u, v, /*mutates=*/false, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/false);
+            b_compression(su, u, v, /*mutates=*/false, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
@@ -967,9 +1002,9 @@ KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/true);
+            a_compression(su, u, v, /*mutates=*/true, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/false);
+            b_compression(su, u, v, /*mutates=*/false, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
@@ -994,9 +1029,9 @@ KernelResult SparseRepl25D::do_run_kernel(const ExecContext& ctx, Mode mode,
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nq, su.rqc)));
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/false);
+            a_compression(su, u, v, /*mutates=*/false, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/true);
+            b_compression(su, u, v, /*mutates=*/true, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
@@ -1027,6 +1062,7 @@ FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
                                           int repetitions) const {
   const Setup& su = setup_of(ctx);
   const int q = grid_.q();
+  const WireCodec codec = effective_wire_codec(options(), ctx);
   FusedResult result;
   result.output = DenseMatrix(
       orientation == FusedOrientation::A ? su.m : su.n, su.r);
@@ -1053,7 +1089,8 @@ FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
     };
     for (int rep = 0; rep < repetitions; ++rep) {
       // SDDMM pass: both dense slices circulate, the dot buffer stays.
-      const auto values_full = gather_values(comm, su, u, v, w, live);
+      const auto values_full =
+          gather_values(comm, su, u, v, w, live, codec);
       std::vector<Scalar> dots(sc.coo.size(), Scalar{0});
       {
         ShiftChannel cha = ring_channel(row_ring, v, kTagShift,
@@ -1061,9 +1098,9 @@ FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/false);
+            a_compression(su, u, v, /*mutates=*/false, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/false);
+            b_compression(su, u, v, /*mutates=*/false, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
@@ -1105,9 +1142,9 @@ FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
         ShiftChannel chb = ring_channel(col_ring, u, kTagShiftDense,
                                         /*mutates=*/false, b_piece());
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/true);
+            a_compression(su, u, v, /*mutates=*/true, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/false);
+            b_compression(su, u, v, /*mutates=*/false, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};
@@ -1129,9 +1166,9 @@ FusedResult SparseRepl25D::do_run_fusedmm(const ExecContext& ctx,
             col_ring, u, kTagShiftDense, /*mutates=*/true,
             pack_dense(DenseMatrix(su.nq, su.rqc)));
         const ShiftCompression acomp =
-            a_compression(su, u, v, /*mutates=*/false);
+            a_compression(su, u, v, /*mutates=*/false, codec);
         const ShiftCompression bcomp =
-            b_compression(su, u, v, /*mutates=*/true);
+            b_compression(su, u, v, /*mutates=*/true, codec);
         cha.compression = &acomp;
         chb.compression = &bcomp;
         ShiftChannel channels[] = {std::move(cha), std::move(chb)};

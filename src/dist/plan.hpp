@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "dist/algorithm.hpp"
 
@@ -31,9 +32,16 @@ namespace dsk {
 /// ranks); `cache` is an optional cross-call replicated-factor cache
 /// (see dist/replication_cache.hpp). Both borrowed, both optional —
 /// defaults execute on a one-shot world with no cache.
+/// `wire_precision` / `index_codec`, when set, override the plan
+/// options' wire codec for this request only (forwarded into
+/// ExecContext; see effective_wire_codec in dist/algorithm.hpp) — a
+/// serving layer can trade accuracy for wire words per request without
+/// rebuilding the Plan.
 struct ExecuteOptions {
   SimWorld* world = nullptr;
   ReplicationCache* cache = nullptr;
+  std::optional<WirePrecision> wire_precision;
+  std::optional<IndexCodec> index_codec;
 };
 
 /// FNV-1a fingerprint of (s, r): dims, nnz, entry coordinates and

@@ -8,92 +8,51 @@
 
 namespace dsk {
 
-namespace {
+// The pack/unpack bodies are thin delegates into the wire-codec layer
+// (runtime/wire.hpp) — the byte layouts, validation, and word accounting
+// live there, in one place, for every message class.
 
-std::uint64_t scalar_bits(Scalar v) {
-  std::uint64_t out;
-  std::memcpy(&out, &v, sizeof out);
-  return out;
+MessageWords pack_triplets(const Triplets& t, const WireCodec& codec) {
+  return encode_triplets(t.rows, t.cols, t.values, codec);
 }
 
-Scalar bits_scalar(std::uint64_t w) {
-  Scalar out;
-  std::memcpy(&out, &w, sizeof out);
-  return out;
-}
-
-} // namespace
-
-MessageWords pack_triplets(const Triplets& t) {
-  check(t.rows.size() == t.cols.size() && t.cols.size() == t.values.size(),
-        "pack_triplets: mismatched array lengths (", t.rows.size(), ", ",
-        t.cols.size(), ", ", t.values.size(), ")");
-  const std::size_t n = t.size();
-  MessageWords words;
-  words.reserve(triplets_words(n));
-  words.push_back(static_cast<std::uint64_t>(n));
-  for (const Index r : t.rows) words.push_back(static_cast<std::uint64_t>(r));
-  for (const Index c : t.cols) words.push_back(static_cast<std::uint64_t>(c));
-  for (const Scalar v : t.values) words.push_back(scalar_bits(v));
-  return words;
-}
-
-Triplets unpack_triplets(const MessageWords& words) {
-  check(!words.empty(), "unpack_triplets: empty message");
-  const auto n = static_cast<std::size_t>(words[0]);
-  check(words.size() == triplets_words(n), "unpack_triplets: message has ",
-        words.size(), " words, expected ", triplets_words(n), " for ", n,
-        " triplets");
+Triplets unpack_triplets(const MessageWords& words, const WireCodec& codec) {
+  auto decoded = decode_triplets(words, codec);
   Triplets t;
-  t.rows.reserve(n);
-  t.cols.reserve(n);
-  t.values.reserve(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    t.rows.push_back(static_cast<Index>(words[1 + k]));
-  }
-  for (std::size_t k = 0; k < n; ++k) {
-    t.cols.push_back(static_cast<Index>(words[1 + n + k]));
-  }
-  for (std::size_t k = 0; k < n; ++k) {
-    t.values.push_back(bits_scalar(words[1 + 2 * n + k]));
-  }
+  t.rows = std::move(decoded.rows);
+  t.cols = std::move(decoded.cols);
+  t.values = std::move(decoded.values);
   return t;
 }
 
 MessageWords pack_dense(const DenseMatrix& m) {
-  const auto data = m.data();
-  MessageWords words(data.size());
-  if (!data.empty()) {
-    std::memcpy(words.data(), data.data(), data.size() * sizeof(Scalar));
-  }
-  return words;
+  return encode_values(m.data(), WireCodec{});
 }
 
 DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols) {
   check(dense_words(rows, cols) == words.size(),
         "unpack_dense: ", words.size(), " words do not form a ", rows, " x ",
         cols, " matrix");
-  std::vector<Scalar> values(words.size());
-  if (!words.empty()) {
-    std::memcpy(values.data(), words.data(), words.size() * sizeof(Scalar));
-  }
-  return DenseMatrix(rows, cols, std::move(values));
+  return DenseMatrix(
+      rows, cols,
+      decode_values(words, static_cast<std::int64_t>(words.size()),
+                    WireCodec{}));
 }
 
-MessageWords pack_values(std::span<const Scalar> values) {
-  MessageWords words(values.size());
-  if (!values.empty()) {
-    std::memcpy(words.data(), values.data(), values.size() * sizeof(Scalar));
-  }
-  return words;
+MessageWords pack_values(std::span<const Scalar> values,
+                         const WireCodec& codec) {
+  return encode_values(values, codec);
 }
 
 std::vector<Scalar> unpack_values(const MessageWords& words) {
-  std::vector<Scalar> values(words.size());
-  if (!words.empty()) {
-    std::memcpy(values.data(), words.data(), words.size() * sizeof(Scalar));
-  }
-  return values;
+  return decode_values(words, static_cast<std::int64_t>(words.size()),
+                       WireCodec{});
+}
+
+std::vector<Scalar> unpack_values(const MessageWords& words,
+                                  std::int64_t count,
+                                  const WireCodec& codec) {
+  return decode_values(words, count, codec);
 }
 
 std::vector<SparseShard> shard_coo(

@@ -18,6 +18,7 @@
 
 #include "dense/dense_matrix.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/wire.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
@@ -33,40 +34,59 @@ struct Triplets {
 };
 
 /// Wire cost of a triplet block: [count, rows..., cols..., values...]
-/// = 3*nnz + 1 words — exactly the paper's sparse-shift charge. The
-/// pack/unpack pair below and every modeled sparse-shift cost must stay
-/// in lockstep with this function (dsk_lint check P1).
+/// = 3*nnz + 1 words under the default codec — exactly the paper's
+/// sparse-shift charge (non-default codecs: runtime/wire.hpp's
+/// encoded_triplets_words). The pack/unpack pair below and every
+/// modeled sparse-shift cost must stay in lockstep with this function
+/// (dsk_lint check P1).
 inline std::uint64_t triplets_words(std::size_t nnz) {
   return 3 * static_cast<std::uint64_t>(nnz) + 1;
 }
 
-/// Serialize: triplets_words(t.size()) words.
-MessageWords pack_triplets(const Triplets& t);
+/// Serialize: encoded_triplets_words(t.size(), codec) words. A thin
+/// delegate into the wire-codec layer (runtime/wire.hpp), kept so the
+/// drivers speak `Triplets` — the byte layout lives in exactly one
+/// place.
+MessageWords pack_triplets(const Triplets& t, const WireCodec& codec = {});
 
 /// Deserialize; throws on truncated or trailing-garbage messages.
-Triplets unpack_triplets(const MessageWords& words);
+Triplets unpack_triplets(const MessageWords& words,
+                         const WireCodec& codec = {});
 
 /// Wire cost of a dense block: values only, shapes travel out of band.
 inline std::uint64_t dense_words(Index rows, Index cols) {
   return static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
 }
 
-/// Serialize a dense matrix's values (row-major, no header).
+/// Serialize a dense matrix's values (row-major, no header) — the raw
+/// full-precision image the resident shift blocks and checkpoints hold.
+/// Wire-precision encoding happens at the hop boundary (shift_loop /
+/// collectives), never in the resident representation, so this pair has
+/// no codec parameter. Delegates into runtime/wire.hpp.
 MessageWords pack_dense(const DenseMatrix& m);
 
 /// Deserialize into a rows x cols matrix; throws on size mismatch.
 DenseMatrix unpack_dense(const MessageWords& words, Index rows, Index cols);
 
 /// Wire cost of a bare value vector (no header; length known out of
-/// band).
+/// band); non-default codecs: wire.hpp's encoded_values_words.
 inline std::uint64_t values_words(std::size_t count) {
   return static_cast<std::uint64_t>(count);
 }
 
-/// Serialize a bare value vector.
-MessageWords pack_values(std::span<const Scalar> values);
+/// Serialize a bare value vector (delegates into runtime/wire.hpp).
+MessageWords pack_values(std::span<const Scalar> values,
+                         const WireCodec& codec = {});
 
+/// Deserialize under the default codec (count inferred from the word
+/// count — only valid at Full precision).
 std::vector<Scalar> unpack_values(const MessageWords& words);
+
+/// Deserialize `count` values under any codec (low-precision payloads
+/// pad their last word, so the count travels out of band).
+std::vector<Scalar> unpack_values(const MessageWords& words,
+                                  std::int64_t count,
+                                  const WireCodec& codec);
 
 /// One piece of a sparse-matrix distribution: the re-based block in both
 /// formats plus, per stored nonzero, its index in the global sorted

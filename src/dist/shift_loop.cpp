@@ -14,12 +14,14 @@ bool is_self(const Comm& comm, const ShiftChannel& ch) {
   return ch.send_to == comm.rank() && ch.recv_from == comm.rank();
 }
 
-/// Compression is in force for a channel only when armed with a
-/// non-Dense mode (drivers attach an inactive Dense compression for
-/// free).
+/// Compression is in force for a channel when armed with a non-Dense
+/// mode (drivers attach an inactive Dense compression for free) — or
+/// with a non-default wire codec, which must encode even full-dense
+/// hops.
 const ShiftCompression* active_compression(const ShiftChannel& ch) {
   if (ch.compression == nullptr ||
-      ch.compression->mode == PropagationMode::Dense) {
+      (ch.compression->mode == PropagationMode::Dense &&
+       ch.compression->codec.is_default())) {
     return nullptr;
   }
   return ch.compression;
@@ -31,8 +33,8 @@ const ShiftCompression* active_compression(const ShiftChannel& ch) {
 /// wire format always agrees.
 bool hop_is_sparse(const ShiftCompression& comp,
                    const std::vector<Index>& rows) {
-  return propagation_hop_is_sparse(comp.mode, rows.size(),
-                                   comp.block_rows, comp.width);
+  return propagation_hop_is_sparse(comp.mode, rows, comp.block_rows,
+                                   comp.width, comp.codec);
 }
 
 /// Forward the channel's resident block for the hop of `step`:
@@ -42,20 +44,29 @@ bool hop_is_sparse(const ShiftCompression& comp,
 /// resident words over without a copy, as before.
 void send_hop(Comm& comm, ShiftChannel& ch, int step, bool may_move) {
   const ShiftCompression* comp = active_compression(ch);
-  if (comp != nullptr) {
+  if (comp == nullptr) {
+    comm.send_words(ch.send_to, ch.tag,
+                    may_move ? std::move(ch.block) : MessageWords(ch.block));
+    return;
+  }
+  if (comp->mode != PropagationMode::Dense) {
     const auto& rows =
         comp->send_rows[static_cast<std::size_t>(step)];
     if (hop_is_sparse(*comp, rows)) {
       if (!rows.empty()) {
         comm.send_words(ch.send_to, ch.tag,
-                        pack_cols_block(ch.block, comp->block_rows,
-                                        comp->width, rows));
+                        encode_cols_block(ch.block, comp->block_rows,
+                                          comp->width, rows, comp->codec));
       }
       return;
     }
   }
+  // Full-dense hop; the codec still encodes the payload (a no-op move
+  // under the default codec, so the pre-codec fast path is preserved).
   comm.send_words(ch.send_to, ch.tag,
-                  may_move ? std::move(ch.block) : MessageWords(ch.block));
+                  encode_dense(may_move ? std::move(ch.block)
+                                        : MessageWords(ch.block),
+                               comp->block_rows, comp->width, comp->codec));
 }
 
 /// Receive the hop of `step` into the channel: a compressed hop is
@@ -64,7 +75,11 @@ void send_hop(Comm& comm, ShiftChannel& ch, int step, bool may_move) {
 /// empty support — lands as an all-zero block without any message.
 void recv_hop(Comm& comm, ShiftChannel& ch, int step) {
   const ShiftCompression* comp = active_compression(ch);
-  if (comp != nullptr) {
+  if (comp == nullptr) {
+    ch.block = comm.recv_words(ch.recv_from, ch.tag);
+    return;
+  }
+  if (comp->mode != PropagationMode::Dense) {
     const auto& rows =
         comp->recv_rows[static_cast<std::size_t>(step)];
     if (hop_is_sparse(*comp, rows)) {
@@ -73,14 +88,15 @@ void recv_hop(Comm& comm, ShiftChannel& ch, int step) {
                             static_cast<std::size_t>(comp->width),
                         0);
       } else {
-        ch.block = unpack_cols_block(
+        ch.block = decode_cols_block(
             comm.recv_words(ch.recv_from, ch.tag), comp->block_rows,
-            comp->width, rows);
+            comp->width, rows, comp->codec);
       }
       return;
     }
   }
-  ch.block = comm.recv_words(ch.recv_from, ch.tag);
+  ch.block = decode_dense(comm.recv_words(ch.recv_from, ch.tag),
+                          comp->block_rows, comp->width, comp->codec);
 }
 
 } // namespace
@@ -97,8 +113,11 @@ void run_shift_loop(Comm& comm, ShiftSchedule schedule, int steps,
           "run_shift_loop: channel is half-self (send_to ", ch.send_to,
           ", recv_from ", ch.recv_from, " on rank ", comm.rank(), ")");
     if (const ShiftCompression* comp = active_compression(ch)) {
-      check(static_cast<int>(comp->send_rows.size()) == steps &&
-                static_cast<int>(comp->recv_rows.size()) == steps,
+      // A Dense-mode compression armed only by a non-default codec has
+      // no support schedules — every hop ships the full encoded block.
+      check(comp->mode == PropagationMode::Dense ||
+                (static_cast<int>(comp->send_rows.size()) == steps &&
+                 static_cast<int>(comp->recv_rows.size()) == steps),
             "run_shift_loop: compression schedules cover ",
             comp->send_rows.size(), " steps, loop runs ", steps);
     }
@@ -267,7 +286,8 @@ ShiftCompression make_ring_compression(
     PropagationMode mode, Index block_rows, Index width, int ring,
     int origin0, bool mutates,
     const std::function<std::span<const Index>(int origin, int step)>&
-        touch) {
+        touch,
+    const WireCodec& codec) {
   check(ring >= 1 && 0 <= origin0 && origin0 < ring,
         "make_ring_compression: origin ", origin0, " outside ring of ",
         ring);
@@ -275,6 +295,7 @@ ShiftCompression make_ring_compression(
   comp.mode = mode;
   comp.block_rows = block_rows;
   comp.width = width;
+  comp.codec = codec;
   if (mode == PropagationMode::Dense) return comp;
   comp.send_rows.assign(static_cast<std::size_t>(ring), {});
   comp.recv_rows.assign(static_cast<std::size_t>(ring), {});

@@ -77,6 +77,11 @@ struct ShiftCompression {
   PropagationMode mode = PropagationMode::Dense;
   Index block_rows = 0;
   Index width = 0;
+  /// Wire codec every hop of this channel is encoded with. A non-default
+  /// codec arms the compression even in Dense mode (hops then travel as
+  /// precision-encoded full blocks); the resident block always stays a
+  /// full-precision dense image — encoding happens at the hop boundary.
+  WireCodec codec;
   std::vector<std::vector<Index>> send_rows;
   std::vector<std::vector<Index>> recv_rows;
 };
@@ -204,12 +209,15 @@ ShiftChannel ring_channel(std::span<const int> members, int pos, int tag,
 /// it then — reads (read-only payloads) or writes (accumulators); it is
 /// evaluated on the shared setup tables, so every rank derives the same
 /// per-(block, hop) plan and sender/receiver schedules always agree.
-/// Dense mode returns an inactive compression (no schedules), which the
-/// loop treats as absent — attaching it is then free.
+/// Dense mode with the default codec returns an inactive compression
+/// (no schedules), which the loop treats as absent — attaching it is
+/// then free; a non-default `codec` keeps it armed so every hop routes
+/// through the wire-codec layer.
 ShiftCompression make_ring_compression(
     PropagationMode mode, Index block_rows, Index width, int ring,
     int origin0, bool mutates,
     const std::function<std::span<const Index>(int origin, int step)>&
-        touch);
+        touch,
+    const WireCodec& codec = {});
 
 } // namespace dsk

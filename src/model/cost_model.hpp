@@ -56,21 +56,40 @@ struct CommCost {
 /// crossover. Channels that are already sparsity-sized (the circulating
 /// COO triplets) and the 1D baseline's support-sized fetches are
 /// propagation-mode-independent.
+///
+/// `codec` prices the wire codec the runtime applies at hop boundaries
+/// (runtime/wire.hpp): low-precision values shrink every value payload
+/// by the values-per-word factor (dense rows pad per row, flat runs —
+/// triplet values, bare value fibers — pad once), and the index codecs
+/// shrink the expected support headers (DeltaVarint via the LEB128
+/// length of the mean gap, Bitmap to ceil(rows/64), Auto to the
+/// smallest). Dot-sum collectives stay full precision, mirroring the
+/// runtime. The default codec reproduces the exact Table III terms.
 CommCost fusedmm_cost(AlgorithmKind kind, Elision elision,
                       const CostInputs& in,
                       ReplicationMode mode = ReplicationMode::Dense,
-                      PropagationMode propagation = PropagationMode::Dense);
+                      PropagationMode propagation = PropagationMode::Dense,
+                      const WireCodec& codec = {});
 
 /// Expected number of distinct bins hit by `draws` uniform draws over
 /// `bins` bins: bins * (1 - (1 - 1/bins)^draws) — the expected row
 /// support of a block holding `draws` nonzeros over `bins` rows.
 double expected_distinct(double draws, double bins);
 
+/// Expected index-section words of a sorted `support`-row header over a
+/// `block_rows`-row block under `codec` — the continuous mirror of
+/// wire.hpp's encoded_index_words (DeltaVarint priced at the LEB128
+/// length of the mean gap; Auto takes the smallest, ties Raw first).
+/// Exposed for tests and the predictor.
+double expected_index_words(double support, double block_rows,
+                            IndexCodec codec);
+
 /// The expected per-rank replication words fusedmm_cost uses for
 /// SparseRows mode, exposed for tests and the predictor.
 double expected_sparse_replication_words(AlgorithmKind kind,
                                          Elision elision,
-                                         const CostInputs& in);
+                                         const CostInputs& in,
+                                         const WireCodec& codec = {});
 
 /// The expected per-rank propagation words fusedmm_cost uses for
 /// SparseCols mode (`auto_hops` false) and the Auto per-hop crossover
@@ -91,7 +110,8 @@ double expected_sparse_replication_words(AlgorithmKind kind,
 double expected_sparse_propagation_words(AlgorithmKind kind,
                                          Elision elision,
                                          const CostInputs& in,
-                                         bool auto_hops = false);
+                                         bool auto_hops = false,
+                                         const WireCodec& codec = {});
 
 /// Words/messages for one unified kernel call (SDDMM or either SpMM —
 /// identical by the paper's Section IV-A equivalence).
@@ -122,7 +142,8 @@ ScheduleBounds schedule_bounds(AlgorithmKind kind, Elision elision,
                                const CostInputs& in, const MachineModel& m,
                                ReplicationMode mode = ReplicationMode::Dense,
                                PropagationMode propagation =
-                                   PropagationMode::Dense);
+                                   PropagationMode::Dense,
+                               const WireCodec& codec = {});
 
 /// Serving-layer plan-cost accounting (dist/plan.hpp): the fraction of
 /// total wall time spent in the one-time plan build after `requests`

@@ -28,53 +28,33 @@ void add_scalars(std::span<Scalar> acc, const MessageWords& words) {
 
 } // namespace
 
+// Thin delegates into the wire-codec layer (wire.hpp) — the byte
+// layout, validation, and accounting live there, in one place.
+
 MessageWords pack_cols_block(const MessageWords& dense, Index block_rows,
-                             Index width, std::span<const Index> cols) {
-  check(dense.size() == static_cast<std::size_t>(block_rows) *
-                            static_cast<std::size_t>(width),
-        "pack_cols_block: payload has ", dense.size(), " words, expected ",
-        block_rows, " x ", width);
-  MessageWords out;
-  out.reserve(static_cast<std::size_t>(sparse_cols_words(cols.size(),
-                                                         width)));
-  out.push_back(static_cast<std::uint64_t>(cols.size()));
-  for (const Index c : cols) {
-    check(0 <= c && c < block_rows, "pack_cols_block: support row ", c,
-          " outside [0, ", block_rows, ")");
-    out.push_back(static_cast<std::uint64_t>(c));
-  }
-  for (const Index c : cols) {
-    const auto* row = dense.data() + static_cast<std::size_t>(c) *
-                                         static_cast<std::size_t>(width);
-    out.insert(out.end(), row, row + width);
-  }
-  return out;
+                             Index width, std::span<const Index> cols,
+                             const WireCodec& codec) {
+  return encode_cols_block(dense, block_rows, width, cols, codec);
 }
 
 MessageWords unpack_cols_block(const MessageWords& words, Index block_rows,
-                               Index width, std::span<const Index> cols) {
-  MessageWords dense(static_cast<std::size_t>(block_rows) *
-                         static_cast<std::size_t>(width),
-                     0);
-  // A zero word is the bit pattern of Scalar{0}, so unsupported rows are
-  // exactly the zeros a dense accumulator (or a never-read input row)
-  // would hold.
-  WordReader reader(words);
-  const auto count = reader.take_count();
-  check(count == cols.size(), "unpack_cols_block: message carries ", count,
-        " rows, support expects ", cols.size());
-  const auto rows = reader.take<Index>(count);
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    check(rows[k] == cols[k],
-          "unpack_cols_block: row mismatch against the support table");
-    const auto values = reader.take<std::uint64_t>(
-        static_cast<std::size_t>(width));
-    std::copy(values.begin(), values.end(),
-              dense.begin() + static_cast<std::size_t>(rows[k]) *
-                                  static_cast<std::size_t>(width));
+                               Index width, std::span<const Index> cols,
+                               const WireCodec& codec) {
+  return decode_cols_block(words, block_rows, width, cols, codec);
+}
+
+bool propagation_hop_is_sparse(PropagationMode mode,
+                               std::span<const Index> cols,
+                               Index block_rows, Index width,
+                               const WireCodec& codec) {
+  switch (mode) {
+    case PropagationMode::Dense: return false;
+    case PropagationMode::SparseCols: return true;
+    case PropagationMode::Auto:
+      return encoded_cols_words(cols, block_rows, width, codec) <
+             encoded_dense_words(block_rows, width, codec);
   }
-  check(reader.exhausted(), "unpack_cols_block: oversized message");
-  return dense;
+  return false;
 }
 
 Group::Group(Comm& comm, std::vector<int> members)
@@ -179,6 +159,18 @@ std::span<const Index> support_in_range(const std::vector<Index>& support,
           static_cast<std::size_t>(hi - lo)};
 }
 
+/// The codec layer speaks block-local indices (its index sections are
+/// sized and validated over [0, block_rows)); supports from the shared
+/// table are global working-block rows, so every encode / decode /
+/// pricing site rebases its slice by the block origin first. Sender and
+/// receiver derive the same base from the shared plan, so the rebased
+/// lists always agree.
+std::vector<Index> rebase_rows(std::span<const Index> rows, Index base) {
+  std::vector<Index> local(rows.begin(), rows.end());
+  for (Index& r : local) r -= base;
+  return local;
+}
+
 /// Table shape is checked in every mode; the per-list invariants only
 /// when the table will actually drive a plan (explicit Dense never
 /// reads it, and the drivers leave the lists empty in that mode).
@@ -213,7 +205,8 @@ struct PlanTraffic {
 };
 
 PlanTraffic plan_traffic(std::span<const std::vector<Index>> wants,
-                         Index block_rows, Index width) {
+                         Index block_rows, Index width,
+                         const WireCodec& codec) {
   const auto g = wants.size();
   std::vector<std::uint64_t> sent(g, 0), received(g, 0);
   PlanTraffic plan;
@@ -223,11 +216,12 @@ PlanTraffic plan_traffic(std::span<const std::vector<Index>> wants,
       const auto rows = support_in_range(
           wants[t], static_cast<Index>(q) * block_rows, block_rows);
       if (rows.empty()) continue;
-      // The wire layout of one row message: count header + per row the
-      // index word and `width` values (see the packers below).
-      const std::uint64_t message =
-          1 + static_cast<std::uint64_t>(rows.size()) *
-                  (1 + static_cast<std::uint64_t>(width));
+      // The wire layout of one row message — count header, index
+      // section, per-row values — priced by the codec layer (default:
+      // 1 + k*(1 + width), the historical charge).
+      const std::uint64_t message = encoded_rows_words(
+          rebase_rows(rows, static_cast<Index>(q) * block_rows), block_rows,
+          width, codec);
       plan.total += message;
       sent[q] += message;
       received[t] += message;
@@ -243,8 +237,8 @@ PlanTraffic plan_traffic(std::span<const std::vector<Index>> wants,
 
 std::uint64_t Group::sparse_plan_words(
     std::span<const std::vector<Index>> wants, Index block_rows,
-    Index width) {
-  return plan_traffic(wants, block_rows, width).total;
+    Index width, const WireCodec& codec) {
+  return plan_traffic(wants, block_rows, width, codec).total;
 }
 
 namespace {
@@ -261,13 +255,16 @@ namespace {
 /// concentrated in one member's row slice.
 ReplicationMode resolve_mode(ReplicationMode mode,
                              std::span<const std::vector<Index>> wants,
-                             Index block_rows, Index width, int g) {
+                             Index block_rows, Index width, int g,
+                             const WireCodec& codec) {
   if (mode != ReplicationMode::Auto) return mode;
+  // Both sides of the crossover are ENCODED sizes, so a codec that
+  // shrinks the index headers moves the crossover toward higher support
+  // densities while Auto stays no worse than Dense per rank.
   const std::uint64_t dense_rank_words =
       static_cast<std::uint64_t>(g - 1) *
-      static_cast<std::uint64_t>(block_rows) *
-      static_cast<std::uint64_t>(width);
-  return plan_traffic(wants, block_rows, width).worst_rank <
+      encoded_dense_words(block_rows, width, codec);
+  return plan_traffic(wants, block_rows, width, codec).worst_rank <
                  dense_rank_words
              ? ReplicationMode::SparseRows
              : ReplicationMode::Dense;
@@ -277,7 +274,8 @@ ReplicationMode resolve_mode(ReplicationMode mode,
 
 DenseMatrix Group::allgatherv_rows(const DenseMatrix& local,
                                    std::span<const std::vector<Index>> wants,
-                                   ReplicationMode mode) {
+                                   ReplicationMode mode,
+                                   const WireCodec& codec) {
   // One chunk per block reproduces the unchunked plan message for
   // message (a peer's supported rows within one block never exceed
   // block_rows), so the wire format lives in exactly one place — the
@@ -285,13 +283,13 @@ DenseMatrix Group::allgatherv_rows(const DenseMatrix& local,
   DenseMatrix out;
   allgatherv_rows_pipelined(local, wants, mode,
                             std::max<Index>(local.rows(), 1), nullptr,
-                            out);
+                            out, codec);
   return out;
 }
 
 DenseMatrix Group::reduce_scatter_rows(
     const DenseMatrix& partial, std::span<const std::vector<Index>> wants,
-    ReplicationMode mode) {
+    ReplicationMode mode, const WireCodec& codec) {
   // One chunk per block reproduces the unchunked plan message for
   // message, so the wire format lives in exactly one place — the
   // pipelined implementation below. The dense ring accumulates in
@@ -299,12 +297,14 @@ DenseMatrix Group::reduce_scatter_rows(
   DenseMatrix work = partial;
   const Index block = size() > 0 ? partial.rows() / size() : partial.rows();
   return reduce_scatter_rows_pipelined(work, wants, mode,
-                                       std::max<Index>(block, 1), nullptr);
+                                       std::max<Index>(block, 1), nullptr,
+                                       codec);
 }
 
 DenseMatrix Group::reduce_scatter_rows_pipelined(
     DenseMatrix& partial, std::span<const std::vector<Index>> wants,
-    ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare) {
+    ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare,
+    const WireCodec& codec) {
   const int g = size();
   check(partial.rows() % g == 0, "reduce_scatter_rows: ", partial.rows(),
         " rows do not split into ", g, " chunks");
@@ -313,7 +313,7 @@ DenseMatrix Group::reduce_scatter_rows_pipelined(
   const Index block_rows = partial.rows() / g;
   const Index width = partial.cols();
   validate_support_table(wants, g, partial.rows(), mode);
-  mode = resolve_mode(mode, wants, block_rows, width, g);
+  mode = resolve_mode(mode, wants, block_rows, width, g, codec);
   const auto fire = [&](Index row0, Index row1) {
     if (prepare && row1 > row0) prepare(row0, row1);
   };
@@ -336,9 +336,16 @@ DenseMatrix Group::reduce_scatter_rows_pipelined(
         MessageWords outgoing(span_words);
         std::memcpy(outgoing.data(), partial.row(send0).data(),
                     span_words * sizeof(Scalar));
-        comm_.send_words(right(), kTagReduceScatter, std::move(outgoing));
+        // Encode at the hop boundary (a no-op move under the default
+        // codec); the running partial sums re-quantize per hop at low
+        // precision — the one wire path whose rounding depends on the
+        // replication mode.
+        comm_.send_words(right(), kTagReduceScatter,
+                         encode_dense(std::move(outgoing), c1 - c0, width,
+                                      codec));
         const MessageWords incoming =
-            comm_.recv_words(left(), kTagReduceScatter);
+            decode_dense(comm_.recv_words(left(), kTagReduceScatter),
+                         c1 - c0, width, codec);
         check(incoming.size() == span_words,
               "reduce_scatter_rows_pipelined: chunk of ", incoming.size(),
               " words, expected ", span_words);
@@ -374,6 +381,7 @@ DenseMatrix Group::reduce_scatter_rows_pipelined(
       fire(t0, t0 + block_rows);
       continue;
     }
+    const auto wire_rows = rebase_rows(rows, t0);
     Index done = t0;
     for (std::size_t k0 = 0; k0 < rows.size(); k0 += chunk) {
       const std::size_t k1 = std::min(rows.size(), k0 + chunk);
@@ -381,13 +389,15 @@ DenseMatrix Group::reduce_scatter_rows_pipelined(
           k1 == rows.size() ? t0 + block_rows : rows[k1 - 1] + 1;
       fire(done, end);
       done = end;
-      WordPacker packer;
-      if (k0 == 0) packer.put_count(rows.size());
-      packer.put(rows.subspan(k0, k1 - k0));
+      std::vector<Scalar> values;
+      values.reserve((k1 - k0) * static_cast<std::size_t>(width));
       for (std::size_t k = k0; k < k1; ++k) {
-        packer.put(std::span<const Scalar>(partial.row(rows[k])));
+        const auto row = partial.row(rows[k]);
+        values.insert(values.end(), row.begin(), row.end());
       }
-      comm_.send_words(member(t), kTagSparseReduce, packer.take());
+      comm_.send_words(member(t), kTagSparseReduce,
+                       encode_rows_chunk(wire_rows, k0, k1, block_rows,
+                                         width, values, codec));
     }
   }
   // Own rows are prepared before the blocking receives so the wait
@@ -402,28 +412,20 @@ DenseMatrix Group::reduce_scatter_rows_pipelined(
     const auto expected = support_in_range(
         wants[static_cast<std::size_t>(q)], chunk0, block_rows);
     if (expected.empty()) continue;
+    const auto wire_expected = rebase_rows(expected, chunk0);
     for (std::size_t k0 = 0; k0 < expected.size(); k0 += chunk) {
       const std::size_t k1 = std::min(expected.size(), k0 + chunk);
-      const MessageWords words =
-          comm_.recv_words(member(q), kTagSparseReduce);
-      WordReader reader(words);
-      if (k0 == 0) {
-        const auto count = reader.take_count();
-        check(count == expected.size(), "reduce_scatter_rows: peer sent ",
-              count, " rows, support expects ", expected.size());
+      // The codec layer validates the count header, every index, and the
+      // exact payload length against the shared support table.
+      const auto values = decode_rows_chunk(
+          comm_.recv_words(member(q), kTagSparseReduce), wire_expected, k0,
+          k1, block_rows, width, codec);
+      for (std::size_t k = k0; k < k1; ++k) {
+        auto dst = acc.row(expected[k] - chunk0);
+        const auto* src =
+            values.data() + (k - k0) * static_cast<std::size_t>(width);
+        for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
       }
-      const auto rows = reader.take<Index>(k1 - k0);
-      for (std::size_t k = 0; k < rows.size(); ++k) {
-        check(rows[k] == expected[k0 + k],
-              "reduce_scatter_rows: row mismatch against the support "
-              "table");
-        const auto values =
-            reader.take<Scalar>(static_cast<std::size_t>(width));
-        auto dst = acc.row(rows[k] - chunk0);
-        for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += values[j];
-      }
-      check(reader.exhausted(),
-            "reduce_scatter_rows: oversized row message");
     }
   }
   for (Index i = 0; i < block_rows; ++i) {
@@ -438,7 +440,8 @@ DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
                                  const DenseMatrix& block,
                                  std::span<const Index> send_cols,
                                  std::span<const Index> recv_cols,
-                                 PropagationMode mode, int tag) {
+                                 PropagationMode mode, int tag,
+                                 const WireCodec& codec) {
   const Index block_rows = block.rows();
   const Index width = block.cols();
   check(0 <= to_pos && to_pos < size() && 0 <= from_pos &&
@@ -446,8 +449,7 @@ DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
         "sendrecv_cols: positions (", to_pos, ", ", from_pos,
         ") outside group of ", size());
   const auto hop_sparse = [&](std::span<const Index> cols) {
-    return propagation_hop_is_sparse(mode, cols.size(), block_rows,
-                                     width);
+    return propagation_hop_is_sparse(mode, cols, block_rows, width, codec);
   };
   MessageWords raw(static_cast<std::size_t>(block_rows) *
                    static_cast<std::size_t>(width));
@@ -460,10 +462,13 @@ DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
   if (hop_sparse(send_cols)) {
     if (!send_cols.empty()) {
       comm_.send_words(member(to_pos), tag,
-                       pack_cols_block(raw, block_rows, width, send_cols));
+                       encode_cols_block(raw, block_rows, width, send_cols,
+                                         codec));
     }
   } else {
-    comm_.send_words(member(to_pos), tag, std::move(raw));
+    comm_.send_words(member(to_pos), tag,
+                     encode_dense(std::move(raw), block_rows, width,
+                                  codec));
   }
   MessageWords landed;
   if (hop_sparse(recv_cols)) {
@@ -472,11 +477,12 @@ DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
                         static_cast<std::size_t>(width),
                     0);
     } else {
-      landed = unpack_cols_block(comm_.recv_words(member(from_pos), tag),
-                                 block_rows, width, recv_cols);
+      landed = decode_cols_block(comm_.recv_words(member(from_pos), tag),
+                                 block_rows, width, recv_cols, codec);
     }
   } else {
-    landed = comm_.recv_words(member(from_pos), tag);
+    landed = decode_dense(comm_.recv_words(member(from_pos), tag),
+                          block_rows, width, codec);
     check(landed.size() == static_cast<std::size_t>(block_rows) *
                                static_cast<std::size_t>(width),
           "sendrecv_cols: dense block of ", landed.size(),
@@ -492,7 +498,7 @@ DenseMatrix Group::sendrecv_cols(int to_pos, int from_pos,
 
 void Group::allgatherv_pipelined(const DenseMatrix& local,
                                  Index chunk_rows, const ChunkFn& on_chunk,
-                                 DenseMatrix& out) {
+                                 DenseMatrix& out, const WireCodec& codec) {
   const int g = size();
   const Index block_rows = local.rows();
   const Index width = local.cols();
@@ -530,8 +536,16 @@ void Group::allgatherv_pipelined(const DenseMatrix& local,
           out.row(static_cast<Index>(send_origin) * block_rows + c0)
               .data(),
           span_words * sizeof(Scalar));
-      comm_.send_words(right(), kTagAllgather, std::move(outgoing));
-      const MessageWords words = comm_.recv_words(left(), kTagAllgather);
+      // Hop-boundary encode/decode (no-op moves under the default
+      // codec). Quantization is idempotent, so a low-precision block
+      // forwarded unchanged around the ring re-encodes bit-identically
+      // at every hop.
+      comm_.send_words(right(), kTagAllgather,
+                       encode_dense(std::move(outgoing), c1 - c0, width,
+                                    codec));
+      const MessageWords words =
+          decode_dense(comm_.recv_words(left(), kTagAllgather), c1 - c0,
+                       width, codec);
       check(words.size() == span_words,
             "allgatherv_pipelined: chunk of ", words.size(),
             " words, expected ", span_words);
@@ -546,7 +560,7 @@ void Group::allgatherv_pipelined(const DenseMatrix& local,
 void Group::allgatherv_rows_pipelined(
     const DenseMatrix& local, std::span<const std::vector<Index>> wants,
     ReplicationMode mode, Index chunk_rows, const ChunkFn& on_chunk,
-    DenseMatrix& out) {
+    DenseMatrix& out, const WireCodec& codec) {
   const int g = size();
   const Index block_rows = local.rows();
   const Index width = local.cols();
@@ -554,9 +568,9 @@ void Group::allgatherv_rows_pipelined(
         ">= 1, got ", chunk_rows);
   validate_support_table(wants, g, static_cast<Index>(g) * block_rows,
                          mode);
-  mode = resolve_mode(mode, wants, block_rows, width, g);
+  mode = resolve_mode(mode, wants, block_rows, width, g, codec);
   if (mode == ReplicationMode::Dense) {
-    allgatherv_pipelined(local, chunk_rows, on_chunk, out);
+    allgatherv_pipelined(local, chunk_rows, on_chunk, out, codec);
     return;
   }
   const auto chunk = static_cast<std::size_t>(chunk_rows);
@@ -569,16 +583,19 @@ void Group::allgatherv_rows_pipelined(
         wants[static_cast<std::size_t>(t)],
         static_cast<Index>(pos_) * block_rows, block_rows);
     if (rows.empty()) continue;
+    const auto wire_rows =
+        rebase_rows(rows, static_cast<Index>(pos_) * block_rows);
     for (std::size_t k0 = 0; k0 < rows.size(); k0 += chunk) {
       const std::size_t k1 = std::min(rows.size(), k0 + chunk);
-      WordPacker packer;
-      if (k0 == 0) packer.put_count(rows.size());
-      packer.put(rows.subspan(k0, k1 - k0));
+      std::vector<Scalar> values;
+      values.reserve((k1 - k0) * static_cast<std::size_t>(width));
       for (std::size_t k = k0; k < k1; ++k) {
-        packer.put(std::span<const Scalar>(local.row(
-            rows[k] - static_cast<Index>(pos_) * block_rows)));
+        const auto row = local.row(wire_rows[k]);
+        values.insert(values.end(), row.begin(), row.end());
       }
-      comm_.send_words(member(t), kTagSparseGather, packer.take());
+      comm_.send_words(member(t), kTagSparseGather,
+                       encode_rows_chunk(wire_rows, k0, k1, block_rows,
+                                         width, values, codec));
     }
   }
   const auto fire = [&](Index row0, Index row1) {
@@ -607,6 +624,8 @@ void Group::allgatherv_rows_pipelined(
     const auto expected = support_in_range(
         mine, static_cast<Index>(q) * block_rows, block_rows);
     if (expected.empty()) continue;
+    const auto wire_expected =
+        rebase_rows(expected, static_cast<Index>(q) * block_rows);
     // Chunk boundaries are derived from the shared support table — both
     // sides split the same sorted row list the same way, so only the
     // first chunk needs the count header and the words stay exactly
@@ -614,25 +633,16 @@ void Group::allgatherv_rows_pipelined(
     Index done = static_cast<Index>(q) * block_rows;
     for (std::size_t k0 = 0; k0 < expected.size(); k0 += chunk) {
       const std::size_t k1 = std::min(expected.size(), k0 + chunk);
-      const MessageWords words =
-          comm_.recv_words(member(q), kTagSparseGather);
-      WordReader reader(words);
-      if (k0 == 0) {
-        const auto count = reader.take_count();
-        check(count == expected.size(), "allgatherv_rows_pipelined: peer "
-              "sent ", count, " rows, support expects ", expected.size());
+      // The codec layer validates the count header, every index, and the
+      // exact payload length against the shared support table.
+      const auto values = decode_rows_chunk(
+          comm_.recv_words(member(q), kTagSparseGather), wire_expected, k0,
+          k1, block_rows, width, codec);
+      for (std::size_t k = k0; k < k1; ++k) {
+        const auto* src =
+            values.data() + (k - k0) * static_cast<std::size_t>(width);
+        std::copy(src, src + width, out.row(expected[k]).begin());
       }
-      const auto rows = reader.take<Index>(k1 - k0);
-      for (std::size_t k = 0; k < rows.size(); ++k) {
-        check(rows[k] == expected[k0 + k], "allgatherv_rows_pipelined: "
-              "row mismatch against the support table");
-        const auto values =
-            reader.take<Scalar>(static_cast<std::size_t>(width));
-        std::copy(values.begin(), values.end(),
-                  out.row(rows[k]).begin());
-      }
-      check(reader.exhausted(),
-            "allgatherv_rows_pipelined: oversized row chunk");
       const Index end = k1 == expected.size()
                             ? static_cast<Index>(q + 1) * block_rows
                             : expected[k1 - 1] + 1;

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "dense/dense_matrix.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/wire.hpp"
 
 namespace dsk {
 
@@ -78,18 +79,33 @@ inline bool propagation_hop_is_sparse(PropagationMode mode,
   return false;
 }
 
+/// Codec-aware sibling: the crossover compares the ENCODED message
+/// sizes (wire.hpp's encoded_cols_words vs encoded_dense_words), so an
+/// index codec that shrinks the header keeps the sparse hop winning at
+/// higher support densities. Reduces exactly to the count-based rule
+/// above under the default codec; both endpoints evaluate it on the
+/// shared support list, so the formats always agree.
+bool propagation_hop_is_sparse(PropagationMode mode,
+                               std::span<const Index> cols,
+                               Index block_rows, Index width,
+                               const WireCodec& codec);
+
 /// Pack rows `cols` (sorted block-local indices — the consumers' column
 /// support) of a dense block_rows x width payload stored as raw words
-/// (pack_dense layout) into a [count, cols..., values...] message.
+/// (pack_dense layout) into a [count, cols..., values...] message. A
+/// thin delegate into the wire-codec layer (wire.hpp encode_cols_block),
+/// kept so the byte layout lives in exactly one place.
 MessageWords pack_cols_block(const MessageWords& dense, Index block_rows,
-                             Index width, std::span<const Index> cols);
+                             Index width, std::span<const Index> cols,
+                             const WireCodec& codec = {});
 
 /// Inverse: expand a [count, cols..., values...] message back into the
 /// full dense payload, zeros outside the support. `cols` is the expected
 /// support (both ends derive it from the shared shard tables); count and
 /// indices are validated against it, and trailing words are rejected.
 MessageWords unpack_cols_block(const MessageWords& words, Index block_rows,
-                               Index width, std::span<const Index> cols);
+                               Index width, std::span<const Index> cols,
+                               const WireCodec& codec = {});
 
 class Group {
  public:
@@ -135,9 +151,15 @@ class Group {
   /// the sparse plan only when it wins, so the max-over-ranks words
   /// under Auto never exceed Dense — even for skewed supports.
   /// Supported rows are bit-identical across all modes.
+  /// All row-sparse collectives and the dense pipelined rings accept a
+  /// WireCodec: the default reproduces the historical byte layout, a
+  /// non-default codec re-encodes every hop's payload (and Auto's
+  /// crossover compares the ENCODED sizes). Decoded values accumulate in
+  /// full precision.
   DenseMatrix allgatherv_rows(const DenseMatrix& local,
                               std::span<const std::vector<Index>> wants,
-                              ReplicationMode mode);
+                              ReplicationMode mode,
+                              const WireCodec& codec = {});
 
   /// Row-sparse reduce-scatter, the inverse: partial is a
   /// size()*chunk_rows x width accumulator whose nonzero rows are
@@ -148,7 +170,8 @@ class Group {
   /// ..., own block last), so the result is bit-identical in every mode.
   DenseMatrix reduce_scatter_rows(const DenseMatrix& partial,
                                   std::span<const std::vector<Index>> wants,
-                                  ReplicationMode mode);
+                                  ReplicationMode mode,
+                                  const WireCodec& codec = {});
 
   /// Streaming sibling of reduce_scatter_rows, mirroring
   /// allgatherv_rows_pipelined on the way OUT of a loop: the collective
@@ -167,7 +190,8 @@ class Group {
   /// unchunked collective in every mode and for every chunk size.
   DenseMatrix reduce_scatter_rows_pipelined(
       DenseMatrix& partial, std::span<const std::vector<Index>> wants,
-      ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare);
+      ReplicationMode mode, Index chunk_rows, const ChunkFn& prepare,
+      const WireCodec& codec = {});
 
   /// One hop of a column-support compressed cyclic shift, as a paired
   /// Group call (the shift loop performs the same exchange with its
@@ -183,7 +207,8 @@ class Group {
                             const DenseMatrix& block,
                             std::span<const Index> send_cols,
                             std::span<const Index> recv_cols,
-                            PropagationMode mode, int tag = kTagShift);
+                            PropagationMode mode, int tag = kTagShift,
+                            const WireCodec& codec = {});
 
   /// Chunked, ring-structured all-gather of dense row blocks
   /// (SparCML-style streaming): bit-identical result and word counts to
@@ -196,7 +221,8 @@ class Group {
   /// row1) fires, out rows [row0, row1) are final and readable even
   /// though later rows are still streaming.
   void allgatherv_pipelined(const DenseMatrix& local, Index chunk_rows,
-                            const ChunkFn& on_chunk, DenseMatrix& out);
+                            const ChunkFn& on_chunk, DenseMatrix& out,
+                            const WireCodec& codec = {});
 
   /// Row-sparse sibling: the allgatherv_rows plan with every per-peer
   /// row message split into chunks of at most chunk_rows rows. Word
@@ -212,7 +238,8 @@ class Group {
   void allgatherv_rows_pipelined(const DenseMatrix& local,
                                  std::span<const std::vector<Index>> wants,
                                  ReplicationMode mode, Index chunk_rows,
-                                 const ChunkFn& on_chunk, DenseMatrix& out);
+                                 const ChunkFn& on_chunk, DenseMatrix& out,
+                                 const WireCodec& codec = {});
 
   /// Total words the whole group would move for one row-sparse plan
   /// (either direction — the ordered-pair sums coincide): per non-empty
@@ -221,7 +248,7 @@ class Group {
   /// two. Exposed for the cost accounting and tests.
   static std::uint64_t sparse_plan_words(
       std::span<const std::vector<Index>> wants, Index block_rows,
-      Index width);
+      Index width, const WireCodec& codec = {});
 
   /// reduce-scatter followed by all-gather (both ring): every rank gets
   /// the full elementwise sum. local must have the same length everywhere

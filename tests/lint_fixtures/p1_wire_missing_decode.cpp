@@ -1,0 +1,22 @@
+// dsk_lint fixture: P1 violation, encode/decode family. A wire-codec
+// file (basename matches the wire scope) declaring an encode_ function
+// with no matching decode_ — the payload can be produced but never
+// consumed, or the receiver hand-rolls the decode and drifts from the
+// encoder.
+#include <cstdint>
+#include <vector>
+
+using MessageWords = std::vector<std::uint64_t>;
+
+inline std::uint64_t encoded_mask_words(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+MessageWords encode_mask(const std::vector<bool>& bits) {
+  MessageWords words(encoded_mask_words(bits.size()), 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return words;
+}
+// P1: no decode_mask anywhere.

@@ -339,6 +339,68 @@ TEST(ReplicationModes, BitIdenticalOutputsAcrossAllDrivers) {
   }
 }
 
+/// The wire-codec cube: a fixed codec must produce IDENTICAL bits
+/// regardless of schedule, replication mode, and propagation mode —
+/// transport choices may change the words on the wire, never the
+/// decoded values (quantization is per value and idempotent, so
+/// chunking, re-forwarding, and the sparse/dense crossovers all see
+/// the same payloads). The lossy codecs must also stay within their
+/// quantization error bounds of the exact default-codec output.
+TEST(WireCodecCube, BitIdenticalAcrossTransportChoicesPerCodec) {
+  const auto problem = make_rmat_problem(128, 128, 32, 256, 7071);
+  const std::vector<Config> configs = {
+      {AlgorithmKind::DenseShift15D, 8, 2},
+      {AlgorithmKind::SparseShift15D, 8, 2},
+      {AlgorithmKind::DenseRepl25D, 8, 2},
+      {AlgorithmKind::SparseRepl25D, 8, 2},
+  };
+  const std::pair<WireCodec, Scalar> codec_cases[] = {
+      {WireCodec{WirePrecision::Full, IndexCodec::Auto}, kTol},
+      {WireCodec{WirePrecision::F32, IndexCodec::DeltaVarint}, 1e-4},
+      {WireCodec{WirePrecision::BF16, IndexCodec::Bitmap}, 5e-2},
+  };
+  for (const auto& cfg : configs) {
+    const auto run = [&](const WireCodec& codec, ShiftSchedule schedule,
+                         ReplicationMode repl, PropagationMode prop) {
+      AlgorithmOptions options;
+      options.schedule = schedule;
+      options.replication = repl;
+      options.propagation = prop;
+      options.wire_precision = codec.precision;
+      options.index_codec = codec.index_codec;
+      auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, options);
+      return algo->run_fusedmm(FusedOrientation::A, Elision::None,
+                               problem.s, problem.a, problem.b);
+    };
+    const auto exact = run(WireCodec{}, ShiftSchedule::DoubleBuffered,
+                           ReplicationMode::Dense, PropagationMode::Dense);
+    for (const auto& [codec, tol] : codec_cases) {
+      const auto reference =
+          run(codec, ShiftSchedule::DoubleBuffered, ReplicationMode::Dense,
+              PropagationMode::Dense);
+      EXPECT_LE(rel_diff(reference.output, exact.output), tol)
+          << to_string(cfg.kind) << " " << to_string(codec.precision);
+      for (const ShiftSchedule schedule :
+           {ShiftSchedule::DoubleBuffered, ShiftSchedule::BulkSynchronous,
+            ShiftSchedule::Pipelined}) {
+        for (const ReplicationMode repl :
+             {ReplicationMode::Dense, ReplicationMode::Auto}) {
+          for (const PropagationMode prop :
+               {PropagationMode::Dense, PropagationMode::Auto}) {
+            const auto got = run(codec, schedule, repl, prop);
+            EXPECT_TRUE(bit_identical(got.output, reference.output))
+                << to_string(cfg.kind) << " "
+                << to_string(codec.precision) << "/"
+                << to_string(codec.index_codec) << " schedule "
+                << static_cast<int>(schedule) << " " << to_string(repl)
+                << " " << to_string(prop);
+          }
+        }
+      }
+    }
+  }
+}
+
 /// The pipelined schedule against the serial references: not just
 /// schedule-vs-schedule identity (test_overlap pins that) but absolute
 /// correctness of every kernel mode under the streamed replication

@@ -186,6 +186,44 @@ TEST(Plan, RejectsMismatchedMatrixOrWidth) {
   EXPECT_THROW(plan.execute(Mode::SpMMB, prob.s, wide_a, wide_b), Error);
 }
 
+/// ExecuteOptions wire overrides reach the kernels: a Plan built with
+/// the default codec, executed with a bf16/auto override, is
+/// bit-identical (output and wire words) to a fresh driver configured
+/// with that codec — and the override actually shrinks the wire.
+TEST(Plan, WireOverridesMatchCodecConfiguredRuns) {
+  for (const Config& cfg : {kFamilies[0], kFamilies[3], kFamilies[4]}) {
+    const Mode mode = cfg.kind == AlgorithmKind::Baseline1D ? Mode::SpMMA
+                                                            : Mode::SpMMB;
+    const auto prob = small_problem(cfg);
+    const Plan plan =
+        make_plan(cfg.kind, cfg.p, cfg.c, prob.s, prob.a.cols());
+    AlgorithmOptions wired;
+    wired.wire_precision = WirePrecision::BF16;
+    wired.index_codec = IndexCodec::Auto;
+    auto algo = make_algorithm(cfg.kind, cfg.p, cfg.c, wired);
+    ExecuteOptions exec;
+    exec.wire_precision = WirePrecision::BF16;
+    exec.index_codec = IndexCodec::Auto;
+    const auto overridden =
+        plan.execute(mode, prob.s, prob.a, prob.b, exec);
+    const auto fresh = algo->run_kernel(mode, prob.s, prob.a, prob.b);
+    EXPECT_EQ(overridden.dense.max_abs_diff(fresh.dense), 0.0)
+        << to_string(cfg.kind);
+    EXPECT_EQ(overridden.stats.max_words(Phase::Replication),
+              fresh.stats.max_words(Phase::Replication));
+    EXPECT_EQ(overridden.stats.max_words(Phase::Propagation),
+              fresh.stats.max_words(Phase::Propagation));
+    // The same plan without the override keeps the full-precision wire.
+    const auto full = plan.execute(mode, prob.s, prob.a, prob.b);
+    EXPECT_GE(full.stats.max_words(Phase::Propagation),
+              overridden.stats.max_words(Phase::Propagation));
+    if (cfg.kind == AlgorithmKind::DenseShift15D) {
+      EXPECT_GT(full.stats.max_words(Phase::Propagation),
+                overridden.stats.max_words(Phase::Propagation));
+    }
+  }
+}
+
 /// A driver only accepts plan data it built itself.
 TEST(Plan, RejectsForeignPlanData) {
   const Config cfg = kFamilies[0];
@@ -410,6 +448,42 @@ TEST(AlsServerTest, DegradedReplanKeepsServing) {
     EXPECT_NEAR(degraded_recs[j].score, clean_recs[j].score, 1e-9);
   }
   EXPECT_FALSE(server.report().degraded && server.p() == 4);
+}
+
+/// The configured wire codec rides every serving pass through
+/// ExecuteOptions: a bf16 server answers (batched still bit-identical
+/// to unbatched), but requests demanding exact top-k ties are rejected
+/// under bf16 and accepted at full / f32 precision.
+TEST(AlsServerTest, WireCodecPassesThroughAndGuardsExactTies) {
+  const CooMatrix ratings = synthetic_ratings(32, 24, 4, 15);
+  AlsServerConfig lossy = small_server_config();
+  lossy.exec.wire_precision = WirePrecision::BF16;
+  lossy.exec.index_codec = IndexCodec::Auto;
+  AlsServer server(ratings, lossy);
+  const std::vector<Index> users = {2, 6, 19};
+  const auto batched = server.top_k({users.data(), users.size()}, 3);
+  ASSERT_EQ(batched.size(), users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const auto narrow = server.top_k_one(users[i], 3);
+    ASSERT_EQ(batched[i].size(), narrow.size());
+    for (std::size_t j = 0; j < narrow.size(); ++j) {
+      EXPECT_EQ(batched[i][j].item, narrow[j].item);
+      EXPECT_EQ(batched[i][j].score, narrow[j].score);
+    }
+  }
+  // The lossy wire moves the model's observed RMSE only within the
+  // documented bf16 bound of the full-precision server's.
+  AlsServer exact(ratings, small_server_config());
+  EXPECT_NEAR(server.observed_rmse(), exact.observed_rmse(), 0.05);
+  // The guard rail: exact top-k ties are incompatible with bf16...
+  EXPECT_THROW(server.top_k({users.data(), users.size()}, 3, true), Error);
+  EXPECT_THROW(server.top_k_one(users[0], 3, true), Error);
+  // ...and fine at full and f32 wire precision.
+  EXPECT_NO_THROW(exact.top_k_one(users[0], 3, true));
+  AlsServerConfig f32 = small_server_config();
+  f32.exec.wire_precision = WirePrecision::F32;
+  AlsServer f32_server(ratings, f32);
+  EXPECT_NO_THROW(f32_server.top_k_one(users[0], 3, true));
 }
 
 // --- Serving cost-model helpers ----------------------------------------

@@ -38,9 +38,10 @@ NONDETERMINISTIC_SUFFIXES = ("_seconds",)
 # Fields identifying a record (the rest are compared as values). A field
 # listed here but absent from a record is simply skipped, so the same
 # checker covers every bench format: the fig4/fig8 records, the fig7
-# replication-mode records ("mode"), and the fig7 propagation records
+# replication-mode records ("mode"), the fig7 propagation records
 # ("replication" + "propagation", whose deterministic value field is
-# propagation_words).
+# propagation_words), and the fig7 wire-codec records ("precision" +
+# "index_codec", whose deterministic value field is wire_words).
 KEY_FIELDS = (
     "bench",
     "setup",
@@ -49,6 +50,8 @@ KEY_FIELDS = (
     "mode",
     "replication",
     "propagation",
+    "precision",
+    "index_codec",
     "kernel",
     "impl",
     "threads",

@@ -11,11 +11,12 @@ to get lucky:
                         RNG-paired draws (the PR-5 generator bug).
                         Iteration must be canonicalized (copy out, then
                         sort — recognized automatically) or annotated.
-  P1 protocol account   Every pack_<base> in the wire-format files
-                        (src/runtime/collectives.*, src/dist/shards.*)
-                        must have a matching unpack_<base> and a
-                        *_words cost function, and all three must be
-                        exercised by at least one file under tests/.
+  P1 protocol account   Every pack_<base> / encode_<base> in the
+                        wire-format files (src/runtime/collectives.*,
+                        src/runtime/wire.*, src/dist/shards.*) must
+                        have a matching unpack_<base> / decode_<base>
+                        and a *_words cost function, and all three must
+                        be exercised by at least one file under tests/.
                         Pack/unpack/words falling out of lockstep is
                         how sparse wire formats rot.
   R1 recovery pairing   A driver registering a journal pack hook
@@ -77,7 +78,10 @@ CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
 # P1 scope: the wire-format files whose pack/unpack/words triples are
 # the sparse protocol's single source of truth. Fixture files are
 # always in scope so the check itself stays regression-tested.
-P1_BASENAMES = re.compile(r"^(collectives|shards)\.(hpp|cpp|h|cc)$")
+P1_BASENAMES = re.compile(r"^(collectives|shards|wire)\.(hpp|cpp|h|cc)$")
+# P1 verb families: the classic pack/unpack message pairs plus the
+# wire-codec encode/decode pairs (src/runtime/wire.*).
+P1_VERB_PAIRS = (("pack", "unpack"), ("encode", "decode"))
 # R1 digest scope: the restore-path implementation files.
 R1_BASENAMES = re.compile(r"^(checkpoint|recovery)\.(hpp|cpp|h|cc)$")
 FIXTURE_PART = os.sep + "lint_fixtures" + os.sep
@@ -419,7 +423,9 @@ def check_d1(src):
 
 
 def collect_p1_symbols(sources):
-    packs, unpacks, words = {}, {}, {}
+    # Keyed by (front_verb, base): encode_values and pack_values are
+    # distinct triples even though they share a base.
+    fronts, backs, words = {}, {}, {}
     for src in sources:
         if not in_p1_scope(src.path):
             continue
@@ -428,20 +434,30 @@ def collect_p1_symbols(sources):
             # pairing domain), not wire messages with a words cost.
             if tok in ("pack_state", "unpack_state"):
                 continue
-            if tok.startswith("pack_"):
-                packs.setdefault(tok[len("pack_"):], (src.path, line))
-            elif tok.startswith("unpack_"):
-                unpacks.setdefault(tok[len("unpack_"):], (src.path, line))
-            elif tok.endswith("_words") and len(tok) > len("_words"):
+            # Words helpers first: encoded_*_words would otherwise
+            # token-match the encode_ front verb.
+            if tok.endswith("_words") and len(tok) > len("_words"):
                 words.setdefault(tok, (src.path, line))
-    return packs, unpacks, words
+                continue
+            for front, back in P1_VERB_PAIRS:
+                if tok.startswith(front + "_"):
+                    fronts.setdefault((front, tok[len(front) + 1:]),
+                                      (src.path, line))
+                    break
+                if tok.startswith(back + "_"):
+                    backs.setdefault((front, tok[len(back) + 1:]),
+                                     (src.path, line))
+                    break
+    return fronts, backs, words
 
 
 def check_p1(sources, test_identifiers):
-    """pack/unpack/words triples in the wire-format files, each pinned
-    by at least one test when the tests/ tree is in scope."""
+    """pack/unpack (and encode/decode) words triples in the wire-format
+    files, each pinned by at least one test when the tests/ tree is in
+    scope."""
     findings = []
-    packs, unpacks, words = collect_p1_symbols(sources)
+    fronts, backs, words = collect_p1_symbols(sources)
+    back_verb = dict(P1_VERB_PAIRS)
 
     def words_for(base):
         base_parts = [p for p in base.split("_") if len(p) > 2]
@@ -449,28 +465,29 @@ def check_p1(sources, test_identifiers):
                       if any(p in w for p in base_parts))
 
     src_by_path = {s.path: s for s in sources}
-    for base in sorted(packs):
-        path, line = packs[base]
+    for front, base in sorted(fronts):
+        back = back_verb[front]
+        path, line = fronts[(front, base)]
         src = src_by_path[path]
-        if base not in unpacks:
+        if (front, base) not in backs:
             if not src.allowed(line, "P1"):
                 findings.append(Finding(
                     path, line, "P1",
-                    f"pack_{base} has no matching unpack_{base} in the "
-                    f"wire-format files"))
+                    f"{front}_{base} has no matching {back}_{base} in "
+                    f"the wire-format files"))
             continue
         matching_words = words_for(base)
         if not matching_words:
             if not src.allowed(line, "P1"):
                 findings.append(Finding(
                     path, line, "P1",
-                    f"pack_{base}/unpack_{base} have no *_words cost "
+                    f"{front}_{base}/{back}_{base} have no *_words cost "
                     f"function (expected a name containing "
                     f"'{base.split('_')[0]}')"))
             continue
         if test_identifiers is None:
             continue
-        missing = [n for n in (f"pack_{base}", f"unpack_{base}")
+        missing = [n for n in (f"{front}_{base}", f"{back}_{base}")
                    if n not in test_identifiers]
         if not any(w in test_identifiers for w in matching_words):
             missing.append(" or ".join(matching_words))
